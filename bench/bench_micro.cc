@@ -1,0 +1,165 @@
+// Google-benchmark microbenchmarks for the substrate hot paths: balanced
+// tree construction, masked tree-walk decisions, BPR training epochs,
+// black-box query scoring, and top-k selection.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/hierarchical_tree.h"
+#include "cluster/kmeans.h"
+#include "core/selection_policy.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "math/top_k.h"
+#include "rec/matrix_factorization.h"
+#include "rec/pinsage_lite.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace copyattack;
+
+const data::SyntheticWorld& World() {
+  static const data::SyntheticWorld* const world =
+      new data::SyntheticWorld(
+          data::GenerateSyntheticWorld(data::SyntheticConfig::Tiny()));
+  return *world;
+}
+
+math::Matrix RandomEmbeddings(std::size_t n, std::size_t dim,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  math::Matrix m(n, dim);
+  m.FillNormal(rng, 0.0f, 0.5f);
+  return m;
+}
+
+void BM_BalancedKMeans(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const math::Matrix points = RandomEmbeddings(n, 8, 11);
+  std::vector<std::size_t> subset(n);
+  for (std::size_t i = 0; i < n; ++i) subset[i] = i;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::BalancedKMeans(points, subset, 8, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BalancedKMeans)->Arg(1000)->Arg(4000);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const math::Matrix points = RandomEmbeddings(n, 8, 13);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(
+        cluster::HierarchicalTree::BuildWithDepth(points, 3, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreeBuild)->Arg(1000)->Arg(4000);
+
+void BM_TreeDecision(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const math::Matrix users = RandomEmbeddings(n, 8, 17);
+  const math::Matrix items = RandomEmbeddings(64, 8, 19);
+  util::Rng tree_rng(23);
+  const auto tree =
+      cluster::HierarchicalTree::BuildWithDepth(users, 3, tree_rng);
+  util::Rng init_rng(29);
+  core::HierarchicalSelectionPolicy policy(
+      &tree, &users, &items, core::HierarchicalSelectionPolicy::Config{},
+      init_rng);
+  policy.SetTargetItem(0,
+                       tree.ComputeMask([](std::size_t) { return true; }));
+  util::Rng rng(31);
+  for (auto _ : state) {
+    core::SelectionStepRecord record;
+    benchmark::DoNotOptimize(policy.SampleUser({}, rng, &record));
+  }
+}
+BENCHMARK(BM_TreeDecision);
+
+void BM_MfTrainEpoch(benchmark::State& state) {
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::MatrixFactorization mf;
+  util::Rng rng(41);
+  mf.InitTraining(split.train, rng);
+  for (auto _ : state) {
+    mf.TrainEpoch(split.train, rng);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          split.train.num_interactions());
+}
+BENCHMARK(BM_MfTrainEpoch);
+
+void BM_PinSageTrainEpoch(benchmark::State& state) {
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::PinSageLite model;
+  util::Rng rng(41);
+  model.InitTraining(split.train, rng);
+  for (auto _ : state) {
+    model.TrainEpoch(split.train, rng);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          split.train.num_interactions());
+}
+BENCHMARK(BM_PinSageTrainEpoch);
+
+void BM_PinSageScore(benchmark::State& state) {
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::PinSageLite model;
+  util::Rng rng(41);
+  model.Fit(split.train, 3, rng);
+  data::UserId user = 0;
+  data::ItemId item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Score(user, item));
+    user = (user + 1) % static_cast<data::UserId>(split.train.num_users());
+    item = (item + 7) % static_cast<data::ItemId>(split.train.num_items());
+  }
+}
+BENCHMARK(BM_PinSageScore);
+
+void BM_PinSageObserveNewUser(benchmark::State& state) {
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::PinSageLite prototype;
+  util::Rng rng(41);
+  prototype.Fit(split.train, 3, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rec::PinSageLite model = prototype;
+    data::Dataset polluted = split.train;
+    const data::UserId user = polluted.AddUser({0, 1, 2, 3, 4});
+    state.ResumeTiming();
+    model.ObserveNewUser(polluted, user);
+  }
+}
+BENCHMARK(BM_PinSageObserveNewUser);
+
+void BM_TopK(benchmark::State& state) {
+  util::Rng rng(43);
+  std::vector<float> scores(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : scores) s = static_cast<float>(rng.UniformDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::TopKIndices(scores, 20));
+  }
+  state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_TopK)->Arg(101)->Arg(1000)->Arg(10000);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::GenerateSyntheticWorld(data::SyntheticConfig::Tiny()));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Detector audit: a defender's-eye view of the attack. A platform fraud
+// team fits unsupervised anomaly detectors on genuine user profiles and
+// audits three suspicious account batches:
+//
+//   batch A — classic fabricated shilling accounts,
+//   batch B — CopyAttack accounts (crafted copies of real cross-domain
+//             profiles),
+//   batch C — a control batch of genuinely new users.
+//
+// The audit reports, per batch and detector, how many accounts a 5%-FPR
+// review queue would flag. It exercises the `defense::` public API
+// (feature extraction, detectors, ROC evaluation).
+//
+// Run: ./build/examples/detector_audit
+
+#include <cstdio>
+#include <vector>
+
+#include "core/crafting.h"
+#include "data/synthetic.h"
+#include "data/target_items.h"
+#include "defense/detectors.h"
+#include "defense/profile_features.h"
+#include "rec/matrix_factorization.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace copyattack;
+
+std::vector<defense::ProfileFeatures> Featurize(
+    const defense::ProfileFeatureExtractor& extractor,
+    const std::vector<data::Profile>& profiles, util::Rng& rng) {
+  std::vector<defense::ProfileFeatures> features;
+  for (const data::Profile& profile : profiles) {
+    features.push_back(extractor.Extract(profile, rng));
+  }
+  return features;
+}
+
+}  // namespace
+
+int main() {
+  const data::SyntheticWorld world =
+      data::GenerateSyntheticWorld(data::SyntheticConfig::SmallCross());
+  util::Rng rng(42);
+
+  // The fraud team's own item model (MF on the platform's data).
+  rec::MatrixFactorization mf;
+  util::Rng mf_rng(43);
+  mf.Fit(world.dataset.target, 15, mf_rng);
+  const defense::ProfileFeatureExtractor extractor(&world.dataset.target,
+                                                   &mf.item_embeddings());
+
+  // Reference: genuine profiles (training population of the detectors).
+  std::vector<data::Profile> genuine;
+  for (int i = 0; i < 600; ++i) {
+    const data::UserId u = static_cast<data::UserId>(
+        rng.UniformUint64(world.dataset.target.num_users()));
+    genuine.push_back(world.dataset.target.UserProfile(u));
+  }
+  const auto genuine_features = Featurize(extractor, genuine, rng);
+
+  const auto targets =
+      data::SampleColdTargetItems(world.dataset, 20, 10, rng);
+
+  // Batch A: fabricated accounts (target + popular filler — a smarter
+  // fabricator than random filler).
+  std::vector<data::Profile> batch_a;
+  const auto by_pop = world.dataset.target.ItemsByPopularity();
+  for (int i = 0; i < 150; ++i) {
+    data::Profile fake = {targets[rng.UniformUint64(targets.size())]};
+    while (fake.size() < 22) {
+      const data::ItemId item = by_pop[rng.UniformUint64(80)];
+      bool dup = false;
+      for (const data::ItemId existing : fake) dup = dup || existing == item;
+      if (!dup) fake.push_back(item);
+    }
+    batch_a.push_back(std::move(fake));
+  }
+
+  // Batch B: CopyAttack accounts (40% crafted windows of real holders).
+  std::vector<data::Profile> batch_b;
+  for (const data::ItemId target : targets) {
+    for (const data::UserId holder : world.dataset.SourceHolders(target)) {
+      if (batch_b.size() >= 150) break;
+      batch_b.push_back(core::ClipProfileAroundTarget(
+          world.dataset.source.UserProfile(holder), target, 0.4));
+    }
+  }
+
+  // Batch C: control — more genuine users, disjoint from the reference.
+  std::vector<data::Profile> batch_c;
+  for (int i = 0; i < 150; ++i) {
+    const data::UserId u = static_cast<data::UserId>(
+        rng.UniformUint64(world.dataset.target.num_users()));
+    batch_c.push_back(world.dataset.target.UserProfile(u));
+  }
+
+  defense::ZScoreDetector zscore;
+  defense::KnnDetector knn(5);
+  zscore.Fit(genuine_features);
+  knn.Fit(genuine_features);
+
+  std::printf("audit at a 5%% false-positive review budget\n\n");
+  std::printf("%-26s %10s %14s %10s %14s\n", "batch", "z-AUC",
+              "z-flagged", "knn-AUC", "knn-flagged");
+  const struct {
+    const char* name;
+    const std::vector<data::Profile>* profiles;
+  } batches[] = {{"A: fabricated shilling", &batch_a},
+                 {"B: CopyAttack copies", &batch_b},
+                 {"C: genuine control", &batch_c}};
+  for (const auto& batch : batches) {
+    const auto features = Featurize(extractor, *batch.profiles, rng);
+    const auto z = defense::EvaluateDetector(zscore, genuine_features,
+                                             features, 0.05);
+    const auto k =
+        defense::EvaluateDetector(knn, genuine_features, features, 0.05);
+    std::printf("%-26s %10.3f %13.1f%% %10.3f %13.1f%%\n", batch.name,
+                z.auc, 100.0 * z.recall_at_fpr, k.auc,
+                100.0 * k.recall_at_fpr);
+  }
+  std::printf(
+      "\nreading: batch A should be heavily flagged, batch B should look\n"
+      "much closer to the genuine control — the paper's motivation for\n"
+      "copying real cross-domain profiles instead of fabricating them.\n");
+  return 0;
+}

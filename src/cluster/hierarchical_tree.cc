@@ -1,0 +1,143 @@
+#include "cluster/hierarchical_tree.h"
+
+#include <algorithm>
+
+#include "cluster/kmeans.h"
+#include "util/check.h"
+
+namespace copyattack::cluster {
+
+HierarchicalTree HierarchicalTree::Build(const math::Matrix& user_embeddings,
+                                         std::size_t branching,
+                                         util::Rng& rng,
+                                         std::size_t kmeans_iterations) {
+  CA_CHECK_GE(branching, 2U);
+  CA_CHECK_GT(user_embeddings.rows(), 0U);
+
+  HierarchicalTree tree;
+  tree.branching_ = branching;
+  tree.user_to_leaf_.assign(user_embeddings.rows(), kNoNode);
+
+  std::vector<std::size_t> all(user_embeddings.rows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  tree.BuildSubtree(user_embeddings, std::move(all), kNoNode, 0, rng,
+                    kmeans_iterations);
+
+  tree.num_leaves_ = tree.leaf_ids_.size();
+  for (const std::size_t leaf : tree.leaf_ids_) {
+    tree.depth_ = std::max(tree.depth_, tree.nodes_[leaf].level);
+  }
+  return tree;
+}
+
+std::size_t HierarchicalTree::BranchingForDepth(std::size_t num_users,
+                                                std::size_t depth) {
+  CA_CHECK_GE(depth, 1U);
+  CA_CHECK_GE(num_users, 1U);
+  std::size_t c = 2;
+  for (;;) {
+    // Does c^depth cover num_users? Computed with overflow care.
+    std::size_t capacity = 1;
+    bool covered = false;
+    for (std::size_t level = 0; level < depth; ++level) {
+      if (capacity > num_users / c + 1) {
+        covered = true;
+        break;
+      }
+      capacity *= c;
+      if (capacity >= num_users) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) return c;
+    ++c;
+  }
+}
+
+HierarchicalTree HierarchicalTree::BuildWithDepth(
+    const math::Matrix& user_embeddings, std::size_t depth, util::Rng& rng,
+    std::size_t kmeans_iterations) {
+  const std::size_t branching =
+      BranchingForDepth(user_embeddings.rows(), depth);
+  return Build(user_embeddings, branching, rng, kmeans_iterations);
+}
+
+std::size_t HierarchicalTree::BuildSubtree(
+    const math::Matrix& embeddings, std::vector<std::size_t> subset,
+    std::size_t parent, std::size_t level, util::Rng& rng,
+    std::size_t kmeans_iterations) {
+  const std::size_t id = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[id].parent = parent;
+  nodes_[id].level = level;
+
+  if (subset.size() == 1) {
+    nodes_[id].leaf_user = subset[0];
+    user_to_leaf_[subset[0]] = id;
+    leaf_ids_.push_back(id);
+    return id;
+  }
+
+  const std::size_t k = std::min(branching_, subset.size());
+  std::vector<std::size_t> assignment;
+  if (subset.size() <= branching_) {
+    // Few enough users that each becomes its own child (leaf).
+    assignment.resize(subset.size());
+    for (std::size_t i = 0; i < subset.size(); ++i) assignment[i] = i;
+  } else {
+    assignment =
+        BalancedKMeans(embeddings, subset, k, rng, kmeans_iterations);
+  }
+
+  std::vector<std::vector<std::size_t>> groups(k);
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    CA_CHECK_LT(assignment[i], k);
+    groups[assignment[i]].push_back(subset[i]);
+  }
+  subset.clear();
+  subset.shrink_to_fit();
+
+  for (auto& group : groups) {
+    CA_CHECK(!group.empty()) << "balanced split produced an empty cluster";
+    const std::size_t child = BuildSubtree(
+        embeddings, std::move(group), id, level + 1, rng, kmeans_iterations);
+    nodes_[id].children.push_back(child);
+  }
+  return id;
+}
+
+const HierarchicalTree::Node& HierarchicalTree::node(std::size_t id) const {
+  CA_CHECK_LT(id, nodes_.size());
+  return nodes_[id];
+}
+
+std::vector<bool> HierarchicalTree::ComputeMask(
+    const std::function<bool(std::size_t user)>& leaf_allowed) const {
+  std::vector<bool> mask(nodes_.size(), false);
+  // Nodes are created parent-before-child, so a reverse sweep sees every
+  // child before its parent.
+  for (std::size_t id = nodes_.size(); id-- > 0;) {
+    const Node& n = nodes_[id];
+    if (n.children.empty()) {
+      mask[id] = leaf_allowed(n.leaf_user);
+    } else {
+      bool any = false;
+      for (const std::size_t child : n.children) {
+        if (mask[child]) {
+          any = true;
+          break;
+        }
+      }
+      mask[id] = any;
+    }
+  }
+  return mask;
+}
+
+std::size_t HierarchicalTree::LeafOfUser(std::size_t user) const {
+  if (user >= user_to_leaf_.size()) return kNoNode;
+  return user_to_leaf_[user];
+}
+
+}  // namespace copyattack::cluster

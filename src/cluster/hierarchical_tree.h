@@ -1,0 +1,107 @@
+#ifndef COPYATTACK_CLUSTER_HIERARCHICAL_TREE_H_
+#define COPYATTACK_CLUSTER_HIERARCHICAL_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace copyattack::cluster {
+
+/// Sentinel node id.
+inline constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();
+
+/// Balanced hierarchical clustering tree over user embeddings
+/// (paper §4.3.1).
+///
+/// Built top-down by repeatedly splitting the current user set into
+/// `branching` equal-size clusters with balanced k-means. Leaves hold one
+/// user each; every internal node later hosts one policy network in the
+/// hierarchical-structure policy gradient. Because the splits are balanced,
+/// every root-to-leaf path has length `depth()` or `depth() - 1`, which is
+/// what bounds the per-decision cost to O(branching · depth) instead of
+/// O(#users) for a flat policy.
+class HierarchicalTree {
+ public:
+  struct Node {
+    std::size_t parent = kNoNode;
+    /// Child node ids; empty for a leaf.
+    std::vector<std::size_t> children;
+    /// Index of the user embedding row this leaf represents; only valid
+    /// when `children` is empty.
+    std::size_t leaf_user = kNoNode;
+    /// Distance (in edges) from the root.
+    std::size_t level = 0;
+  };
+
+  /// Builds the tree over the rows of `user_embeddings` (one row per
+  /// source-domain user, e.g. the pre-trained MF embeddings).
+  /// `branching` >= 2. Deterministic in `rng`.
+  static HierarchicalTree Build(const math::Matrix& user_embeddings,
+                                std::size_t branching, util::Rng& rng,
+                                std::size_t kmeans_iterations = 20);
+
+  /// Builds a tree of (at most) the given depth by deriving the branching
+  /// factor as the smallest `c` with `c^depth >= #users` — the knob swept
+  /// by the paper's Figure 3. `depth` >= 1.
+  static HierarchicalTree BuildWithDepth(const math::Matrix& user_embeddings,
+                                         std::size_t depth, util::Rng& rng,
+                                         std::size_t kmeans_iterations = 20);
+
+  /// Smallest branching factor `c >= 2` with `c^depth >= num_users`.
+  static std::size_t BranchingForDepth(std::size_t num_users,
+                                       std::size_t depth);
+
+  std::size_t branching() const { return branching_; }
+
+  /// Maximum root-to-leaf path length in edges (= number of policy
+  /// decisions on the longest path). Satisfies
+  /// `branching^(depth-1) < #users <= branching^depth` as in the paper.
+  std::size_t depth() const { return depth_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const { return num_leaves_; }
+  std::size_t num_internal_nodes() const {
+    return nodes_.size() - num_leaves_;
+  }
+
+  std::size_t root() const { return 0; }
+  const Node& node(std::size_t id) const;
+  bool IsLeaf(std::size_t id) const { return node(id).children.empty(); }
+
+  /// Leaf ids in construction order.
+  const std::vector<std::size_t>& leaves() const { return leaf_ids_; }
+
+  /// Computes the masking bitmap (paper §4.3.2): a leaf is allowed iff
+  /// `leaf_allowed(leaf_user)`, an internal node iff any child is allowed.
+  /// The returned vector is indexed by node id.
+  std::vector<bool> ComputeMask(
+      const std::function<bool(std::size_t user)>& leaf_allowed) const;
+
+  /// Returns the leaf id that represents `user` (kNoNode if out of range).
+  std::size_t LeafOfUser(std::size_t user) const;
+
+ private:
+  HierarchicalTree() = default;
+
+  /// Recursively splits `subset` (indices into the embedding rows) under
+  /// `parent`; returns the new node's id.
+  std::size_t BuildSubtree(const math::Matrix& embeddings,
+                           std::vector<std::size_t> subset,
+                           std::size_t parent, std::size_t level,
+                           util::Rng& rng, std::size_t kmeans_iterations);
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> leaf_ids_;
+  std::vector<std::size_t> user_to_leaf_;
+  std::size_t branching_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t num_leaves_ = 0;
+};
+
+}  // namespace copyattack::cluster
+
+#endif  // COPYATTACK_CLUSTER_HIERARCHICAL_TREE_H_

@@ -1,0 +1,167 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "math/vector_ops.h"
+#include "util/check.h"
+
+namespace copyattack::cluster {
+namespace {
+
+/// k-means++ seeding: the first centroid is uniform, each next centroid is
+/// drawn proportional to the squared distance to the nearest chosen one.
+math::Matrix SeedCentroids(const math::Matrix& points,
+                           const std::vector<std::size_t>& subset,
+                           std::size_t k, util::Rng& rng) {
+  const std::size_t dim = points.cols();
+  math::Matrix centroids(k, dim);
+  const std::size_t first = static_cast<std::size_t>(
+      rng.UniformUint64(subset.size()));
+  centroids.CopyRowFrom(points, subset[first], 0);
+
+  std::vector<double> d2(subset.size(),
+                         std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      const float dist = math::SquaredDistance(
+          points.Row(subset[i]), centroids.Row(c - 1), dim);
+      d2[i] = std::min(d2[i], static_cast<double>(dist));
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double threshold = rng.UniformDouble() * total;
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        threshold -= d2[i];
+        if (threshold < 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with chosen centroids; any point works.
+      chosen = static_cast<std::size_t>(rng.UniformUint64(subset.size()));
+    }
+    centroids.CopyRowFrom(points, subset[chosen], c);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const math::Matrix& points,
+                    const std::vector<std::size_t>& subset, std::size_t k,
+                    util::Rng& rng, std::size_t max_iterations) {
+  CA_CHECK_GE(k, 1U);
+  CA_CHECK_LE(k, subset.size());
+  const std::size_t dim = points.cols();
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, subset, k, rng);
+  result.assignment.assign(subset.size(), 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      const float* point = points.Row(subset[i]);
+      std::size_t best = 0;
+      float best_d2 = std::numeric_limits<float>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const float d2 =
+            math::SquaredDistance(point, result.centroids.Row(c), dim);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+      result.inertia += best_d2;
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    math::Matrix sums(k, dim);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      math::Axpy(1.0f, points.Row(subset[i]), sums.Row(c), dim);
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const std::size_t i = static_cast<std::size_t>(
+            rng.UniformUint64(subset.size()));
+        result.centroids.CopyRowFrom(points, subset[i], c);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* centroid = result.centroids.Row(c);
+      const float* sum = sums.Row(c);
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] = sum[d] * inv;
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> BalancedAssign(
+    const math::Matrix& points, const std::vector<std::size_t>& subset,
+    const math::Matrix& centroids) {
+  const std::size_t n = subset.size();
+  const std::size_t k = centroids.rows();
+  CA_CHECK_GE(n, k);
+  const std::size_t dim = points.cols();
+
+  // Capacities: the first (n % k) clusters take ceil(n/k), the rest floor.
+  std::vector<std::size_t> capacity(k, n / k);
+  for (std::size_t c = 0; c < n % k; ++c) ++capacity[c];
+
+  // All (point, centroid) pairs sorted by ascending distance.
+  struct Pair {
+    float d2;
+    std::uint32_t point;
+    std::uint32_t cluster;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* point = points.Row(subset[i]);
+    for (std::size_t c = 0; c < k; ++c) {
+      pairs.push_back({math::SquaredDistance(point, centroids.Row(c), dim),
+                       static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(c)});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Pair& a, const Pair& b) { return a.d2 < b.d2; });
+
+  std::vector<std::size_t> assignment(n, k);  // k == unassigned sentinel
+  std::size_t assigned = 0;
+  for (const Pair& pair : pairs) {
+    if (assigned == n) break;
+    if (assignment[pair.point] != k) continue;
+    if (capacity[pair.cluster] == 0) continue;
+    assignment[pair.point] = pair.cluster;
+    --capacity[pair.cluster];
+    ++assigned;
+  }
+  CA_CHECK_EQ(assigned, n);
+  return assignment;
+}
+
+std::vector<std::size_t> BalancedKMeans(
+    const math::Matrix& points, const std::vector<std::size_t>& subset,
+    std::size_t k, util::Rng& rng, std::size_t max_iterations) {
+  const KMeansResult km = KMeans(points, subset, k, rng, max_iterations);
+  return BalancedAssign(points, subset, km.centroids);
+}
+
+}  // namespace copyattack::cluster

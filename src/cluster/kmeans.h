@@ -1,0 +1,52 @@
+#ifndef COPYATTACK_CLUSTER_KMEANS_H_
+#define COPYATTACK_CLUSTER_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace copyattack::cluster {
+
+/// Result of one k-means run over a subset of points.
+struct KMeansResult {
+  /// k x dim centroid matrix.
+  math::Matrix centroids;
+  /// assignment[i] is the cluster of subset[i] (index into `subset`, not
+  /// into the full point matrix).
+  std::vector<std::size_t> assignment;
+  /// Sum of squared distances of points to their assigned centroid.
+  double inertia = 0.0;
+  /// Lloyd iterations actually performed.
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding over the rows of `points`
+/// selected by `subset`. `k` must satisfy `1 <= k <= subset.size()`.
+/// Deterministic in `rng`.
+KMeansResult KMeans(const math::Matrix& points,
+                    const std::vector<std::size_t>& subset, std::size_t k,
+                    util::Rng& rng, std::size_t max_iterations = 25);
+
+/// Reassigns the subset's points to the given centroids under an equal-size
+/// constraint: every cluster receives either floor(n/k) or ceil(n/k) points
+/// (sizes differ by at most one, as required for the balanced clustering
+/// tree, paper §4.3.1). Assignment is greedy by ascending point-to-centroid
+/// distance, honoring remaining capacity. Returns assignments indexed like
+/// `subset`.
+std::vector<std::size_t> BalancedAssign(
+    const math::Matrix& points, const std::vector<std::size_t>& subset,
+    const math::Matrix& centroids);
+
+/// Convenience: k-means followed by balanced reassignment — the exact
+/// construction step of the paper's hierarchical clustering tree. Returns
+/// per-point cluster ids (indexed like `subset`); all k clusters are
+/// non-empty when `subset.size() >= k`.
+std::vector<std::size_t> BalancedKMeans(
+    const math::Matrix& points, const std::vector<std::size_t>& subset,
+    std::size_t k, util::Rng& rng, std::size_t max_iterations = 25);
+
+}  // namespace copyattack::cluster
+
+#endif  // COPYATTACK_CLUSTER_KMEANS_H_

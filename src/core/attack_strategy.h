@@ -1,0 +1,39 @@
+#ifndef COPYATTACK_CORE_ATTACK_STRATEGY_H_
+#define COPYATTACK_CORE_ATTACK_STRATEGY_H_
+
+#include <string>
+
+#include "core/environment.h"
+#include "util/rng.h"
+
+namespace copyattack::core {
+
+/// Interface of an attacking method (CopyAttack, its ablations, and the
+/// baselines of §5.1.4). One strategy instance attacks one target item;
+/// learning methods keep their policy parameters across episodes.
+class AttackStrategy {
+ public:
+  virtual ~AttackStrategy() = default;
+
+  /// Method name as printed in Table 2.
+  virtual std::string name() const = 0;
+
+  /// Called once before the first episode on a target item (e.g. to build
+  /// the masking bitmap). The environment has not been reset yet.
+  virtual void BeginTargetItem(data::ItemId target_item) = 0;
+
+  /// Plays one full episode on `env` (which the caller has `Reset`) and
+  /// returns the final query reward (HR@k over pretend users). Learning
+  /// strategies update their policies at the episode boundary.
+  virtual double RunEpisode(AttackEnvironment& env, util::Rng& rng) = 0;
+
+  /// Switches the strategy into (or out of) evaluation mode: learning
+  /// strategies act greedily (argmax instead of sampling) and freeze their
+  /// parameters. The campaign runner enables this for the final episode,
+  /// whose polluted state is what gets measured. Default: no-op.
+  virtual void SetEvalMode(bool eval_mode) { (void)eval_mode; }
+};
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_ATTACK_STRATEGY_H_

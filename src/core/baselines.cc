@@ -1,0 +1,60 @@
+#include "core/baselines.h"
+
+#include "core/crafting.h"
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace copyattack::core {
+
+void RandomAttack::BeginTargetItem(data::ItemId target_item) {
+  (void)target_item;  // no per-item preparation
+}
+
+double RandomAttack::RunEpisode(AttackEnvironment& env, util::Rng& rng) {
+  double last_reward = 0.0;
+  while (!env.done()) {
+    const data::UserId user = static_cast<data::UserId>(
+        rng.UniformUint64(dataset_.source.num_users()));
+    const data::Profile& profile = dataset_.source.UserProfile(user);
+    if (profile.empty()) continue;
+    const auto result = env.Step(profile);
+    if (result.queried) last_reward = result.reward;
+  }
+  return last_reward;
+}
+
+TargetAttack::TargetAttack(const data::CrossDomainDataset& dataset,
+                           double keep_fraction)
+    : dataset_(dataset), keep_fraction_(keep_fraction) {
+  CA_CHECK_GT(keep_fraction, 0.0);
+  CA_CHECK_LE(keep_fraction, 1.0);
+}
+
+std::string TargetAttack::name() const {
+  return "TargetAttack" +
+         std::to_string(static_cast<int>(keep_fraction_ * 100.0 + 0.5));
+}
+
+void TargetAttack::BeginTargetItem(data::ItemId target_item) {
+  target_item_ = target_item;
+  holders_ = dataset_.SourceHolders(target_item);
+  CA_CHECK(!holders_.empty())
+      << "target item " << target_item << " has no source holders";
+}
+
+double TargetAttack::RunEpisode(AttackEnvironment& env, util::Rng& rng) {
+  CA_CHECK_NE(target_item_, data::kNoItem);
+  double last_reward = 0.0;
+  while (!env.done()) {
+    const data::UserId user =
+        holders_[rng.UniformUint64(holders_.size())];
+    const data::Profile& profile = dataset_.source.UserProfile(user);
+    data::Profile crafted =
+        ClipProfileAroundTarget(profile, target_item_, keep_fraction_);
+    const auto result = env.Step(std::move(crafted));
+    if (result.queried) last_reward = result.reward;
+  }
+  return last_reward;
+}
+
+}  // namespace copyattack::core

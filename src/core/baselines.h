@@ -1,0 +1,49 @@
+#ifndef COPYATTACK_CORE_BASELINES_H_
+#define COPYATTACK_CORE_BASELINES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/attack_strategy.h"
+#include "data/cross_domain.h"
+
+namespace copyattack::core {
+
+/// RandomAttack (paper §5.1.4): copies uniformly random source-domain user
+/// profiles, unmodified. No learning, no target-item constraint.
+class RandomAttack final : public AttackStrategy {
+ public:
+  explicit RandomAttack(const data::CrossDomainDataset& dataset)
+      : dataset_(dataset) {}
+
+  std::string name() const override { return "RandomAttack"; }
+  void BeginTargetItem(data::ItemId target_item) override;
+  double RunEpisode(AttackEnvironment& env, util::Rng& rng) override;
+
+ private:
+  const data::CrossDomainDataset& dataset_;
+};
+
+/// TargetAttack-w (paper §5.1.4): copies random source users whose profile
+/// *contains the target item*, optionally crafting each profile to keep
+/// `keep_fraction` of its items around the target (TargetAttack40/70/100
+/// use 0.4 / 0.7 / 1.0).
+class TargetAttack final : public AttackStrategy {
+ public:
+  TargetAttack(const data::CrossDomainDataset& dataset, double keep_fraction);
+
+  std::string name() const override;
+  void BeginTargetItem(data::ItemId target_item) override;
+  double RunEpisode(AttackEnvironment& env, util::Rng& rng) override;
+
+ private:
+  const data::CrossDomainDataset& dataset_;
+  double keep_fraction_;
+  data::ItemId target_item_ = data::kNoItem;
+  std::vector<data::UserId> holders_;
+};
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_BASELINES_H_

@@ -1,0 +1,147 @@
+#ifndef COPYATTACK_CORE_COPY_ATTACK_H_
+#define COPYATTACK_CORE_COPY_ATTACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/hierarchical_tree.h"
+#include "core/attack_strategy.h"
+#include "core/crafting_policy.h"
+#include "core/selection_policy.h"
+#include "data/cross_domain.h"
+#include "nn/reinforce.h"
+
+namespace copyattack::core {
+
+/// How query feedback is turned into the per-step REINFORCE reward.
+enum class RewardShaping {
+  /// The paper's Eq. (1): the raw HR@k over the pretend users at each
+  /// query round.
+  kHitRatio,
+  /// The *increase* of HR@k since the previous query round. Same optimum,
+  /// but each 3-injection window is credited with its marginal lift, which
+  /// substantially improves credit assignment under the episode-level
+  /// baseline (ablated in bench_reward_shaping).
+  kDeltaHitRatio,
+};
+
+/// Hyper-parameters of the CopyAttack agent.
+struct CopyAttackConfig {
+  /// Discount factor γ of the MDP (paper §5.1.3 sets 0.6).
+  double gamma = 0.6;
+  /// Reward construction from the query feedback.
+  RewardShaping reward_shaping = RewardShaping::kDeltaHitRatio;
+  /// SGD learning rate of the policy updates.
+  float learning_rate = 0.15f;
+  /// Global-norm gradient clip (0 disables).
+  float clip_norm = 5.0f;
+  /// Entropy regularization for both policies.
+  double entropy_beta = 0.003;
+  /// Momentum of the moving-average reward baseline.
+  double baseline_momentum = 0.7;
+
+  /// Ablation switches (Table 2 rows "CopyAttack-Masking" and
+  /// "CopyAttack-Length"):
+  /// * `use_masking = false` lets the agent pick any source user; per the
+  ///   paper, crafting is also disabled in that variant because selected
+  ///   profiles mostly lack the target item.
+  bool use_masking = true;
+  /// * `use_crafting = false` injects raw profiles (no clipping).
+  bool use_crafting = true;
+
+  /// Never copy the same source user twice within an episode.
+  bool exclude_selected = true;
+
+  /// Extension (paper future work): when the target item has no source
+  /// holders, anchor selection/crafting on the most co-occurring
+  /// overlapping item (see core/proxy.h) and splice the target item into
+  /// the crafted windows. Off by default to match the paper's setting.
+  bool allow_proxy = false;
+
+  HierarchicalSelectionPolicy::Config selection;
+  CraftingPolicy::Config crafting;
+};
+
+/// The full CopyAttack agent (paper §4): hierarchical-structure policy
+/// gradient user selection with masking, profile crafting, injection with
+/// query feedback, and episode-end REINFORCE updates of both policies.
+class CopyAttack final : public AttackStrategy {
+ public:
+  /// `dataset`, `tree`, and the pre-trained source-domain MF embeddings
+  /// are borrowed and must outlive the agent. The tree must be built over
+  /// exactly `user_embeddings->rows()` source users.
+  CopyAttack(const data::CrossDomainDataset* dataset,
+             const cluster::HierarchicalTree* tree,
+             const math::Matrix* user_embeddings,
+             const math::Matrix* item_embeddings,
+             const CopyAttackConfig& config, std::uint64_t seed);
+
+  std::string name() const override;
+  void BeginTargetItem(data::ItemId target_item) override;
+  double RunEpisode(AttackEnvironment& env, util::Rng& rng) override;
+
+  /// In evaluation mode the agent acts greedily and freezes its policies.
+  void SetEvalMode(bool eval_mode) override { eval_mode_ = eval_mode; }
+
+  /// Users selectable for the current target item under the agent's
+  /// masking setting (exposed for tests and the random seeding action).
+  const std::vector<data::UserId>& candidates() const { return candidates_; }
+
+  /// The item selection/crafting anchors on (== the target item unless
+  /// proxy mode engaged; exposed for tests).
+  data::ItemId anchor_item() const { return anchor_item_; }
+
+  /// Persists both policies' parameters to `path` (binary). Returns false
+  /// on I/O failure. Useful to keep a per-target-item agent across
+  /// sessions or to transfer a trained attack between processes.
+  bool SaveCheckpoint(const std::string& path);
+
+  /// Restores parameters written by `SaveCheckpoint`. The agent must have
+  /// been constructed with the same tree and configuration. Returns false
+  /// on I/O failure or architecture mismatch.
+  bool LoadCheckpoint(const std::string& path);
+
+ private:
+  /// One trajectory step: the (optional) selection decision, the
+  /// (optional) crafting decision, and the observed reward.
+  struct TrajectoryStep {
+    std::optional<SelectionStepRecord> selection;
+    std::optional<CraftStepRecord> crafting;
+    double reward = 0.0;
+  };
+
+  /// Uniform-random seed action a_0 over the remaining candidates
+  /// (paper §4.3.3); returns kNoUser when exhausted.
+  data::UserId SampleSeedUser(util::Rng& rng);
+
+  /// Builds the profile to inject for `user` (crafted or raw).
+  data::Profile BuildProfile(data::UserId user, util::Rng& rng,
+                             TrajectoryStep* step);
+
+  /// Episode-end REINFORCE update of both policies.
+  void UpdatePolicies(const std::vector<TrajectoryStep>& trajectory);
+
+  const data::CrossDomainDataset* dataset_;
+  const cluster::HierarchicalTree* tree_;
+  CopyAttackConfig config_;
+
+  std::unique_ptr<HierarchicalSelectionPolicy> selection_;
+  std::unique_ptr<CraftingPolicy> crafting_;
+  nn::MovingBaseline baseline_;
+
+  data::ItemId target_item_ = data::kNoItem;
+  /// Item the selection mask and crafting window anchor on; equals
+  /// `target_item_` unless proxy mode engaged.
+  data::ItemId anchor_item_ = data::kNoItem;
+  std::vector<data::UserId> candidates_;
+  std::unordered_set<data::UserId> selected_this_episode_;
+  bool eval_mode_ = false;
+};
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_COPY_ATTACK_H_

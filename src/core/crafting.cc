@@ -1,0 +1,43 @@
+#include "core/crafting.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace copyattack::core {
+
+std::size_t CraftWindowLength(std::size_t profile_len, double fraction) {
+  CA_CHECK_GT(profile_len, 0U);
+  CA_CHECK_GT(fraction, 0.0);
+  const std::size_t length = static_cast<std::size_t>(
+      static_cast<double>(profile_len) * fraction + 0.5);
+  return std::min(profile_len, std::max<std::size_t>(1, length));
+}
+
+data::Profile ClipProfileAroundTarget(const data::Profile& profile,
+                                      data::ItemId target_item,
+                                      double fraction) {
+  CA_CHECK(!profile.empty());
+  const std::size_t n = profile.size();
+  const std::size_t window = CraftWindowLength(n, fraction);
+
+  // Position of the target item (middle of the profile if absent).
+  std::size_t center = n / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (profile[i] == target_item) {
+      center = i;
+      break;
+    }
+  }
+
+  // Symmetric window around `center`, shifted to stay within bounds.
+  std::size_t begin = center >= (window - 1) / 2 ? center - (window - 1) / 2
+                                                 : 0;
+  if (begin + window > n) {
+    begin = n - window;
+  }
+  return data::Profile(profile.begin() + begin,
+                       profile.begin() + begin + window);
+}
+
+}  // namespace copyattack::core

@@ -1,0 +1,36 @@
+#ifndef COPYATTACK_CORE_CRAFTING_H_
+#define COPYATTACK_CORE_CRAFTING_H_
+
+#include <array>
+#include <cstddef>
+
+#include "data/types.h"
+
+namespace copyattack::core {
+
+/// The discretized clip-ratio action space W of the crafting policy
+/// (paper §4.4): keep 10%, 20%, ..., 100% of the raw profile.
+inline constexpr std::array<double, 10> kCraftLevels = {
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+/// Number of crafting actions.
+inline constexpr std::size_t kNumCraftLevels = kCraftLevels.size();
+
+/// Clips `profile` to a window of about `fraction * profile.size()` items
+/// centered on the first occurrence of `target_item`, preserving the
+/// sequential order (paper §4.4's clipping operation — the window keeps the
+/// forward and backward related items around the target). The result always
+/// contains the target item and at least one item. If the target item is
+/// not present, the window is centered on the middle of the profile.
+data::Profile ClipProfileAroundTarget(const data::Profile& profile,
+                                      data::ItemId target_item,
+                                      double fraction);
+
+/// Window length that `ClipProfileAroundTarget` keeps for a profile of
+/// `profile_len` items at `fraction` (rounded to nearest, at least 1,
+/// at most `profile_len`).
+std::size_t CraftWindowLength(std::size_t profile_len, double fraction);
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_CRAFTING_H_

@@ -1,0 +1,186 @@
+#include "core/environment.h"
+
+#include <algorithm>
+
+#include "math/metrics.h"
+
+#include "util/check.h"
+
+namespace copyattack::core {
+
+AttackEnvironment::AttackEnvironment(const data::CrossDomainDataset& dataset,
+                                     const data::Dataset& target_train,
+                                     rec::Recommender* model,
+                                     const EnvConfig& config)
+    : dataset_(dataset),
+      target_train_(target_train),
+      model_(model),
+      config_(config),
+      rng_(config.seed),
+      refit_rng_(config.seed ^ 0xA5A5A5A5ULL) {
+  CA_CHECK(model != nullptr);
+  CA_CHECK_GT(config.budget, 0U);
+  CA_CHECK_GT(config.query_interval, 0U);
+  CA_CHECK_GT(config.num_pretend_users, 0U);
+  GeneratePretendProfiles();
+}
+
+void AttackEnvironment::GeneratePretendProfiles() {
+  // Pretend users mimic real accounts: each copies a random 50-80%
+  // contiguous subsequence of a random real user's profile. They exist
+  // solely so the attacker can observe Top-k lists (paper §4.2).
+  pretend_profiles_.reserve(config_.num_pretend_users);
+  for (std::size_t i = 0; i < config_.num_pretend_users; ++i) {
+    const data::UserId donor = static_cast<data::UserId>(
+        rng_.UniformUint64(target_train_.num_users()));
+    const data::Profile& profile = target_train_.UserProfile(donor);
+    if (profile.empty()) {
+      pretend_profiles_.push_back({});
+      continue;
+    }
+    const double keep = rng_.UniformDouble(0.5, 0.8);
+    const std::size_t length = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(profile.size()) * keep + 0.5));
+    const std::size_t begin = static_cast<std::size_t>(
+        rng_.UniformUint64(profile.size() - length + 1));
+    pretend_profiles_.emplace_back(profile.begin() + begin,
+                                   profile.begin() + begin + length);
+  }
+}
+
+void AttackEnvironment::Reset(data::ItemId target_item) {
+  CA_CHECK_LT(target_item, target_train_.num_items());
+  target_item_ = target_item;
+  steps_ = 0;
+  episode_query_rounds_ = 0;
+  done_ = false;
+
+  // Fresh polluted copy: training data + pretend users, no injections.
+  polluted_ = std::make_unique<data::Dataset>(target_train_);
+  pretend_user_ids_.clear();
+  for (const data::Profile& profile : pretend_profiles_) {
+    // A pretend user must not already hold the target item, otherwise it
+    // cannot witness the promotion.
+    data::Profile cleaned;
+    cleaned.reserve(profile.size());
+    for (const data::ItemId item : profile) {
+      if (item != target_item) cleaned.push_back(item);
+    }
+    pretend_user_ids_.push_back(polluted_->AddUser(std::move(cleaned)));
+  }
+  model_->BeginServing(*polluted_);
+  black_box_ =
+      std::make_unique<rec::BlackBoxRecommender>(model_, polluted_.get());
+
+  // Fixed query candidates per pretend user for this target item.
+  query_negatives_.clear();
+  util::Rng candidate_rng(config_.seed ^
+                          (0x9E3779B97F4A7C15ULL * (target_item + 1)));
+  for (const data::UserId user : pretend_user_ids_) {
+    query_negatives_.push_back(rec::SampleNegatives(
+        *polluted_, user, target_item, config_.query_candidates,
+        candidate_rng));
+  }
+}
+
+double AttackEnvironment::QueryReward() {
+  const double hit_ratio = RawHitRatio();
+  return config_.goal == AttackGoal::kDemote ? 1.0 - hit_ratio : hit_ratio;
+}
+
+double AttackEnvironment::RawHitRatio() {
+  CA_CHECK(black_box_ != nullptr) << "Reset must be called first";
+  if (config_.refit_on_query) {
+    for (std::size_t e = 0; e < config_.refit_epochs; ++e) {
+      model_->TrainEpoch(*polluted_, refit_rng_);
+    }
+    model_->BeginServing(*polluted_);
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < pretend_user_ids_.size(); ++i) {
+    std::vector<data::ItemId> candidates;
+    candidates.reserve(query_negatives_[i].size() + 1);
+    candidates.push_back(target_item_);
+    candidates.insert(candidates.end(), query_negatives_[i].begin(),
+                      query_negatives_[i].end());
+    const std::vector<data::ItemId> top = black_box_->QueryTopK(
+        pretend_user_ids_[i], candidates, config_.reward_k);
+    const auto it = std::find(top.begin(), top.end(), target_item_);
+    if (it == top.end()) continue;
+    if (config_.reward_metric == RewardMetric::kNdcg) {
+      const std::size_t rank =
+          static_cast<std::size_t>(it - top.begin());
+      total += math::NdcgAtK(rank, config_.reward_k);
+    } else {
+      total += 1.0;
+    }
+  }
+  ++lifetime_queries_;  // one query round
+  return total / static_cast<double>(pretend_user_ids_.size());
+}
+
+AttackEnvironment::StepResult AttackEnvironment::Step(
+    data::Profile crafted_profile) {
+  CA_CHECK(!done_) << "Step on a finished episode";
+  CA_CHECK(black_box_ != nullptr) << "Reset must be called first";
+  CA_CHECK(!crafted_profile.empty());
+
+  black_box_->InjectUser(std::move(crafted_profile));
+  ++steps_;
+
+  StepResult result;
+  const bool budget_exhausted = steps_ >= config_.budget;
+  if (steps_ % config_.query_interval == 0 || budget_exhausted) {
+    result.queried = true;
+    result.reward = QueryReward();
+    ++episode_query_rounds_;
+    if (result.reward >= config_.success_reward) {
+      done_ = true;
+    }
+    if (config_.max_query_rounds > 0 &&
+        episode_query_rounds_ >= config_.max_query_rounds) {
+      done_ = true;  // the attacker's query budget is spent
+    }
+  }
+  if (budget_exhausted) {
+    done_ = true;
+  }
+  result.done = done_;
+  return result;
+}
+
+rec::BlackBoxRecommender& AttackEnvironment::black_box() {
+  CA_CHECK(black_box_ != nullptr);
+  return *black_box_;
+}
+
+const rec::BlackBoxRecommender& AttackEnvironment::black_box() const {
+  CA_CHECK(black_box_ != nullptr);
+  return *black_box_;
+}
+
+rec::MetricsByK AttackEnvironment::EvaluateRealPromotion(
+    const std::vector<std::size_t>& ks, std::size_t num_users,
+    std::size_t num_negatives) const {
+  CA_CHECK(polluted_ != nullptr);
+  // Sample real target-domain users (ids below the training user count, so
+  // pretend and injected users are excluded). Deterministic in the target
+  // item so every method sees the same evaluation users.
+  util::Rng eval_rng(config_.seed ^ (0xD1B54A32D192ED03ULL *
+                                     (target_item_ + 1)));
+  const std::size_t population = target_train_.num_users();
+  std::vector<data::UserId> users;
+  if (num_users >= population) {
+    for (data::UserId u = 0; u < population; ++u) users.push_back(u);
+  } else {
+    for (const std::size_t u :
+         eval_rng.SampleWithoutReplacement(population, num_users)) {
+      users.push_back(static_cast<data::UserId>(u));
+    }
+  }
+  return rec::EvaluatePromotion(*model_, target_train_, target_item_, users,
+                                ks, num_negatives, eval_rng);
+}
+
+}  // namespace copyattack::core

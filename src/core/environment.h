@@ -1,0 +1,162 @@
+#ifndef COPYATTACK_CORE_ENVIRONMENT_H_
+#define COPYATTACK_CORE_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/cross_domain.h"
+#include "data/dataset.h"
+#include "rec/black_box.h"
+#include "rec/evaluator.h"
+#include "rec/recommender.h"
+#include "util/rng.h"
+
+namespace copyattack::core {
+
+/// Direction of the attack (paper §4.2: "promotion or demotion"; the
+/// paper evaluates promotion and leaves demotion as future work — this
+/// implementation supports both).
+enum class AttackGoal {
+  /// Maximize the target item's hit ratio over the pretend users.
+  kPromote,
+  /// Minimize it: reward = 1 - HR@k, useful against popular items.
+  kDemote,
+};
+
+/// Ranking measure behind the reward ("this type of reward function based
+/// on ranking evaluation is quite general", paper §4.2).
+enum class RewardMetric {
+  kHitRatio,  ///< Eq. (1): HR@k over the pretend users
+  kNdcg,      ///< NDCG@k over the pretend users
+};
+
+/// Parameters of the black-box attacking environment (paper §4.2, §5.1.3).
+struct EnvConfig {
+  /// Attack direction.
+  AttackGoal goal = AttackGoal::kPromote;
+  /// Ranking measure aggregated over the pretend users.
+  RewardMetric reward_metric = RewardMetric::kHitRatio;
+  /// Budget Δ: maximum number of profiles to copy per episode.
+  std::size_t budget = 30;
+  /// Queries are performed after every `query_interval` injections.
+  std::size_t query_interval = 3;
+  /// Number of pretend users |U_A*| the attacker planted in A.
+  std::size_t num_pretend_users = 50;
+  /// Cutoff k of the HR@k reward (Eq. 1).
+  std::size_t reward_k = 20;
+  /// Candidate-list size per pretend-user query (the target item plus this
+  /// many sampled unseen items, matching the paper's ranking protocol).
+  std::size_t query_candidates = 100;
+  /// Episode ends early once the reward reaches this value ("fewer user
+  /// profiles are enough to satisfy the promotion task").
+  double success_reward = 0.999;
+  /// Optional cap on query rounds per episode (0 = unlimited). The paper
+  /// motivates the whole design with "limited resources (i.e., number of
+  /// queries allowed to the target recommender system)"; with a cap, the
+  /// episode ends once the attacker has spent its query budget.
+  std::size_t max_query_rounds = 0;
+  /// When true the platform additionally fine-tunes the model on the
+  /// polluted data at each query round (models a periodically retrained
+  /// transductive target such as plain MF).
+  bool refit_on_query = false;
+  std::size_t refit_epochs = 1;
+  /// Seed for pretend-user generation and query candidate sampling.
+  std::uint64_t seed = 1234;
+};
+
+/// The MDP the attacker interacts with (paper §4.2): states are the
+/// injected profiles so far, an action injects one crafted profile, the
+/// reward is HR@k of the target item over the attacker's pretend users,
+/// and the episode terminates at the budget or on success.
+///
+/// The environment owns a polluted copy of the target-domain training data
+/// plus the attacker's pretend users; `Reset` discards all injected
+/// profiles (a fresh episode) while keeping the pretend users and their
+/// fixed query candidate lists so rewards are comparable across episodes.
+class AttackEnvironment {
+ public:
+  /// `dataset` is the full cross-domain pair (borrowed; used for sampling
+  /// pretend users and final evaluation filtering). `target_train` is the
+  /// training split the model was fitted on. `model` must be fitted; the
+  /// environment calls `BeginServing` on every reset.
+  AttackEnvironment(const data::CrossDomainDataset& dataset,
+                    const data::Dataset& target_train,
+                    rec::Recommender* model, const EnvConfig& config);
+
+  /// Starts a fresh episode targeting `target_item`.
+  void Reset(data::ItemId target_item);
+
+  /// Result of one environment step.
+  struct StepResult {
+    double reward = 0.0;  ///< HR@k over pretend users; 0 on non-query steps
+    bool queried = false; ///< whether this step triggered a query round
+    bool done = false;    ///< episode finished (budget or success)
+  };
+
+  /// Injects one crafted profile (the action a_t). Must not be called on a
+  /// finished episode.
+  StepResult Step(data::Profile crafted_profile);
+
+  /// Performs a query round immediately and returns the goal-adjusted
+  /// reward: HR@k for promotion, 1 - HR@k for demotion.
+  double QueryReward();
+
+  /// Raw ranking measure (HR@k or NDCG@k per `reward_metric`) of the
+  /// target item over the pretend users at this instant (one query round;
+  /// counts toward the query meter).
+  double RawHitRatio();
+
+  bool done() const { return done_; }
+  data::ItemId target_item() const { return target_item_; }
+  std::size_t steps_taken() const { return steps_; }
+  const EnvConfig& config() const { return config_; }
+
+  /// The black-box interface (valid after the first `Reset`).
+  rec::BlackBoxRecommender& black_box();
+  const rec::BlackBoxRecommender& black_box() const;
+
+  /// Total Top-k queries issued across all episodes since construction.
+  std::size_t lifetime_queries() const { return lifetime_queries_; }
+
+  /// Final-state promotion metrics over a sample of *real* target-domain
+  /// users (the quantity Table 2 reports; pretend users are excluded).
+  rec::MetricsByK EvaluateRealPromotion(const std::vector<std::size_t>& ks,
+                                        std::size_t num_users,
+                                        std::size_t num_negatives) const;
+
+  /// Ids of the pretend users within the polluted dataset.
+  const std::vector<data::UserId>& pretend_users() const {
+    return pretend_user_ids_;
+  }
+
+ private:
+  /// Builds the pretend users' profiles (subsequences of random real
+  /// profiles — plausible accounts the attacker registered beforehand).
+  void GeneratePretendProfiles();
+
+  const data::CrossDomainDataset& dataset_;
+  const data::Dataset& target_train_;
+  rec::Recommender* model_;
+  EnvConfig config_;
+  util::Rng rng_;
+
+  std::vector<data::Profile> pretend_profiles_;
+  std::vector<data::UserId> pretend_user_ids_;
+  /// Fixed per-pretend-user negative candidates for the current target item.
+  std::vector<std::vector<data::ItemId>> query_negatives_;
+
+  std::unique_ptr<data::Dataset> polluted_;
+  std::unique_ptr<rec::BlackBoxRecommender> black_box_;
+
+  data::ItemId target_item_ = data::kNoItem;
+  std::size_t steps_ = 0;
+  std::size_t episode_query_rounds_ = 0;
+  bool done_ = true;
+  std::size_t lifetime_queries_ = 0;
+  util::Rng refit_rng_;
+};
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_ENVIRONMENT_H_

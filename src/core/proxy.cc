@@ -1,0 +1,61 @@
+#include "core/proxy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace copyattack::core {
+
+data::ItemId FindProxyItem(const data::CrossDomainDataset& dataset,
+                           const data::Dataset& reference,
+                           data::ItemId target_item) {
+  CA_CHECK_LT(target_item, reference.num_items());
+  const auto& target_users = reference.ItemProfile(target_item);
+  if (target_users.empty()) return data::kNoItem;
+
+  // Co-occurrence counts with every other item through the target's users.
+  std::unordered_map<data::ItemId, std::size_t> co_occurrence;
+  for (const data::UserId user : target_users) {
+    for (const data::ItemId item : reference.UserProfile(user)) {
+      if (item != target_item) ++co_occurrence[item];
+    }
+  }
+
+  data::ItemId best = data::kNoItem;
+  double best_jaccard = 0.0;
+  for (const auto& [item, shared] : co_occurrence) {
+    if (!dataset.overlap[item]) continue;
+    if (dataset.SourceHolders(item).empty()) continue;
+    const std::size_t union_size = target_users.size() +
+                                   reference.ItemPopularity(item) - shared;
+    const double jaccard =
+        union_size == 0
+            ? 0.0
+            : static_cast<double>(shared) / static_cast<double>(union_size);
+    if (jaccard > best_jaccard ||
+        (jaccard == best_jaccard && best != data::kNoItem && item < best)) {
+      best_jaccard = jaccard;
+      best = item;
+    }
+  }
+  return best;
+}
+
+data::Profile SpliceTargetIntoProfile(data::Profile window,
+                                      data::ItemId anchor_item,
+                                      data::ItemId target_item) {
+  if (std::find(window.begin(), window.end(), target_item) != window.end()) {
+    return window;
+  }
+  auto anchor_it =
+      std::find(window.begin(), window.end(), anchor_item);
+  if (anchor_it == window.end()) {
+    window.push_back(target_item);
+  } else {
+    window.insert(anchor_it + 1, target_item);
+  }
+  return window;
+}
+
+}  // namespace copyattack::core

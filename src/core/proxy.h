@@ -1,0 +1,37 @@
+#ifndef COPYATTACK_CORE_PROXY_H_
+#define COPYATTACK_CORE_PROXY_H_
+
+#include "data/cross_domain.h"
+#include "data/dataset.h"
+#include "data/types.h"
+
+namespace copyattack::core {
+
+/// Extension of the paper's future-work direction: attacking a target item
+/// that does *not* exist in the source domain. Since no source profile can
+/// contain such an item, CopyAttack anchors on a **proxy item** — the
+/// overlapping item most similar to the target — selects and crafts
+/// profiles around the proxy, and splices the target item into the crafted
+/// window next to the proxy (so the injected sequence still reads like a
+/// coherent session).
+///
+/// Similarity is target-domain co-occurrence Jaccard:
+///   J(a, b) = |P_a ∩ P_b| / |P_a ∪ P_b|
+/// over the item profiles (user sets) of `reference`. Returns kNoItem when
+/// the target has no co-occurring overlapping item with a source holder;
+/// callers should then fall back to the most popular attackable overlap
+/// item.
+data::ItemId FindProxyItem(const data::CrossDomainDataset& dataset,
+                           const data::Dataset& reference,
+                           data::ItemId target_item);
+
+/// Inserts `target_item` into `window` immediately after the first
+/// occurrence of `anchor_item` (or appends if the anchor is absent). If the
+/// window already contains the target, it is returned unchanged.
+data::Profile SpliceTargetIntoProfile(data::Profile window,
+                                      data::ItemId anchor_item,
+                                      data::ItemId target_item);
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_PROXY_H_

@@ -1,0 +1,213 @@
+#include "core/runner.h"
+
+#include <mutex>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
+
+namespace copyattack::core {
+
+SourceArtifacts PrepareSourceArtifacts(
+    const data::CrossDomainDataset& dataset,
+    const SourceArtifactOptions& options) {
+  util::Rng rng(options.seed);
+  rec::MfConfig mf_config;
+  mf_config.embedding_dim = options.embedding_dim;
+  rec::MatrixFactorization mf(mf_config);
+  mf.Fit(dataset.source, options.mf_epochs, rng);
+
+  util::Rng tree_rng(options.seed ^ 0x1234567ULL);
+  cluster::HierarchicalTree tree = cluster::HierarchicalTree::BuildWithDepth(
+      mf.user_embeddings(), options.tree_depth, tree_rng);
+  CA_LOG(Info) << "source artifacts: " << dataset.source.num_users()
+               << " users, tree depth " << tree.depth() << ", branching "
+               << tree.branching() << ", " << tree.num_internal_nodes()
+               << " policy nodes";
+  return SourceArtifacts{std::move(mf), std::move(tree)};
+}
+
+namespace {
+
+/// Per-target-item outcome, merged into the campaign aggregate.
+struct ItemOutcome {
+  rec::MetricsByK metrics;
+  double items_per_profile = 0.0;
+  double profiles_injected = 0.0;
+  double query_rounds = 0.0;
+  double final_reward = 0.0;
+};
+
+void MergeOutcomes(const std::vector<ItemOutcome>& outcomes,
+                   const std::vector<std::size_t>& ks,
+                   CampaignResult* result) {
+  result->num_target_items = outcomes.size();
+  for (const std::size_t k : ks) result->metrics[k] = rec::TopKMetrics();
+  if (outcomes.empty()) return;
+  for (const ItemOutcome& outcome : outcomes) {
+    for (const std::size_t k : ks) {
+      const auto it = outcome.metrics.find(k);
+      if (it != outcome.metrics.end()) {
+        result->metrics[k].hr += it->second.hr;
+        result->metrics[k].ndcg += it->second.ndcg;
+        ++result->metrics[k].count;
+      }
+    }
+    result->avg_items_per_profile += outcome.items_per_profile;
+    result->avg_profiles_injected += outcome.profiles_injected;
+    result->avg_query_rounds += outcome.query_rounds;
+    result->avg_final_reward += outcome.final_reward;
+  }
+  const double n = static_cast<double>(outcomes.size());
+  for (const std::size_t k : ks) {
+    if (result->metrics[k].count > 0) {
+      result->metrics[k].hr /=
+          static_cast<double>(result->metrics[k].count);
+      result->metrics[k].ndcg /=
+          static_cast<double>(result->metrics[k].count);
+    }
+  }
+  result->avg_items_per_profile /= n;
+  result->avg_profiles_injected /= n;
+  result->avg_query_rounds /= n;
+  result->avg_final_reward /= n;
+}
+
+}  // namespace
+
+CampaignResult EvaluateWithoutAttack(
+    const data::CrossDomainDataset& dataset,
+    const data::Dataset& target_train, const ModelFactory& model_factory,
+    const std::vector<data::ItemId>& targets,
+    const CampaignConfig& config) {
+  util::Stopwatch watch;
+  CampaignResult result;
+  result.method = "WithoutAttack";
+
+  std::vector<ItemOutcome> outcomes(targets.size());
+  std::mutex mutex;
+  util::ThreadPool::ParallelFor(
+      targets.size(), config.num_threads, [&](std::size_t index) {
+        const data::ItemId item = targets[index];
+        std::unique_ptr<rec::Recommender> model = model_factory();
+        EnvConfig env_config = config.env;
+        env_config.seed = config.seed + 1000003ULL * index;
+        AttackEnvironment env(dataset, target_train, model.get(),
+                              env_config);
+        env.Reset(item);  // pretend users added, no injections
+        ItemOutcome outcome;
+        outcome.metrics = env.EvaluateRealPromotion(
+            config.eval_ks, config.eval_users, config.eval_negatives);
+        std::lock_guard<std::mutex> lock(mutex);
+        outcomes[index] = std::move(outcome);
+      });
+
+  MergeOutcomes(outcomes, config.eval_ks, &result);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
+                           const data::Dataset& target_train,
+                           const ModelFactory& model_factory,
+                           const StrategyFactory& strategy_factory,
+                           const std::vector<data::ItemId>& targets,
+                           const CampaignConfig& config) {
+  CA_CHECK_GT(config.episodes, 0U);
+  util::Stopwatch watch;
+  CampaignResult result;
+
+  std::vector<ItemOutcome> outcomes(targets.size());
+  std::string method_name;
+  std::mutex mutex;
+
+  util::ThreadPool::ParallelFor(
+      targets.size(), config.num_threads, [&](std::size_t index) {
+        const data::ItemId item = targets[index];
+        const std::uint64_t item_seed = config.seed + 1000003ULL * index;
+        std::unique_ptr<rec::Recommender> model = model_factory();
+        std::unique_ptr<AttackStrategy> strategy =
+            strategy_factory(item_seed);
+
+        EnvConfig env_config = config.env;
+        env_config.seed = item_seed;
+        AttackEnvironment env(dataset, target_train, model.get(),
+                              env_config);
+
+        strategy->BeginTargetItem(item);
+        util::Rng episode_rng(item_seed ^ 0xBEEFCAFEULL);
+        double final_reward = 0.0;
+        for (std::size_t episode = 0; episode < config.episodes;
+             ++episode) {
+          // The last episode is played greedily (evaluation mode); its
+          // polluted state is what the promotion metrics measure.
+          if (episode + 1 == config.episodes) {
+            strategy->SetEvalMode(true);
+          }
+          env.Reset(item);
+          final_reward = strategy->RunEpisode(env, episode_rng);
+        }
+
+        ItemOutcome outcome;
+        outcome.final_reward = final_reward;
+        const rec::BlackBoxRecommender& bb = env.black_box();
+        outcome.profiles_injected =
+            static_cast<double>(bb.injected_profiles());
+        outcome.items_per_profile =
+            bb.injected_profiles() > 0
+                ? static_cast<double>(bb.injected_interactions()) /
+                      static_cast<double>(bb.injected_profiles())
+                : 0.0;
+        outcome.query_rounds = static_cast<double>(env.lifetime_queries());
+        outcome.metrics = env.EvaluateRealPromotion(
+            config.eval_ks, config.eval_users, config.eval_negatives);
+
+        std::lock_guard<std::mutex> lock(mutex);
+        outcomes[index] = std::move(outcome);
+        if (method_name.empty()) method_name = strategy->name();
+      });
+
+  result.method = method_name;
+  MergeOutcomes(outcomes, config.eval_ks, &result);
+  result.wall_seconds = watch.ElapsedSeconds();
+  CA_LOG(Info) << result.method << ": "
+               << util::FormatDouble(result.wall_seconds, 1) << "s over "
+               << targets.size() << " target items";
+  return result;
+}
+
+std::string CampaignRowHeader() {
+  std::ostringstream out;
+  out << "Method              HR@20   HR@10   HR@5    NDCG@20 NDCG@10 "
+         "NDCG@5  Items/Prof  Wall(s)";
+  return out.str();
+}
+
+std::string FormatCampaignRow(const CampaignResult& result) {
+  std::ostringstream out;
+  out << result.method;
+  for (std::size_t i = result.method.size(); i < 20; ++i) out << ' ';
+  const std::size_t ks[] = {20, 10, 5};
+  for (const std::size_t k : ks) {
+    const auto it = result.metrics.find(k);
+    out << util::FormatDouble(it != result.metrics.end() ? it->second.hr
+                                                         : 0.0,
+                              4)
+        << "  ";
+  }
+  for (const std::size_t k : ks) {
+    const auto it = result.metrics.find(k);
+    out << util::FormatDouble(it != result.metrics.end() ? it->second.ndcg
+                                                         : 0.0,
+                              4)
+        << "  ";
+  }
+  out << util::FormatDouble(result.avg_items_per_profile, 1) << "        ";
+  out << util::FormatDouble(result.wall_seconds, 1);
+  return out.str();
+}
+
+}  // namespace copyattack::core

@@ -1,0 +1,103 @@
+#ifndef COPYATTACK_CORE_RUNNER_H_
+#define COPYATTACK_CORE_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchical_tree.h"
+#include "core/attack_strategy.h"
+#include "core/environment.h"
+#include "data/cross_domain.h"
+#include "data/split.h"
+#include "rec/evaluator.h"
+#include "rec/matrix_factorization.h"
+#include "rec/recommender.h"
+
+namespace copyattack::core {
+
+/// Shared per-dataset artifacts every attacking method builds on: the
+/// pre-trained source-domain MF embeddings and the balanced hierarchical
+/// clustering tree over the source users (paper §4.3.1).
+struct SourceArtifacts {
+  rec::MatrixFactorization mf;
+  cluster::HierarchicalTree tree;
+};
+
+/// Options for preparing the source artifacts.
+struct SourceArtifactOptions {
+  std::size_t embedding_dim = 8;
+  std::size_t mf_epochs = 20;
+  std::size_t tree_depth = 3;   ///< paper: 3 layers (Flixster), 6 (Netflix)
+  std::uint64_t seed = 21;
+};
+
+/// Trains source-domain MF and builds the clustering tree.
+SourceArtifacts PrepareSourceArtifacts(const data::CrossDomainDataset& dataset,
+                                       const SourceArtifactOptions& options);
+
+/// Creates a fresh fitted target-model clone for one attack campaign
+/// (each campaign pollutes its own copy's serving state, so campaigns can
+/// run in parallel).
+using ModelFactory = std::function<std::unique_ptr<rec::Recommender>()>;
+
+/// Creates a fresh strategy for one target item. `seed` deterministically
+/// varies per item.
+using StrategyFactory =
+    std::function<std::unique_ptr<AttackStrategy>(std::uint64_t seed)>;
+
+/// Parameters of one attack campaign (one method, many target items).
+struct CampaignConfig {
+  EnvConfig env;
+  /// Training episodes per target item (1 for non-learning baselines).
+  std::size_t episodes = 12;
+  /// Cutoffs reported (paper: 20, 10, 5).
+  std::vector<std::size_t> eval_ks = {20, 10, 5};
+  /// Real target-domain users sampled for the final promotion metrics.
+  std::size_t eval_users = 300;
+  std::size_t eval_negatives = 100;
+  std::uint64_t seed = 77;
+  /// Worker threads across target items (1 = sequential).
+  std::size_t num_threads = 1;
+};
+
+/// Aggregated outcome of a campaign, i.e. one row of Table 2.
+struct CampaignResult {
+  std::string method;
+  rec::MetricsByK metrics;            ///< averaged over target items
+  double avg_items_per_profile = 0.0; ///< item budget per injected profile
+  double avg_profiles_injected = 0.0; ///< final-episode profile count
+  double avg_query_rounds = 0.0;      ///< query rounds per target item
+  double avg_final_reward = 0.0;      ///< HR@k on pretend users, last episode
+  double wall_seconds = 0.0;
+  std::size_t num_target_items = 0;
+};
+
+/// The "Without Attack" reference row: promotion metrics of the target
+/// items under the clean model.
+CampaignResult EvaluateWithoutAttack(const data::CrossDomainDataset& dataset,
+                                     const data::Dataset& target_train,
+                                     const ModelFactory& model_factory,
+                                     const std::vector<data::ItemId>& targets,
+                                     const CampaignConfig& config);
+
+/// Runs one method over all `targets`: per item, `episodes` episodes of
+/// attack, then final promotion metrics over real users on the last
+/// episode's polluted state. Aggregates into a Table-2 row.
+CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
+                           const data::Dataset& target_train,
+                           const ModelFactory& model_factory,
+                           const StrategyFactory& strategy_factory,
+                           const std::vector<data::ItemId>& targets,
+                           const CampaignConfig& config);
+
+/// Formats a campaign result as a Table-2 style row.
+std::string FormatCampaignRow(const CampaignResult& result);
+
+/// Header line matching `FormatCampaignRow`.
+std::string CampaignRowHeader();
+
+}  // namespace copyattack::core
+
+#endif  // COPYATTACK_CORE_RUNNER_H_

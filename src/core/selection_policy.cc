@@ -1,0 +1,254 @@
+#include "core/selection_policy.h"
+
+#include <limits>
+
+#include "math/sampling.h"
+#include "math/vector_ops.h"
+#include "nn/optimizer.h"
+#include "nn/reinforce.h"
+#include "util/check.h"
+
+namespace copyattack::core {
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+HierarchicalSelectionPolicy::HierarchicalSelectionPolicy(
+    const cluster::HierarchicalTree* tree,
+    const math::Matrix* user_embeddings, const math::Matrix* item_embeddings,
+    const Config& config, util::Rng& rng)
+    : tree_(tree),
+      user_embeddings_(user_embeddings),
+      item_embeddings_(item_embeddings),
+      config_(config) {
+  CA_CHECK(tree != nullptr);
+  CA_CHECK(user_embeddings != nullptr);
+  CA_CHECK(item_embeddings != nullptr);
+  CA_CHECK_EQ(user_embeddings->rows(), tree->num_leaves());
+
+  const std::size_t embed_dim = item_embeddings->cols();
+  state_dim_ = embed_dim + config.rnn_hidden_dim;
+  if (config.encoder == SequenceEncoderType::kGru) {
+    gru_ = std::make_unique<nn::GruEncoder>(
+        "selection/gru", user_embeddings->cols(), config.rnn_hidden_dim,
+        rng, config.init_stddev);
+  } else {
+    rnn_ = std::make_unique<nn::RnnEncoder>(
+        "selection/rnn", user_embeddings->cols(), config.rnn_hidden_dim,
+        rng, config.init_stddev);
+  }
+
+  // One policy MLP per internal node, output arity = its child count.
+  node_to_mlp_.assign(tree->num_nodes(), kNpos);
+  for (std::size_t id = 0; id < tree->num_nodes(); ++id) {
+    const auto& node = tree->node(id);
+    if (node.children.empty()) continue;
+    node_to_mlp_[id] = mlps_.size();
+    mlps_.push_back(std::make_unique<nn::Mlp>(
+        "selection/node" + std::to_string(id),
+        std::vector<std::size_t>{state_dim_, config.mlp_hidden_dim,
+                                 node.children.size()},
+        rng, nn::Activation::kRelu, config.init_stddev));
+  }
+}
+
+void HierarchicalSelectionPolicy::SetTargetItem(
+    data::ItemId item, std::vector<bool> static_mask) {
+  CA_CHECK_EQ(static_mask.size(), tree_->num_nodes());
+  target_item_ = item;
+  static_mask_ = std::move(static_mask);
+  ResetEpisodeMask();
+}
+
+void HierarchicalSelectionPolicy::ResetEpisodeMask() {
+  mask_ = static_mask_;
+}
+
+void HierarchicalSelectionPolicy::MarkUserSelected(data::UserId user) {
+  std::size_t node = tree_->LeafOfUser(user);
+  CA_CHECK_NE(node, cluster::kNoNode);
+  mask_[node] = false;
+  // Propagate up while a node's children are all masked.
+  for (std::size_t parent = tree_->node(node).parent;
+       parent != cluster::kNoNode; parent = tree_->node(parent).parent) {
+    bool any = false;
+    for (const std::size_t child : tree_->node(parent).children) {
+      if (mask_[child]) {
+        any = true;
+        break;
+      }
+    }
+    if (any) break;
+    mask_[parent] = false;
+  }
+}
+
+bool HierarchicalSelectionPolicy::AnyAvailable() const {
+  return !mask_.empty() && mask_[tree_->root()];
+}
+
+std::size_t HierarchicalSelectionPolicy::AvailableCount() const {
+  std::size_t count = 0;
+  for (const std::size_t leaf : tree_->leaves()) {
+    if (mask_[leaf]) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<float>>
+HierarchicalSelectionPolicy::SelectedEmbeddings(
+    const std::vector<data::UserId>& selected) const {
+  std::vector<std::vector<float>> sequence;
+  sequence.reserve(selected.size());
+  const std::size_t dim = user_embeddings_->cols();
+  for (const data::UserId user : selected) {
+    const float* row = user_embeddings_->Row(user);
+    sequence.emplace_back(row, row + dim);
+  }
+  return sequence;
+}
+
+HierarchicalSelectionPolicy::EncoderRun
+HierarchicalSelectionPolicy::RunEncoder(
+    const std::vector<data::UserId>& selected) const {
+  EncoderRun run;
+  const auto sequence = SelectedEmbeddings(selected);
+  if (gru_ != nullptr) {
+    run.hidden = gru_->Forward(sequence, &run.gru_ctx);
+  } else {
+    run.hidden = rnn_->Forward(sequence, &run.rnn_ctx);
+  }
+  return run;
+}
+
+void HierarchicalSelectionPolicy::BackwardEncoder(
+    const EncoderRun& run, const std::vector<float>& dhidden) {
+  if (gru_ != nullptr) {
+    gru_->Backward(run.gru_ctx, dhidden);
+  } else {
+    rnn_->Backward(run.rnn_ctx, dhidden);
+  }
+}
+
+nn::ParameterList HierarchicalSelectionPolicy::EncoderParameters() {
+  return gru_ != nullptr ? gru_->Parameters() : rnn_->Parameters();
+}
+
+std::vector<float> HierarchicalSelectionPolicy::StateVector(
+    const std::vector<data::UserId>& selected, EncoderRun* run) const {
+  CA_CHECK_NE(target_item_, data::kNoItem);
+  const std::size_t embed_dim = item_embeddings_->cols();
+  std::vector<float> state;
+  state.reserve(state_dim_);
+  const float* q = item_embeddings_->Row(target_item_);
+  state.insert(state.end(), q, q + embed_dim);
+  *run = RunEncoder(selected);
+  state.insert(state.end(), run->hidden.begin(), run->hidden.end());
+  return state;
+}
+
+data::UserId HierarchicalSelectionPolicy::SampleUser(
+    const std::vector<data::UserId>& selected_so_far, util::Rng& rng,
+    SelectionStepRecord* record, bool greedy) {
+  CA_CHECK(record != nullptr);
+  CA_CHECK(AnyAvailable()) << "no selectable user under the current mask";
+  record->selected_prefix = selected_so_far;
+  record->path.clear();
+
+  EncoderRun run;
+  const std::vector<float> state = StateVector(selected_so_far, &run);
+
+  std::size_t node = tree_->root();
+  while (!tree_->IsLeaf(node)) {
+    const auto& children = tree_->node(node).children;
+    std::vector<bool> child_mask(children.size());
+    for (std::size_t slot = 0; slot < children.size(); ++slot) {
+      child_mask[slot] = mask_[children[slot]];
+    }
+
+    nn::MlpContext ctx;
+    std::vector<float> logits =
+        mlps_[node_to_mlp_[node]]->Forward(state, &ctx);
+    math::MaskedSoftmaxInPlace(logits, child_mask);
+    const std::size_t action = greedy ? math::ArgMax(logits)
+                                      : math::SampleCategorical(logits, rng);
+    CA_CHECK(child_mask[action]);
+
+    record->path.push_back({node, action, std::move(child_mask)});
+    node = children[action];
+  }
+  record->chosen_user =
+      static_cast<data::UserId>(tree_->node(node).leaf_user);
+  return record->chosen_user;
+}
+
+void HierarchicalSelectionPolicy::AccumulateGradients(
+    const SelectionStepRecord& record, double advantage) {
+  if (record.path.empty()) return;
+
+  EncoderRun run;
+  const std::vector<float> state =
+      StateVector(record.selected_prefix, &run);
+  const std::size_t embed_dim = item_embeddings_->cols();
+
+  std::vector<float> dhidden(config_.rnn_hidden_dim, 0.0f);
+  for (const auto& decision : record.path) {
+    const std::size_t mlp_index = node_to_mlp_[decision.node_id];
+    CA_CHECK_NE(mlp_index, kNpos);
+    nn::Mlp& mlp = *mlps_[mlp_index];
+
+    nn::MlpContext ctx;
+    std::vector<float> probs = mlp.Forward(state, &ctx);
+    math::MaskedSoftmaxInPlace(probs, decision.child_mask);
+    std::vector<float> dlogits = nn::PolicyGradientLogits(
+        probs, decision.action, advantage, decision.child_mask);
+    nn::AddEntropyBonusGrad(probs, config_.entropy_beta, decision.child_mask,
+                            dlogits);
+
+    std::vector<float> dstate;
+    mlp.Backward(ctx, dlogits, &dstate);
+    touched_mlps_.insert(mlp_index);
+    // The q_{v*} half of the state is a frozen pre-trained embedding; only
+    // the RNN half receives gradient.
+    for (std::size_t h = 0; h < config_.rnn_hidden_dim; ++h) {
+      dhidden[h] += dstate[embed_dim + h];
+    }
+  }
+  BackwardEncoder(run, dhidden);
+}
+
+void HierarchicalSelectionPolicy::ApplyUpdates(float learning_rate,
+                                               float clip_norm) {
+  nn::ParameterList params = EncoderParameters();
+  for (const std::size_t mlp_index : touched_mlps_) {
+    nn::AppendParameters(params, mlps_[mlp_index]->Parameters());
+  }
+  touched_mlps_.clear();
+  nn::Sgd optimizer(learning_rate, clip_norm);
+  optimizer.Step(params);
+}
+
+nn::ParameterList HierarchicalSelectionPolicy::AllParameters() {
+  nn::ParameterList params = EncoderParameters();
+  for (auto& mlp : mlps_) {
+    nn::AppendParameters(params, mlp->Parameters());
+  }
+  return params;
+}
+
+std::size_t HierarchicalSelectionPolicy::TotalParameterCount() {
+  std::size_t count = 0;
+  for (const auto& mlp : mlps_) {
+    for (const nn::Parameter* p : mlp->Parameters()) {
+      count += p->value.size();
+    }
+  }
+  for (const nn::Parameter* p : EncoderParameters()) {
+    count += p->value.size();
+  }
+  return count;
+}
+
+}  // namespace copyattack::core

@@ -1,0 +1,30 @@
+#include "data/cross_domain.h"
+
+namespace copyattack::data {
+
+std::size_t CrossDomainDataset::OverlapCount() const {
+  std::size_t count = 0;
+  for (const bool flag : overlap) {
+    if (flag) ++count;
+  }
+  return count;
+}
+
+std::vector<ItemId> CrossDomainDataset::OverlapItems() const {
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < overlap.size(); ++i) {
+    if (overlap[i]) items.push_back(i);
+  }
+  return items;
+}
+
+bool CrossDomainDataset::SourceRespectsOverlap() const {
+  for (UserId u = 0; u < source.num_users(); ++u) {
+    for (const ItemId item : source.UserProfile(u)) {
+      if (!overlap[item]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace copyattack::data

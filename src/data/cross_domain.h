@@ -1,0 +1,58 @@
+#ifndef COPYATTACK_DATA_CROSS_DOMAIN_H_
+#define COPYATTACK_DATA_CROSS_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/types.h"
+
+namespace copyattack::data {
+
+/// A (target domain A, source domain B) dataset pair with aligned item ids.
+///
+/// Both domains index items in one shared id space of size
+/// `target.num_items()`. Source-domain profiles only contain items flagged
+/// in `overlap` (the paper keeps only the overlapping items in the source
+/// domain after aligning by movie name, §5.1.1), so a source profile can be
+/// copied verbatim into the target domain — which is exactly the attack.
+struct CrossDomainDataset {
+  /// Human-readable dataset pair name (e.g. "SmallCross (ML10M-FX analog)").
+  std::string name;
+
+  /// Target domain A (the recommender under attack).
+  Dataset target;
+
+  /// Source domain B (profiles to copy). Shares the item id space of A but
+  /// its profiles touch only overlapping items.
+  Dataset source;
+
+  /// overlap[i] is true iff item i exists in both domains.
+  std::vector<bool> overlap;
+
+  CrossDomainDataset(std::string dataset_name, std::size_t num_items)
+      : name(std::move(dataset_name)),
+        target(num_items),
+        source(num_items),
+        overlap(num_items, false) {}
+
+  /// Number of overlapping items |V| = |V_A ∩ V_B|.
+  std::size_t OverlapCount() const;
+
+  /// Ids of all overlapping items, ascending.
+  std::vector<ItemId> OverlapItems() const;
+
+  /// True if every source interaction touches only overlapping items (the
+  /// structural invariant of this container); exposed for property tests.
+  bool SourceRespectsOverlap() const;
+
+  /// Source-domain users whose profile contains `item` (the candidates the
+  /// masking mechanism keeps for target item `item`).
+  const std::vector<UserId>& SourceHolders(ItemId item) const {
+    return source.ItemProfile(item);
+  }
+};
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_CROSS_DOMAIN_H_

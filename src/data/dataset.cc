@@ -1,0 +1,85 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace copyattack::data {
+
+Dataset::Dataset(std::size_t num_items)
+    : num_items_(num_items), item_profiles_(num_items) {
+  CA_CHECK_GT(num_items, 0U);
+}
+
+UserId Dataset::AddUser(Profile profile) {
+  const UserId user = static_cast<UserId>(profiles_.size());
+  std::vector<ItemId> sorted = profile;
+  std::sort(sorted.begin(), sorted.end());
+  CA_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      << "duplicate item in profile of user " << user;
+  for (const ItemId item : profile) {
+    CA_CHECK_LT(item, num_items_);
+    item_profiles_[item].push_back(user);
+  }
+  num_interactions_ += profile.size();
+  profiles_.push_back(std::move(profile));
+  sorted_items_.push_back(std::move(sorted));
+  return user;
+}
+
+void Dataset::AppendInteraction(UserId user, ItemId item) {
+  CA_CHECK_LT(user, profiles_.size());
+  CA_CHECK_LT(item, num_items_);
+  CA_CHECK(!HasInteraction(user, item))
+      << "user " << user << " already interacted with item " << item;
+  profiles_[user].push_back(item);
+  auto& sorted = sorted_items_[user];
+  sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), item), item);
+  item_profiles_[item].push_back(user);
+  ++num_interactions_;
+}
+
+const Profile& Dataset::UserProfile(UserId user) const {
+  CA_CHECK_LT(user, profiles_.size());
+  return profiles_[user];
+}
+
+const std::vector<UserId>& Dataset::ItemProfile(ItemId item) const {
+  CA_CHECK_LT(item, num_items_);
+  return item_profiles_[item];
+}
+
+bool Dataset::HasInteraction(UserId user, ItemId item) const {
+  CA_CHECK_LT(user, profiles_.size());
+  const auto& sorted = sorted_items_[user];
+  return std::binary_search(sorted.begin(), sorted.end(), item);
+}
+
+std::vector<Interaction> Dataset::AllInteractions() const {
+  std::vector<Interaction> interactions;
+  interactions.reserve(num_interactions_);
+  for (UserId u = 0; u < profiles_.size(); ++u) {
+    const Profile& profile = profiles_[u];
+    for (std::uint32_t pos = 0; pos < profile.size(); ++pos) {
+      interactions.push_back({u, profile[pos], pos});
+    }
+  }
+  return interactions;
+}
+
+std::vector<ItemId> Dataset::ItemsByPopularity() const {
+  std::vector<ItemId> items(num_items_);
+  for (ItemId i = 0; i < num_items_; ++i) items[i] = i;
+  std::stable_sort(items.begin(), items.end(), [this](ItemId a, ItemId b) {
+    return item_profiles_[a].size() > item_profiles_[b].size();
+  });
+  return items;
+}
+
+double Dataset::MeanProfileLength() const {
+  if (profiles_.empty()) return 0.0;
+  return static_cast<double>(num_interactions_) /
+         static_cast<double>(profiles_.size());
+}
+
+}  // namespace copyattack::data

@@ -1,0 +1,67 @@
+#ifndef COPYATTACK_DATA_DATASET_H_
+#define COPYATTACK_DATA_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/types.h"
+
+namespace copyattack::data {
+
+/// An implicit-feedback interaction dataset for one domain: every user has a
+/// temporally ordered profile of item interactions, and every item has a
+/// profile of interacting users (paper §3). The structure supports the
+/// injection attack directly: `AddUser` appends a new (copied) user and
+/// updates the item profiles, polluting the interaction matrix Y.
+class Dataset {
+ public:
+  /// Creates an empty dataset over a fixed item universe of `num_items`.
+  explicit Dataset(std::size_t num_items);
+
+  /// Appends a new user with the given ordered profile and returns its id.
+  /// Duplicate items within a profile are allowed by the representation but
+  /// rejected here (a user interacts with a movie once in the filtered
+  /// rating-5 data the paper uses).
+  UserId AddUser(Profile profile);
+
+  /// Appends one interaction to an existing user's profile.
+  void AppendInteraction(UserId user, ItemId item);
+
+  std::size_t num_users() const { return profiles_.size(); }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_interactions() const { return num_interactions_; }
+
+  /// The ordered item sequence of `user`.
+  const Profile& UserProfile(UserId user) const;
+
+  /// The users who interacted with `item`, in insertion order.
+  const std::vector<UserId>& ItemProfile(ItemId item) const;
+
+  /// Number of users who interacted with `item` (the item's popularity).
+  std::size_t ItemPopularity(ItemId item) const {
+    return ItemProfile(item).size();
+  }
+
+  /// True if `user` interacted with `item` (O(log profile) lookup).
+  bool HasInteraction(UserId user, ItemId item) const;
+
+  /// Flattens all interactions (user order, then sequence order).
+  std::vector<Interaction> AllInteractions() const;
+
+  /// Returns items sorted by descending popularity (ties by id).
+  std::vector<ItemId> ItemsByPopularity() const;
+
+  /// Average profile length over users; 0 when empty.
+  double MeanProfileLength() const;
+
+ private:
+  std::size_t num_items_;
+  std::size_t num_interactions_ = 0;
+  std::vector<Profile> profiles_;                 // ordered, per user
+  std::vector<std::vector<ItemId>> sorted_items_; // sorted copy, per user
+  std::vector<std::vector<UserId>> item_profiles_;
+};
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_DATASET_H_

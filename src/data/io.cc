@@ -1,0 +1,106 @@
+#include "data/io.h"
+
+#include <map>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+
+namespace copyattack::data {
+namespace {
+
+bool SaveDomain(const Dataset& domain, const std::string& path) {
+  util::CsvWriter writer(path, {"user", "item", "position"});
+  if (!writer.ok()) return false;
+  for (const Interaction& interaction : domain.AllInteractions()) {
+    writer.WriteRow({std::to_string(interaction.user),
+                     std::to_string(interaction.item),
+                     std::to_string(interaction.position)});
+  }
+  writer.Flush();
+  return true;
+}
+
+/// Reads `<path>` and appends its users to `domain`. Interactions must be
+/// grouped by user with ascending positions (the format SaveDomain emits).
+bool LoadDomain(const std::string& path, Dataset* domain) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  if (!util::ReadCsv(path, &header, &rows)) return false;
+  if (header != std::vector<std::string>{"user", "item", "position"}) {
+    return false;
+  }
+  std::map<std::size_t, std::map<std::size_t, std::size_t>> by_user;
+  for (const auto& row : rows) {
+    if (row.size() != 3) return false;
+    std::size_t user = 0, item = 0, position = 0;
+    if (!util::ParseSizeT(row[0], &user) ||
+        !util::ParseSizeT(row[1], &item) ||
+        !util::ParseSizeT(row[2], &position)) {
+      return false;
+    }
+    by_user[user][position] = item;
+  }
+  std::size_t expected_user = 0;
+  for (const auto& [user, positions] : by_user) {
+    if (user != expected_user++) return false;  // ids must be dense
+    Profile profile;
+    profile.reserve(positions.size());
+    std::size_t expected_pos = 0;
+    for (const auto& [position, item] : positions) {
+      if (position != expected_pos++) return false;
+      if (item >= domain->num_items()) return false;
+      profile.push_back(static_cast<ItemId>(item));
+    }
+    domain->AddUser(std::move(profile));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveCrossDomain(const CrossDomainDataset& dataset,
+                     const std::string& path_prefix) {
+  {
+    util::CsvWriter meta(path_prefix + ".meta.csv",
+                         {"name", "num_items", "overlap_bits"});
+    if (!meta.ok()) return false;
+    std::string bits(dataset.overlap.size(), '0');
+    for (std::size_t i = 0; i < dataset.overlap.size(); ++i) {
+      if (dataset.overlap[i]) bits[i] = '1';
+    }
+    meta.WriteRow({dataset.name,
+                   std::to_string(dataset.target.num_items()), bits});
+    meta.Flush();
+  }
+  return SaveDomain(dataset.target, path_prefix + ".target.csv") &&
+         SaveDomain(dataset.source, path_prefix + ".source.csv");
+}
+
+bool LoadCrossDomain(const std::string& path_prefix,
+                     CrossDomainDataset* out) {
+  CA_CHECK(out != nullptr);
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  if (!util::ReadCsv(path_prefix + ".meta.csv", &header, &rows)) {
+    return false;
+  }
+  if (rows.size() != 1 || rows[0].size() != 3) return false;
+  std::size_t num_items = 0;
+  if (!util::ParseSizeT(rows[0][1], &num_items) || num_items == 0) {
+    return false;
+  }
+  const std::string& bits = rows[0][2];
+  if (bits.size() != num_items) return false;
+
+  CrossDomainDataset loaded(rows[0][0], num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    loaded.overlap[i] = bits[i] == '1';
+  }
+  if (!LoadDomain(path_prefix + ".target.csv", &loaded.target)) return false;
+  if (!LoadDomain(path_prefix + ".source.csv", &loaded.source)) return false;
+  *out = std::move(loaded);
+  return true;
+}
+
+}  // namespace copyattack::data

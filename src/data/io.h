@@ -1,0 +1,23 @@
+#ifndef COPYATTACK_DATA_IO_H_
+#define COPYATTACK_DATA_IO_H_
+
+#include <string>
+
+#include "data/cross_domain.h"
+
+namespace copyattack::data {
+
+/// Persists a dataset pair to three CSV files under `path_prefix`:
+/// `<prefix>.meta.csv` (name, item count, overlap flags),
+/// `<prefix>.target.csv` and `<prefix>.source.csv`
+/// (columns `user,item,position`). Returns false on I/O failure.
+bool SaveCrossDomain(const CrossDomainDataset& dataset,
+                     const std::string& path_prefix);
+
+/// Loads a dataset pair previously written by `SaveCrossDomain` into
+/// `*out`. `*out` is replaced on success; untouched on failure.
+bool LoadCrossDomain(const std::string& path_prefix, CrossDomainDataset* out);
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_IO_H_

@@ -1,0 +1,69 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace copyattack::data {
+
+TrainValidTestSplit SplitDataset(const Dataset& full, util::Rng& rng,
+                                 double valid_fraction,
+                                 double test_fraction) {
+  CA_CHECK_GE(valid_fraction, 0.0);
+  CA_CHECK_GE(test_fraction, 0.0);
+  CA_CHECK_LT(valid_fraction + test_fraction, 1.0);
+
+  TrainValidTestSplit split(full.num_items());
+  for (UserId u = 0; u < full.num_users(); ++u) {
+    const Profile& profile = full.UserProfile(u);
+    const std::size_t n = profile.size();
+
+    std::size_t n_valid = 0;
+    std::size_t n_test = 0;
+    if (n >= 3) {
+      n_valid = static_cast<std::size_t>(
+          static_cast<double>(n) * valid_fraction + 0.5);
+      n_test = static_cast<std::size_t>(
+          static_cast<double>(n) * test_fraction + 0.5);
+      // Keep at least one training interaction; hold out at least one each
+      // of valid/test for users long enough to afford it.
+      if (n_valid == 0) n_valid = 1;
+      if (n_test == 0) n_test = 1;
+      while (n_valid + n_test >= n) {
+        if (n_valid > n_test && n_valid > 0) {
+          --n_valid;
+        } else if (n_test > 0) {
+          --n_test;
+        } else {
+          break;
+        }
+      }
+    }
+
+    // Choose held-out positions uniformly at random.
+    const auto held_positions =
+        rng.SampleWithoutReplacement(n, n_valid + n_test);
+    std::vector<bool> held(n, false);
+    for (const std::size_t pos : held_positions) held[pos] = true;
+
+    Profile train_profile;
+    train_profile.reserve(n - n_valid - n_test);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (!held[pos]) train_profile.push_back(profile[pos]);
+    }
+    const UserId train_user = split.train.AddUser(std::move(train_profile));
+    CA_CHECK_EQ(train_user, u);
+
+    for (std::size_t i = 0; i < held_positions.size(); ++i) {
+      const ItemId item = profile[held_positions[i]];
+      if (i < n_valid) {
+        split.valid.push_back({u, item});
+      } else {
+        split.test.push_back({u, item});
+      }
+    }
+  }
+  return split;
+}
+
+}  // namespace copyattack::data

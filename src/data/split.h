@@ -1,0 +1,39 @@
+#ifndef COPYATTACK_DATA_SPLIT_H_
+#define COPYATTACK_DATA_SPLIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace copyattack::data {
+
+/// One held-out evaluation pair.
+struct HeldOut {
+  UserId user;
+  ItemId item;
+};
+
+/// Result of the 80/10/10 interaction split the paper uses to train the
+/// target recommender (§5.1.3). `train` preserves the sequential order of
+/// each user's remaining interactions.
+struct TrainValidTestSplit {
+  Dataset train;
+  std::vector<HeldOut> valid;
+  std::vector<HeldOut> test;
+
+  explicit TrainValidTestSplit(std::size_t num_items) : train(num_items) {}
+};
+
+/// Randomly splits interactions 80/10/10 per user (each user keeps at least
+/// one training interaction; users with fewer than 3 interactions
+/// contribute to training only). User ids are preserved — user `u` in
+/// `full` is user `u` in `train`.
+TrainValidTestSplit SplitDataset(const Dataset& full, util::Rng& rng,
+                                 double valid_fraction = 0.1,
+                                 double test_fraction = 0.1);
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_SPLIT_H_

@@ -1,0 +1,38 @@
+#include "data/stats.h"
+
+#include <sstream>
+
+namespace copyattack::data {
+
+CrossDomainStats ComputeStats(const CrossDomainDataset& dataset) {
+  CrossDomainStats stats;
+  stats.name = dataset.name;
+  stats.target_users = dataset.target.num_users();
+  stats.target_interactions = dataset.target.num_interactions();
+  stats.source_users = dataset.source.num_users();
+  stats.source_interactions = dataset.source.num_interactions();
+  stats.overlapping_items = dataset.OverlapCount();
+  for (ItemId i = 0; i < dataset.target.num_items(); ++i) {
+    if (!dataset.target.ItemProfile(i).empty()) ++stats.target_items;
+  }
+  stats.target_mean_profile_len = dataset.target.MeanProfileLength();
+  stats.source_mean_profile_len = dataset.source.MeanProfileLength();
+  return stats;
+}
+
+std::string FormatStats(const CrossDomainStats& stats) {
+  std::ostringstream out;
+  out << "Dataset: " << stats.name << '\n';
+  out << "  Target  # of Users:             " << stats.target_users << '\n';
+  out << "  Target  # of Items:             " << stats.target_items << '\n';
+  out << "  Target  # of Interactions:      " << stats.target_interactions
+      << '\n';
+  out << "  Source  # of Users:             " << stats.source_users << '\n';
+  out << "  Source  # of Overlapping Items: " << stats.overlapping_items
+      << '\n';
+  out << "  Source  # of Interactions:      " << stats.source_interactions
+      << '\n';
+  return out.str();
+}
+
+}  // namespace copyattack::data

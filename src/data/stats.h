@@ -1,0 +1,31 @@
+#ifndef COPYATTACK_DATA_STATS_H_
+#define COPYATTACK_DATA_STATS_H_
+
+#include <string>
+
+#include "data/cross_domain.h"
+
+namespace copyattack::data {
+
+/// Statistics in the shape of the paper's Table 1.
+struct CrossDomainStats {
+  std::string name;
+  std::size_t target_users = 0;
+  std::size_t target_items = 0;       // items with >=1 target interaction
+  std::size_t target_interactions = 0;
+  std::size_t source_users = 0;
+  std::size_t overlapping_items = 0;
+  std::size_t source_interactions = 0;
+  double target_mean_profile_len = 0.0;
+  double source_mean_profile_len = 0.0;
+};
+
+/// Computes Table-1 statistics for a dataset pair.
+CrossDomainStats ComputeStats(const CrossDomainDataset& dataset);
+
+/// Renders the statistics as aligned text rows (used by the Table 1 bench).
+std::string FormatStats(const CrossDomainStats& stats);
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_STATS_H_

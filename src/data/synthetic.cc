@@ -1,0 +1,312 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "math/sampling.h"
+#include "math/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace copyattack::data {
+namespace {
+
+/// Draws a log-uniform profile length in [min_len, max_len].
+std::size_t DrawProfileLength(std::size_t min_len, std::size_t max_len,
+                              util::Rng& rng) {
+  CA_CHECK_GE(max_len, min_len);
+  if (min_len == max_len) return min_len;
+  const double ratio =
+      static_cast<double>(max_len) / static_cast<double>(min_len);
+  const double len =
+      static_cast<double>(min_len) * std::pow(ratio, rng.UniformDouble());
+  return std::min<std::size_t>(
+      max_len, std::max<std::size_t>(min_len,
+                                     static_cast<std::size_t>(len + 0.5)));
+}
+
+/// Samples a user profile of `length` distinct items with probability
+/// proportional to `weights` (only indices with weight > 0 are eligible).
+Profile SampleProfile(const math::AliasTable& table,
+                      const std::vector<double>& weights, std::size_t length,
+                      util::Rng& rng) {
+  std::size_t eligible = 0;
+  for (const double w : weights) {
+    if (w > 0.0) ++eligible;
+  }
+  length = std::min(length, eligible);
+  Profile profile;
+  profile.reserve(length);
+  std::unordered_set<ItemId> seen;
+  // Rejection sampling; profiles are much shorter than the item universe,
+  // so the expected number of rejections is small. A deterministic fallback
+  // guards against pathological weight concentration.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 60 * length + 200;
+  while (profile.size() < length && attempts < max_attempts) {
+    ++attempts;
+    const ItemId item = static_cast<ItemId>(table.Sample(rng));
+    if (seen.insert(item).second) {
+      profile.push_back(item);
+    }
+  }
+  if (profile.size() < length) {
+    // Fallback: take the highest-weight unseen items.
+    std::vector<ItemId> by_weight(weights.size());
+    for (ItemId i = 0; i < weights.size(); ++i) by_weight[i] = i;
+    std::stable_sort(by_weight.begin(), by_weight.end(),
+                     [&](ItemId a, ItemId b) {
+                       return weights[a] > weights[b];
+                     });
+    for (const ItemId item : by_weight) {
+      if (profile.size() >= length) break;
+      if (weights[item] > 0.0 && seen.insert(item).second) {
+        profile.push_back(item);
+      }
+    }
+  }
+  return profile;
+}
+
+/// Orders a sampled profile so that items of the same cluster are adjacent
+/// (sessions of related items), with a random order of the sessions. This
+/// gives the temporal structure the crafting window exploits: the items
+/// near the target item in the sequence are its cluster-mates.
+void OrderProfileByCluster(Profile& profile,
+                           const std::vector<std::size_t>& item_cluster,
+                           std::size_t num_clusters, util::Rng& rng) {
+  std::vector<std::size_t> cluster_rank(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) cluster_rank[c] = c;
+  rng.Shuffle(cluster_rank);
+  std::stable_sort(profile.begin(), profile.end(),
+                   [&](ItemId a, ItemId b) {
+                     return cluster_rank[item_cluster[a]] <
+                            cluster_rank[item_cluster[b]];
+                   });
+}
+
+/// A user's ground-truth taste: a weighted mixture of 1-3 preference
+/// clusters. Real users span several interest groups; a mixture makes raw
+/// profiles multi-session (so the crafting window genuinely isolates the
+/// target item's session) while keeping cross-domain correlation through
+/// the shared cluster centers.
+struct UserTaste {
+  std::vector<std::size_t> clusters;
+  std::vector<double> mixture;  // same length, sums to 1
+};
+
+/// Draws a 1-3 cluster mixture with random (bounded) weights.
+UserTaste DrawUserTaste(std::size_t num_clusters, util::Rng& rng) {
+  UserTaste taste;
+  const double roll = rng.UniformDouble();
+  std::size_t k = roll < 0.30 ? 1 : (roll < 0.75 ? 2 : 3);
+  k = std::min(k, num_clusters);
+  for (const std::size_t c : rng.SampleWithoutReplacement(num_clusters, k)) {
+    taste.clusters.push_back(c);
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    taste.mixture.push_back(rng.UniformDouble(0.5, 1.5));
+    total += taste.mixture.back();
+  }
+  for (auto& w : taste.mixture) w /= total;
+  return taste;
+}
+
+/// Writes the taste's latent factor (normalized mixture of centers plus
+/// noise) into `out`.
+void TasteFactor(const UserTaste& taste, const math::Matrix& centers,
+                 double cluster_noise, util::Rng& rng, float* out) {
+  const std::size_t dim = centers.cols();
+  for (std::size_t d = 0; d < dim; ++d) out[d] = 0.0f;
+  for (std::size_t j = 0; j < taste.clusters.size(); ++j) {
+    copyattack::math::Axpy(static_cast<float>(taste.mixture[j]),
+                           centers.Row(taste.clusters[j]), out, dim);
+  }
+  for (std::size_t d = 0; d < dim; ++d) {
+    out[d] += static_cast<float>(rng.Normal(0.0, cluster_noise));
+  }
+  copyattack::math::NormalizeL2(out, dim);
+}
+
+/// Builds the per-item sampling weights for one user as a *mixture of
+/// exponentials* over the user's taste clusters:
+/// weight_i = popularity_i * sum_j mixture_j * exp(affinity * <c_j, q_i>),
+/// restricted to `allowed` items. (A mixture of exponentials keeps every
+/// member cluster represented; an exponential of the mixed factor would
+/// collapse onto the dominant cluster.)
+std::vector<double> UserItemWeights(const UserTaste& taste,
+                                    const math::Matrix& centers,
+                                    const math::Matrix& item_factors,
+                                    const std::vector<double>& popularity,
+                                    const std::vector<bool>& allowed,
+                                    double affinity_weight) {
+  const std::size_t num_items = item_factors.rows();
+  const std::size_t dim = item_factors.cols();
+  std::vector<double> weights(num_items, 0.0);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    if (!allowed[i]) continue;
+    double taste_term = 0.0;
+    for (std::size_t j = 0; j < taste.clusters.size(); ++j) {
+      const float dot = copyattack::math::Dot(
+          centers.Row(taste.clusters[j]), item_factors.Row(i), dim);
+      taste_term += taste.mixture[j] * std::exp(affinity_weight * dot);
+    }
+    weights[i] = popularity[i] * taste_term;
+  }
+  return weights;
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::SmallCross() {
+  SyntheticConfig config;
+  config.name = "SmallCross (ML10M-FX analog)";
+  config.num_items = 800;
+  config.overlap_items = 600;
+  config.num_target_users = 1600;
+  config.num_source_users = 8000;
+  config.seed = 7;
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::LargeCross() {
+  SyntheticConfig config;
+  config.name = "LargeCross (ML20M-NF analog)";
+  config.num_items = 1100;
+  config.overlap_items = 700;
+  config.num_target_users = 2600;
+  config.num_source_users = 20000;
+  config.source_profile_min = 14;
+  config.source_profile_max = 130;
+  config.seed = 13;
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::Tiny() {
+  SyntheticConfig config;
+  config.name = "Tiny (unit tests)";
+  config.num_items = 60;
+  config.overlap_items = 40;
+  config.num_target_users = 80;
+  config.num_source_users = 120;
+  config.num_clusters = 4;
+  config.target_profile_min = 4;
+  config.target_profile_max = 12;
+  config.source_profile_min = 5;
+  config.source_profile_max = 16;
+  config.seed = 3;
+  return config;
+}
+
+SyntheticWorld GenerateSyntheticWorld(const SyntheticConfig& config) {
+  CA_CHECK_GT(config.num_items, 0U);
+  CA_CHECK_LE(config.overlap_items, config.num_items);
+  CA_CHECK_GT(config.overlap_items, 0U);
+  CA_CHECK_GT(config.num_clusters, 0U);
+  CA_CHECK_GT(config.latent_dim, 0U);
+
+  util::Rng rng(config.seed);
+  SyntheticWorld world(config);
+
+  // --- Latent structure ------------------------------------------------
+  math::Matrix centers(config.num_clusters, config.latent_dim);
+  centers.FillNormal(rng, 0.0f, 1.0f);
+  for (std::size_t c = 0; c < config.num_clusters; ++c) {
+    math::NormalizeL2(centers.Row(c), config.latent_dim);
+  }
+
+  world.item_factors.Resize(config.num_items, config.latent_dim);
+  world.item_cluster.resize(config.num_items);
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    const std::size_t c =
+        static_cast<std::size_t>(rng.UniformUint64(config.num_clusters));
+    world.item_cluster[i] = c;
+    float* row = world.item_factors.Row(i);
+    for (std::size_t d = 0; d < config.latent_dim; ++d) {
+      row[d] = centers(c, d) +
+               static_cast<float>(rng.Normal(0.0, config.cluster_noise));
+    }
+    math::NormalizeL2(row, config.latent_dim);
+  }
+
+  // --- Popularity: Zipf over a random permutation of items --------------
+  const std::vector<double> zipf =
+      math::ZipfWeights(config.num_items, config.zipf_exponent);
+  std::vector<std::size_t> popularity_rank(config.num_items);
+  for (std::size_t i = 0; i < config.num_items; ++i) popularity_rank[i] = i;
+  rng.Shuffle(popularity_rank);
+  std::vector<double> popularity(config.num_items);
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    popularity[i] = zipf[popularity_rank[i]];
+  }
+
+  // --- Overlap set -------------------------------------------------------
+  const auto overlap_picks = rng.SampleWithoutReplacement(
+      config.num_items, config.overlap_items);
+  for (const std::size_t item : overlap_picks) {
+    world.dataset.overlap[item] = true;
+  }
+  const std::vector<bool> all_items(config.num_items, true);
+
+  // --- Target-domain users ------------------------------------------------
+  world.target_user_factors.Resize(config.num_target_users,
+                                   config.latent_dim);
+  for (std::size_t u = 0; u < config.num_target_users; ++u) {
+    const UserTaste taste = DrawUserTaste(config.num_clusters, rng);
+    float* row = world.target_user_factors.Row(u);
+    TasteFactor(taste, centers, config.cluster_noise, rng, row);
+
+    const auto weights =
+        UserItemWeights(taste, centers, world.item_factors, popularity,
+                        all_items, config.affinity_weight);
+    const math::AliasTable table(weights);
+    const std::size_t length = DrawProfileLength(
+        config.target_profile_min, config.target_profile_max, rng);
+    Profile profile = SampleProfile(table, weights, length, rng);
+    OrderProfileByCluster(profile, world.item_cluster, config.num_clusters,
+                          rng);
+    world.dataset.target.AddUser(std::move(profile));
+  }
+
+  // --- Source-domain users (overlap items only) ---------------------------
+  world.source_user_factors.Resize(config.num_source_users,
+                                   config.latent_dim);
+  for (std::size_t u = 0; u < config.num_source_users; ++u) {
+    const UserTaste taste = DrawUserTaste(config.num_clusters, rng);
+    float* row = world.source_user_factors.Row(u);
+    TasteFactor(taste, centers, config.cluster_noise, rng, row);
+
+    const auto weights =
+        UserItemWeights(taste, centers, world.item_factors, popularity,
+                        world.dataset.overlap, config.affinity_weight);
+    const math::AliasTable table(weights);
+    const std::size_t length = DrawProfileLength(
+        config.source_profile_min, config.source_profile_max, rng);
+    Profile profile = SampleProfile(table, weights, length, rng);
+    OrderProfileByCluster(profile, world.item_cluster, config.num_clusters,
+                          rng);
+    world.dataset.source.AddUser(std::move(profile));
+  }
+
+  // --- Guarantee every overlapping item has at least one source holder ----
+  // (the paper assumes the target item always exists in the source domain,
+  // so masking can never eliminate the whole tree).
+  for (ItemId item = 0; item < config.num_items; ++item) {
+    if (!world.dataset.overlap[item]) continue;
+    if (!world.dataset.source.ItemProfile(item).empty()) continue;
+    for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+      const UserId u = static_cast<UserId>(
+          rng.UniformUint64(world.dataset.source.num_users()));
+      if (!world.dataset.source.HasInteraction(u, item)) {
+        world.dataset.source.AppendInteraction(u, item);
+        break;
+      }
+    }
+  }
+
+  return world;
+}
+
+}  // namespace copyattack::data

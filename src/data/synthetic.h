@@ -1,0 +1,74 @@
+#ifndef COPYATTACK_DATA_SYNTHETIC_H_
+#define COPYATTACK_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/cross_domain.h"
+#include "math/matrix.h"
+
+namespace copyattack::data {
+
+/// Configuration of the synthetic cross-domain world generator.
+///
+/// The real paper datasets (MovieLens10M+Flixster, MovieLens20M+Netflix) are
+/// not redistributable, so this generator produces laptop-scale worlds with
+/// the four structural properties the attack depends on (DESIGN.md §2):
+/// item overlap between domains, cross-domain preference correlation,
+/// Zipf-skewed item popularity, and a cold tail of target items.
+struct SyntheticConfig {
+  /// Dataset pair name stamped onto the result.
+  std::string name = "SmallCross";
+
+  std::size_t num_items = 800;          ///< shared item universe size
+  std::size_t overlap_items = 600;      ///< items present in both domains
+  std::size_t num_target_users = 1600;  ///< users in domain A
+  std::size_t num_source_users = 4000;  ///< users in domain B
+
+  std::size_t latent_dim = 8;     ///< ground-truth latent dimensionality
+  std::size_t num_clusters = 10;  ///< preference/item cluster count
+
+  double zipf_exponent = 1.1;      ///< popularity skew
+  double affinity_weight = 6.0;    ///< preference strength in item choice
+  double cluster_noise = 0.3;      ///< member scatter around cluster centers
+
+  std::size_t target_profile_min = 8;    ///< min items per target user
+  std::size_t target_profile_max = 48;   ///< max items per target user
+  std::size_t source_profile_min = 10;   ///< min items per source user
+  std::size_t source_profile_max = 90;   ///< max items per source user
+
+  std::uint64_t seed = 7;
+
+  /// ML10M-Flixster-shaped configuration (default; runs in seconds).
+  static SyntheticConfig SmallCross();
+
+  /// ML20M-Netflix-shaped configuration: larger source domain with a much
+  /// bigger user pool and longer profiles, smaller overlap fraction.
+  static SyntheticConfig LargeCross();
+
+  /// Tiny configuration for unit tests.
+  static SyntheticConfig Tiny();
+};
+
+/// Output of the generator: the dataset pair plus the ground-truth latent
+/// factors (useful for diagnostics and tests; the attack never sees them).
+struct SyntheticWorld {
+  CrossDomainDataset dataset;
+  math::Matrix item_factors;          // num_items x latent_dim
+  math::Matrix target_user_factors;   // num_target_users x latent_dim
+  math::Matrix source_user_factors;   // num_source_users x latent_dim
+  std::vector<std::size_t> item_cluster;  // item -> cluster id
+
+  explicit SyntheticWorld(const SyntheticConfig& config)
+      : dataset(config.name, config.num_items) {}
+};
+
+/// Generates a cross-domain world from `config`. Deterministic in
+/// `config.seed`. Every source profile touches only overlapping items, and
+/// profiles are ordered so that cluster-mates are adjacent (the sequential
+/// structure the crafting window exploits).
+SyntheticWorld GenerateSyntheticWorld(const SyntheticConfig& config);
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_SYNTHETIC_H_

@@ -1,0 +1,76 @@
+#include "data/target_items.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace copyattack::data {
+
+std::vector<ItemId> SampleColdTargetItems(const CrossDomainDataset& dataset,
+                                          std::size_t count,
+                                          std::size_t max_popularity,
+                                          util::Rng& rng) {
+  std::vector<ItemId> eligible;
+  std::vector<ItemId> fallback;
+  for (ItemId item = 0; item < dataset.target.num_items(); ++item) {
+    if (!dataset.overlap[item]) continue;
+    if (dataset.SourceHolders(item).empty()) continue;
+    if (dataset.target.ItemPopularity(item) < max_popularity) {
+      eligible.push_back(item);
+    } else {
+      fallback.push_back(item);
+    }
+  }
+
+  rng.Shuffle(eligible);
+  if (eligible.size() > count) {
+    eligible.resize(count);
+    return eligible;
+  }
+
+  // Not enough cold items: fill from the least-popular remaining items.
+  std::stable_sort(fallback.begin(), fallback.end(),
+                   [&](ItemId a, ItemId b) {
+                     return dataset.target.ItemPopularity(a) <
+                            dataset.target.ItemPopularity(b);
+                   });
+  for (const ItemId item : fallback) {
+    if (eligible.size() >= count) break;
+    eligible.push_back(item);
+  }
+  return eligible;
+}
+
+std::vector<std::vector<ItemId>> SampleTargetsByPopularityGroup(
+    const CrossDomainDataset& dataset, std::size_t groups,
+    std::size_t count_per_group, util::Rng& rng) {
+  CA_CHECK_GT(groups, 0U);
+  // Rank overlapping, attackable items by descending popularity.
+  std::vector<ItemId> ranked;
+  for (ItemId item = 0; item < dataset.target.num_items(); ++item) {
+    if (dataset.overlap[item] && !dataset.SourceHolders(item).empty()) {
+      ranked.push_back(item);
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [&](ItemId a, ItemId b) {
+    return dataset.target.ItemPopularity(a) >
+           dataset.target.ItemPopularity(b);
+  });
+
+  std::vector<std::vector<ItemId>> result(groups);
+  if (ranked.empty()) return result;
+  const std::size_t per_group =
+      (ranked.size() + groups - 1) / groups;  // ceiling
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * per_group;
+    if (begin >= ranked.size()) break;
+    const std::size_t end = std::min(begin + per_group, ranked.size());
+    std::vector<ItemId> group(ranked.begin() + begin, ranked.begin() + end);
+    rng.Shuffle(group);
+    if (group.size() > count_per_group) group.resize(count_per_group);
+    result[g] = std::move(group);
+  }
+  return result;
+}
+
+}  // namespace copyattack::data

@@ -1,0 +1,32 @@
+#ifndef COPYATTACK_DATA_TARGET_ITEMS_H_
+#define COPYATTACK_DATA_TARGET_ITEMS_H_
+
+#include <vector>
+
+#include "data/cross_domain.h"
+#include "util/rng.h"
+
+namespace copyattack::data {
+
+/// Samples up to `count` target items for the promotion attack following
+/// the paper's protocol (§5.1.3): overlapping items with fewer than
+/// `max_popularity` target-domain interactions and at least one source
+/// holder (so the masked tree is never empty). If fewer than `count`
+/// eligible items exist, the least-popular eligible overlapping items are
+/// used to fill the quota.
+std::vector<ItemId> SampleColdTargetItems(const CrossDomainDataset& dataset,
+                                          std::size_t count,
+                                          std::size_t max_popularity,
+                                          util::Rng& rng);
+
+/// Splits overlapping items into `groups` popularity groups of (nearly)
+/// equal size — group 0 holds the most popular items (Figure 4's x-axis) —
+/// and samples up to `count_per_group` attackable items from each group.
+/// Items without any source holder are skipped.
+std::vector<std::vector<ItemId>> SampleTargetsByPopularityGroup(
+    const CrossDomainDataset& dataset, std::size_t groups,
+    std::size_t count_per_group, util::Rng& rng);
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_TARGET_ITEMS_H_

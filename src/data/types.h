@@ -1,0 +1,42 @@
+#ifndef COPYATTACK_DATA_TYPES_H_
+#define COPYATTACK_DATA_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace copyattack::data {
+
+/// Dense user index within one domain.
+using UserId = std::uint32_t;
+
+/// Dense item index. Within a `CrossDomainDataset` both domains share one
+/// item id space (overlapping items are aligned by construction, mirroring
+/// the paper's "aligned by movie names" preprocessing).
+using ItemId = std::uint32_t;
+
+/// Sentinel for "no user".
+inline constexpr UserId kNoUser = std::numeric_limits<UserId>::max();
+
+/// Sentinel for "no item".
+inline constexpr ItemId kNoItem = std::numeric_limits<ItemId>::max();
+
+/// A user profile is the temporally ordered sequence of items the user
+/// interacted with (paper §3: P_u = { v_1 -> ... -> v_l }).
+using Profile = std::vector<ItemId>;
+
+/// One (user, item) interaction with its position in the user's sequence.
+struct Interaction {
+  UserId user;
+  ItemId item;
+  std::uint32_t position;  // 0-based index within the user's profile
+
+  bool operator==(const Interaction& other) const {
+    return user == other.user && item == other.item &&
+           position == other.position;
+  }
+};
+
+}  // namespace copyattack::data
+
+#endif  // COPYATTACK_DATA_TYPES_H_

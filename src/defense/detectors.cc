@@ -1,0 +1,149 @@
+#include "defense/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace copyattack::defense {
+namespace {
+
+/// Per-feature mean and stddev of a population (stddev floored to avoid
+/// division by zero on constant features).
+void FitStandardization(const std::vector<ProfileFeatures>& population,
+                        ProfileFeatures* mean, ProfileFeatures* stddev) {
+  CA_CHECK(!population.empty());
+  mean->fill(0.0);
+  stddev->fill(0.0);
+  for (const ProfileFeatures& f : population) {
+    for (std::size_t i = 0; i < kNumProfileFeatures; ++i) {
+      (*mean)[i] += f[i];
+    }
+  }
+  for (double& m : *mean) m /= static_cast<double>(population.size());
+  for (const ProfileFeatures& f : population) {
+    for (std::size_t i = 0; i < kNumProfileFeatures; ++i) {
+      const double d = f[i] - (*mean)[i];
+      (*stddev)[i] += d * d;
+    }
+  }
+  for (double& s : *stddev) {
+    s = std::sqrt(s / static_cast<double>(population.size()));
+    s = std::max(s, 1e-9);
+  }
+}
+
+ProfileFeatures Standardize(const ProfileFeatures& features,
+                            const ProfileFeatures& mean,
+                            const ProfileFeatures& stddev) {
+  ProfileFeatures z{};
+  for (std::size_t i = 0; i < kNumProfileFeatures; ++i) {
+    z[i] = (features[i] - mean[i]) / stddev[i];
+  }
+  return z;
+}
+
+}  // namespace
+
+void ZScoreDetector::Fit(const std::vector<ProfileFeatures>& genuine) {
+  FitStandardization(genuine, &mean_, &stddev_);
+  fitted_ = true;
+}
+
+double ZScoreDetector::Score(const ProfileFeatures& features) const {
+  CA_CHECK(fitted_) << "Fit must be called before Score";
+  const ProfileFeatures z = Standardize(features, mean_, stddev_);
+  double sum_sq = 0.0;
+  for (const double v : z) sum_sq += v * v;
+  return sum_sq / static_cast<double>(kNumProfileFeatures);
+}
+
+void KnnDetector::Fit(const std::vector<ProfileFeatures>& genuine) {
+  CA_CHECK_GE(genuine.size(), k_ + 1);
+  FitStandardization(genuine, &mean_, &stddev_);
+  standardized_reference_.clear();
+  standardized_reference_.reserve(genuine.size());
+  for (const ProfileFeatures& f : genuine) {
+    standardized_reference_.push_back(Standardize(f, mean_, stddev_));
+  }
+}
+
+double KnnDetector::Score(const ProfileFeatures& features) const {
+  CA_CHECK(!standardized_reference_.empty())
+      << "Fit must be called before Score";
+  const ProfileFeatures z = Standardize(features, mean_, stddev_);
+  std::vector<double> distances;
+  distances.reserve(standardized_reference_.size());
+  for (const ProfileFeatures& ref : standardized_reference_) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < kNumProfileFeatures; ++i) {
+      const double d = z[i] - ref[i];
+      d2 += d * d;
+    }
+    distances.push_back(d2);
+  }
+  std::nth_element(distances.begin(), distances.begin() + (k_ - 1),
+                   distances.end());
+  return std::sqrt(distances[k_ - 1]);
+}
+
+double RocAuc(const std::vector<double>& negative,
+              const std::vector<double>& positive) {
+  CA_CHECK(!negative.empty());
+  CA_CHECK(!positive.empty());
+  // AUC = P(pos > neg) + 0.5 P(pos == neg), via sorting the negatives and
+  // binary-searching each positive.
+  std::vector<double> sorted_negative = negative;
+  std::sort(sorted_negative.begin(), sorted_negative.end());
+  double total = 0.0;
+  for (const double p : positive) {
+    const auto lower = std::lower_bound(sorted_negative.begin(),
+                                        sorted_negative.end(), p);
+    const auto upper = std::upper_bound(sorted_negative.begin(),
+                                        sorted_negative.end(), p);
+    const double below =
+        static_cast<double>(lower - sorted_negative.begin());
+    const double ties = static_cast<double>(upper - lower);
+    total += below + 0.5 * ties;
+  }
+  return total / (static_cast<double>(positive.size()) *
+                  static_cast<double>(negative.size()));
+}
+
+DetectionReport EvaluateDetector(
+    const AnomalyDetector& detector,
+    const std::vector<ProfileFeatures>& genuine,
+    const std::vector<ProfileFeatures>& attack, double fpr_budget) {
+  DetectionReport report;
+  report.fpr_budget = fpr_budget;
+
+  std::vector<double> genuine_scores, attack_scores;
+  genuine_scores.reserve(genuine.size());
+  attack_scores.reserve(attack.size());
+  for (const ProfileFeatures& f : genuine) {
+    genuine_scores.push_back(detector.Score(f));
+  }
+  for (const ProfileFeatures& f : attack) {
+    attack_scores.push_back(detector.Score(f));
+  }
+
+  report.auc = RocAuc(genuine_scores, attack_scores);
+
+  // Threshold: the (1 - fpr_budget) quantile of genuine scores.
+  std::vector<double> sorted = genuine_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(static_cast<double>(sorted.size()) *
+                               (1.0 - fpr_budget)));
+  const double threshold = sorted[index];
+  std::size_t caught = 0;
+  for (const double s : attack_scores) {
+    if (s > threshold) ++caught;
+  }
+  report.recall_at_fpr =
+      static_cast<double>(caught) / static_cast<double>(attack.size());
+  return report;
+}
+
+}  // namespace copyattack::defense

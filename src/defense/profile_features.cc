@@ -1,0 +1,100 @@
+#include "defense/profile_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/check.h"
+
+namespace copyattack::defense {
+
+const char* ProfileFeatureName(std::size_t index) {
+  static const char* const kNames[kNumProfileFeatures] = {
+      "log_length",     "mean_log_popularity", "std_log_popularity",
+      "coherence",      "head_fraction",       "embedding_dispersion"};
+  CA_CHECK_LT(index, kNumProfileFeatures);
+  return kNames[index];
+}
+
+ProfileFeatureExtractor::ProfileFeatureExtractor(
+    const data::Dataset* reference, const math::Matrix* item_embeddings)
+    : reference_(reference), item_embeddings_(item_embeddings) {
+  CA_CHECK(reference != nullptr);
+  CA_CHECK(item_embeddings != nullptr);
+  CA_CHECK_EQ(item_embeddings->rows(), reference->num_items());
+
+  // Popularity of the least popular item still inside the top decile.
+  const auto by_popularity = reference_->ItemsByPopularity();
+  const std::size_t head_size =
+      std::max<std::size_t>(1, by_popularity.size() / 10);
+  head_popularity_threshold_ =
+      reference_->ItemPopularity(by_popularity[head_size - 1]);
+}
+
+ProfileFeatures ProfileFeatureExtractor::Extract(
+    const data::Profile& profile, util::Rng& rng,
+    std::size_t max_pairs_sample) const {
+  ProfileFeatures features{};
+  CA_CHECK(!profile.empty());
+  const std::size_t n = profile.size();
+  const std::size_t dim = item_embeddings_->cols();
+
+  features[0] = std::log(static_cast<double>(n));
+
+  // Popularity statistics.
+  double pop_sum = 0.0, pop_sq_sum = 0.0;
+  std::size_t head_count = 0;
+  for (const data::ItemId item : profile) {
+    const double log_pop =
+        std::log1p(static_cast<double>(reference_->ItemPopularity(item)));
+    pop_sum += log_pop;
+    pop_sq_sum += log_pop * log_pop;
+    if (reference_->ItemPopularity(item) >= head_popularity_threshold_) {
+      ++head_count;
+    }
+  }
+  const double pop_mean = pop_sum / static_cast<double>(n);
+  features[1] = pop_mean;
+  features[2] = std::sqrt(
+      std::max(0.0, pop_sq_sum / static_cast<double>(n) -
+                        pop_mean * pop_mean));
+  features[4] = static_cast<double>(head_count) / static_cast<double>(n);
+
+  // Embedding-based statistics over a bounded item sample.
+  std::vector<data::ItemId> sample(profile.begin(), profile.end());
+  rng.Shuffle(sample);
+  if (sample.size() > max_pairs_sample) sample.resize(max_pairs_sample);
+
+  // Coherence: mean pairwise cosine similarity.
+  double cosine_sum = 0.0;
+  std::size_t pairs = 0;
+  std::vector<float> a(dim), b(dim);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (std::size_t j = i + 1; j < sample.size(); ++j) {
+      std::copy_n(item_embeddings_->Row(sample[i]), dim, a.data());
+      std::copy_n(item_embeddings_->Row(sample[j]), dim, b.data());
+      math::NormalizeL2(a.data(), dim);
+      math::NormalizeL2(b.data(), dim);
+      cosine_sum += math::Dot(a.data(), b.data(), dim);
+      ++pairs;
+    }
+  }
+  features[3] = pairs > 0 ? cosine_sum / static_cast<double>(pairs) : 1.0;
+
+  // Dispersion: mean squared distance to the sample centroid.
+  std::vector<float> centroid(dim, 0.0f);
+  for (const data::ItemId item : sample) {
+    math::Axpy(1.0f / static_cast<float>(sample.size()),
+               item_embeddings_->Row(item), centroid.data(), dim);
+  }
+  double dispersion = 0.0;
+  for (const data::ItemId item : sample) {
+    dispersion += math::SquaredDistance(item_embeddings_->Row(item),
+                                        centroid.data(), dim);
+  }
+  features[5] = dispersion / static_cast<double>(sample.size());
+
+  return features;
+}
+
+}  // namespace copyattack::defense

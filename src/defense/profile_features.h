@@ -1,0 +1,56 @@
+#ifndef COPYATTACK_DEFENSE_PROFILE_FEATURES_H_
+#define COPYATTACK_DEFENSE_PROFILE_FEATURES_H_
+
+#include <array>
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "data/types.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace copyattack::defense {
+
+/// Number of detectability features extracted per profile.
+inline constexpr std::size_t kNumProfileFeatures = 6;
+
+/// A profile's detectability feature vector.
+using ProfileFeatures = std::array<double, kNumProfileFeatures>;
+
+/// Names of the features, index-aligned with `ProfileFeatures`.
+const char* ProfileFeatureName(std::size_t index);
+
+/// Extracts the statistical fingerprints shilling-detection work uses to
+/// separate fake from genuine profiles (cf. Chen et al. 2018, Cai & Zhang
+/// 2019 — the defense literature the paper cites as its motivation):
+///
+///   0. log profile length
+///   1. mean log-popularity of the profile's items
+///   2. std-dev of the items' log-popularity
+///   3. intra-profile coherence (mean pairwise cosine of item embeddings)
+///   4. fraction of items from the most popular decile
+///   5. embedding dispersion (mean squared distance to the profile's
+///      centroid in embedding space)
+///
+/// Popularity comes from `reference` (the platform's clean interaction
+/// data) and item embeddings from a model the platform trained itself.
+class ProfileFeatureExtractor {
+ public:
+  /// Both references are borrowed and must outlive the extractor.
+  ProfileFeatureExtractor(const data::Dataset* reference,
+                          const math::Matrix* item_embeddings);
+
+  /// Computes the feature vector of one profile. Pairwise statistics use
+  /// at most `max_pairs_sample` items (deterministic in `rng`).
+  ProfileFeatures Extract(const data::Profile& profile, util::Rng& rng,
+                          std::size_t max_pairs_sample = 16) const;
+
+ private:
+  const data::Dataset* reference_;
+  const math::Matrix* item_embeddings_;
+  std::size_t head_popularity_threshold_;
+};
+
+}  // namespace copyattack::defense
+
+#endif  // COPYATTACK_DEFENSE_PROFILE_FEATURES_H_

@@ -1,0 +1,95 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace copyattack::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillNormal(util::Rng& rng, float mean, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.Normal(mean, stddev));
+  }
+}
+
+void Matrix::FillUniform(util::Rng& rng, float lo, float hi) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.UniformDouble(lo, hi));
+  }
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::CopyRowFrom(const Matrix& src, std::size_t src_row,
+                         std::size_t dst_row) {
+  CA_CHECK_EQ(src.cols_, cols_);
+  CA_CHECK_LT(src_row, src.rows_);
+  CA_CHECK_LT(dst_row, rows_);
+  std::memcpy(Row(dst_row), src.Row(src_row), cols_ * sizeof(float));
+}
+
+void Matrix::AddScaled(const Matrix& other, float alpha) {
+  CA_CHECK_EQ(rows_, other.rows_);
+  CA_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::Scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+double Matrix::SquaredNorm() const {
+  double sum = 0.0;
+  for (const float v : data_) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+Matrix Matrix::Multiply(const Matrix& a, const Matrix& b) {
+  CA_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::MultiplyTransposedB(const Matrix& a, const Matrix& b) {
+  CA_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        dot += arow[k] * brow[k];
+      }
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+}  // namespace copyattack::math

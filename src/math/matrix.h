@@ -1,0 +1,115 @@
+#ifndef COPYATTACK_MATH_MATRIX_H_
+#define COPYATTACK_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace copyattack::math {
+
+/// Dense row-major matrix of floats. This is the single numeric container
+/// used by the embedding models and the neural-network library; it favours
+/// clarity and cache-friendly row access over BLAS-level tuning, which is
+/// adequate for the paper's scale (embedding size 8, action size 8).
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a `rows` x `cols` matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    CA_CHECK_LT(r, rows_);
+    CA_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    CA_CHECK_LT(r, rows_);
+    CA_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for hot loops.
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the beginning of row `r`.
+  float* Row(std::size_t r) {
+    CA_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(std::size_t r) const {
+    CA_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// Fills with N(mean, stddev) deviates.
+  void FillNormal(util::Rng& rng, float mean, float stddev);
+
+  /// Fills with U[lo, hi) deviates.
+  void FillUniform(util::Rng& rng, float lo, float hi);
+
+  /// Resizes to `rows` x `cols`, discarding contents, filled with zero.
+  void Resize(std::size_t rows, std::size_t cols);
+
+  /// Copies row `src_row` of `src` into row `dst_row` of this matrix.
+  /// Column counts must match.
+  void CopyRowFrom(const Matrix& src, std::size_t src_row,
+                   std::size_t dst_row);
+
+  /// this += alpha * other (shapes must match).
+  void AddScaled(const Matrix& other, float alpha);
+
+  /// Multiplies every element by `alpha`.
+  void Scale(float alpha);
+
+  /// Returns the sum of squares of all elements.
+  double SquaredNorm() const;
+
+  /// Returns C = A * B. A is (m x k), B is (k x n).
+  static Matrix Multiply(const Matrix& a, const Matrix& b);
+
+  /// Returns C = A * B^T. A is (m x k), B is (n x k).
+  static Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b);
+
+  /// Exact element-wise equality (used by serialization round-trip tests).
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace copyattack::math
+
+#endif  // COPYATTACK_MATH_MATRIX_H_

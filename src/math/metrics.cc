@@ -1,0 +1,16 @@
+#include "math/metrics.h"
+
+#include <cmath>
+
+namespace copyattack::math {
+
+double HitRatioAtK(std::size_t rank, std::size_t k) {
+  return rank < k ? 1.0 : 0.0;
+}
+
+double NdcgAtK(std::size_t rank, std::size_t k) {
+  if (rank >= k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+}  // namespace copyattack::math

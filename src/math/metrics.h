@@ -1,0 +1,20 @@
+#ifndef COPYATTACK_MATH_METRICS_H_
+#define COPYATTACK_MATH_METRICS_H_
+
+#include <cstddef>
+
+namespace copyattack::math {
+
+/// Hit Ratio @ k for a single (user, test item) pair: 1 if the test item's
+/// 0-based `rank` is within the first `k` positions, else 0.
+double HitRatioAtK(std::size_t rank, std::size_t k);
+
+/// NDCG @ k for a single relevant test item at 0-based `rank`:
+/// 1 / log2(rank + 2) if rank < k, else 0. With a single relevant item the
+/// ideal DCG is 1, so DCG equals NDCG — the convention used by He et al.
+/// (NCF) and adopted by the paper's evaluation protocol.
+double NdcgAtK(std::size_t rank, std::size_t k);
+
+}  // namespace copyattack::math
+
+#endif  // COPYATTACK_MATH_METRICS_H_

@@ -1,0 +1,92 @@
+#include "math/sampling.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace copyattack::math {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  CA_CHECK(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    CA_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CA_CHECK_GT(total, 0.0);
+
+  normalized_.resize(n);
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::size_t i : large) probability_[i] = 1.0;
+  for (const std::size_t i : small) probability_[i] = 1.0;
+}
+
+std::size_t AliasTable::Sample(util::Rng& rng) const {
+  const std::size_t bucket =
+      static_cast<std::size_t>(rng.UniformUint64(probability_.size()));
+  return rng.UniformDouble() < probability_[bucket] ? bucket
+                                                    : alias_[bucket];
+}
+
+double AliasTable::ProbabilityOf(std::size_t i) const {
+  CA_CHECK_LT(i, normalized_.size());
+  return normalized_[i];
+}
+
+std::vector<double> ZipfWeights(std::size_t n, double exponent) {
+  CA_CHECK_GT(n, 0U);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return weights;
+}
+
+std::size_t SampleCategorical(const std::vector<float>& weights,
+                              util::Rng& rng) {
+  CA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (const float w : weights) {
+    CA_CHECK_GE(w, 0.0f);
+    total += w;
+  }
+  CA_CHECK_GT(total, 0.0);
+  double threshold = rng.UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    threshold -= weights[i];
+    if (threshold < 0.0) return i;
+  }
+  // Floating-point slack: return the last category with positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0f) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace copyattack::math

@@ -1,0 +1,48 @@
+#ifndef COPYATTACK_MATH_SAMPLING_H_
+#define COPYATTACK_MATH_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace copyattack::math {
+
+/// O(1) sampling from an arbitrary discrete distribution using Walker's
+/// alias method. Used on the hot path of the synthetic data generator
+/// (millions of interaction draws over thousands of items).
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (not necessarily
+  /// normalized). At least one weight must be positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws one index with probability proportional to its weight.
+  std::size_t Sample(util::Rng& rng) const;
+
+  /// Number of categories.
+  std::size_t size() const { return probability_.size(); }
+
+  /// Normalized probability of category `i` (reconstructed from the table;
+  /// exposed for tests).
+  double ProbabilityOf(std::size_t i) const;
+
+ private:
+  std::vector<double> probability_;  // threshold within each bucket
+  std::vector<std::size_t> alias_;   // fallback category per bucket
+  std::vector<double> normalized_;   // original normalized weights
+};
+
+/// Zipf-like popularity weights: weight(i) = 1 / (i + 1)^exponent for
+/// i in [0, n). This reproduces the long-tailed item popularity that both
+/// MovieLens-style datasets exhibit and that Figure 4 sweeps over.
+std::vector<double> ZipfWeights(std::size_t n, double exponent);
+
+/// Samples one index from an explicit (unnormalized) weight vector by
+/// linear scan; fine for small vectors like policy action distributions.
+std::size_t SampleCategorical(const std::vector<float>& weights,
+                              util::Rng& rng);
+
+}  // namespace copyattack::math
+
+#endif  // COPYATTACK_MATH_SAMPLING_H_

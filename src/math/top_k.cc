@@ -1,0 +1,53 @@
+#include "math/top_k.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace copyattack::math {
+namespace {
+
+/// Comparator: higher score first; on ties the lower index wins.
+struct DescendingByScore {
+  const std::vector<float>& scores;
+  bool operator()(std::size_t a, std::size_t b) const {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> TopKIndices(const std::vector<float>& scores,
+                                     std::size_t k) {
+  std::vector<std::size_t> indices(scores.size());
+  std::iota(indices.begin(), indices.end(), 0U);
+  const DescendingByScore cmp{scores};
+  if (k < indices.size()) {
+    std::partial_sort(indices.begin(), indices.begin() + k, indices.end(),
+                      cmp);
+    indices.resize(k);
+  } else {
+    std::sort(indices.begin(), indices.end(), cmp);
+  }
+  return indices;
+}
+
+std::size_t RankOf(const std::vector<float>& scores, std::size_t index) {
+  CA_CHECK_LT(index, scores.size());
+  const float score = scores[index];
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > score || (scores[i] == score && i < index)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+std::vector<std::size_t> ArgSortDescending(const std::vector<float>& scores) {
+  return TopKIndices(scores, scores.size());
+}
+
+}  // namespace copyattack::math

@@ -1,0 +1,25 @@
+#ifndef COPYATTACK_MATH_TOP_K_H_
+#define COPYATTACK_MATH_TOP_K_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace copyattack::math {
+
+/// Returns the indices of the `k` largest scores, ordered from best to worst.
+/// Ties break toward the lower index so the ranking is deterministic.
+/// If `k >= scores.size()` the full argsort (descending) is returned.
+std::vector<std::size_t> TopKIndices(const std::vector<float>& scores,
+                                     std::size_t k);
+
+/// Rank (0-based) of `index` when `scores` is sorted descending with
+/// deterministic tie-breaking toward lower indices. This is what the
+/// evaluator uses to decide whether a test item made the Top-k cut.
+std::size_t RankOf(const std::vector<float>& scores, std::size_t index);
+
+/// Full argsort of `scores` in descending order (deterministic ties).
+std::vector<std::size_t> ArgSortDescending(const std::vector<float>& scores);
+
+}  // namespace copyattack::math
+
+#endif  // COPYATTACK_MATH_TOP_K_H_

@@ -1,0 +1,96 @@
+#include "math/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace copyattack::math {
+
+float Dot(const float* a, const float* b, std::size_t n) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float SquaredDistance(const float* a, const float* b, std::size_t n) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float EuclideanDistance(const float* a, const float* b, std::size_t n) {
+  return std::sqrt(SquaredDistance(a, b, n));
+}
+
+void SoftmaxInPlace(std::vector<float>& values) {
+  CA_CHECK(!values.empty());
+  const float max_value = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (auto& v : values) {
+    v = std::exp(v - max_value);
+    sum += v;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (auto& v : values) v *= inv;
+}
+
+void MaskedSoftmaxInPlace(std::vector<float>& values,
+                          const std::vector<bool>& mask) {
+  CA_CHECK_EQ(values.size(), mask.size());
+  float max_value = -std::numeric_limits<float>::infinity();
+  bool any = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (mask[i]) {
+      any = true;
+      max_value = std::max(max_value, values[i]);
+    }
+  }
+  CA_CHECK(any) << "masked softmax requires at least one unmasked entry";
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (mask[i]) {
+      values[i] = std::exp(values[i] - max_value);
+      sum += values[i];
+    } else {
+      values[i] = 0.0f;
+    }
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (auto& v : values) v *= inv;
+}
+
+double LogSumExp(const std::vector<float>& values) {
+  CA_CHECK(!values.empty());
+  const float max_value = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (const float v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+std::size_t ArgMax(const std::vector<float>& values) {
+  CA_CHECK(!values.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+void NormalizeL2(float* v, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += static_cast<double>(v[i]) * v[i];
+  if (sum == 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(sum));
+  for (std::size_t i = 0; i < n; ++i) v[i] *= inv;
+}
+
+}  // namespace copyattack::math

@@ -1,0 +1,42 @@
+#ifndef COPYATTACK_MATH_VECTOR_OPS_H_
+#define COPYATTACK_MATH_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace copyattack::math {
+
+/// Dot product of two equal-length float spans.
+float Dot(const float* a, const float* b, std::size_t n);
+
+/// y += alpha * x, element-wise over `n` floats.
+void Axpy(float alpha, const float* x, float* y, std::size_t n);
+
+/// Euclidean (L2) distance between two equal-length float spans.
+float EuclideanDistance(const float* a, const float* b, std::size_t n);
+
+/// Squared Euclidean distance (avoids the sqrt in k-means inner loops).
+float SquaredDistance(const float* a, const float* b, std::size_t n);
+
+/// In-place numerically stable softmax over `values`.
+void SoftmaxInPlace(std::vector<float>& values);
+
+/// Numerically stable softmax respecting a mask: entries with
+/// `mask[i] == false` receive probability exactly 0. At least one entry must
+/// be unmasked.
+void MaskedSoftmaxInPlace(std::vector<float>& values,
+                          const std::vector<bool>& mask);
+
+/// log(sum_i exp(values[i])), numerically stable.
+double LogSumExp(const std::vector<float>& values);
+
+/// Index of the maximum element; ties break to the lowest index.
+/// `values` must be non-empty.
+std::size_t ArgMax(const std::vector<float>& values);
+
+/// L2-normalizes `v` in place; a zero vector is left unchanged.
+void NormalizeL2(float* v, std::size_t n);
+
+}  // namespace copyattack::math
+
+#endif  // COPYATTACK_MATH_VECTOR_OPS_H_

@@ -1,0 +1,57 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace copyattack::nn {
+
+float Sigmoid(float x) {
+  if (x >= 0.0f) {
+    return 1.0f / (1.0f + std::exp(-x));
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+void ApplyActivation(Activation activation, std::vector<float>& values) {
+  switch (activation) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (auto& v : values) {
+        if (v < 0.0f) v = 0.0f;
+      }
+      return;
+    case Activation::kTanh:
+      for (auto& v : values) v = std::tanh(v);
+      return;
+    case Activation::kSigmoid:
+      for (auto& v : values) v = Sigmoid(v);
+      return;
+  }
+}
+
+void ApplyActivationGrad(Activation activation,
+                         const std::vector<float>& outputs,
+                         std::vector<float>& grad) {
+  switch (activation) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (outputs[i] <= 0.0f) grad[i] = 0.0f;
+      }
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] *= 1.0f - outputs[i] * outputs[i];
+      }
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] *= outputs[i] * (1.0f - outputs[i]);
+      }
+      return;
+  }
+}
+
+}  // namespace copyattack::nn

@@ -1,0 +1,30 @@
+#ifndef COPYATTACK_NN_ACTIVATIONS_H_
+#define COPYATTACK_NN_ACTIVATIONS_H_
+
+#include <vector>
+
+namespace copyattack::nn {
+
+/// Supported element-wise nonlinearities.
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
+/// Applies the activation in place.
+void ApplyActivation(Activation activation, std::vector<float>& values);
+
+/// Multiplies `grad` in place by the activation derivative, evaluated from
+/// the *post-activation* outputs (valid for ReLU/tanh/sigmoid/identity).
+void ApplyActivationGrad(Activation activation,
+                         const std::vector<float>& outputs,
+                         std::vector<float>& grad);
+
+/// Scalar sigmoid, exposed for the BPR loss in the recommenders.
+float Sigmoid(float x);
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_ACTIVATIONS_H_

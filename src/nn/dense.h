@@ -1,0 +1,51 @@
+#ifndef COPYATTACK_NN_DENSE_H_
+#define COPYATTACK_NN_DENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace copyattack::nn {
+
+/// Fully connected layer `y = W x + b` operating on single samples.
+///
+/// The policy networks in this project always score one state at a time
+/// (an RL decision, not a minibatch), so the layer API is vector-in /
+/// vector-out. `Backward` accumulates parameter gradients; the caller passes
+/// the same input it used for `Forward` (the framework recomputes forward
+/// passes during REINFORCE updates instead of caching activations inside
+/// layers, keeping the layers stateless and cheap to reason about).
+class DenseLayer {
+ public:
+  /// Creates a layer mapping `in_dim` -> `out_dim`, with weights initialized
+  /// N(0, init_stddev) and zero bias (the paper initializes all network
+  /// parameters from a Gaussian with stddev 0.1).
+  DenseLayer(std::string name, std::size_t in_dim, std::size_t out_dim,
+             util::Rng& rng, float init_stddev = 0.1f);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+  /// Computes `out = W in + b`. `out` is resized to `out_dim`.
+  void Forward(const std::vector<float>& in, std::vector<float>* out) const;
+
+  /// Accumulates dL/dW and dL/db from (`in`, `dout`) and, if `din` is not
+  /// null, writes dL/din (resized to `in_dim`).
+  void Backward(const std::vector<float>& in, const std::vector<float>& dout,
+                std::vector<float>* din);
+
+  /// Learnable parameters (weight then bias).
+  ParameterList Parameters();
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  Parameter weight_;  // out_dim x in_dim
+  Parameter bias_;    // 1 x out_dim
+};
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_DENSE_H_

@@ -1,0 +1,68 @@
+#ifndef COPYATTACK_NN_GRU_H_
+#define COPYATTACK_NN_GRU_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace copyattack::nn {
+
+/// Per-step activations recorded by `GruEncoder::Forward` for BPTT.
+struct GruContext {
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::vector<float>> hiddens;    // h_t
+  std::vector<std::vector<float>> updates;    // z_t
+  std::vector<std::vector<float>> resets;     // r_t
+  std::vector<std::vector<float>> candidates; // h~_t
+};
+
+/// Gated recurrent unit encoder (Cho et al. 2014) over a sequence of
+/// embedding vectors, returning the final hidden state:
+///   z_t = sigma(Wz x_t + Uz h_{t-1} + bz)
+///   r_t = sigma(Wr x_t + Ur h_{t-1} + br)
+///   h~_t = tanh(Wh x_t + Uh (r_t o h_{t-1}) + bh)
+///   h_t = (1 - z_t) o h_{t-1} + z_t o h~_t
+///
+/// Drop-in alternative to the vanilla `RnnEncoder` for CopyAttack's
+/// selected-users state (`HierarchicalSelectionPolicy::Config::encoder`);
+/// the gating helps on longer selection histories. An empty sequence
+/// encodes to the zero vector.
+class GruEncoder {
+ public:
+  GruEncoder(std::string name, std::size_t input_dim, std::size_t hidden_dim,
+             util::Rng& rng, float init_stddev = 0.1f);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Encodes `sequence` (possibly empty) and fills `context`.
+  std::vector<float> Forward(const std::vector<std::vector<float>>& sequence,
+                             GruContext* context) const;
+
+  /// Backpropagates dL/dh_T through time, accumulating parameter
+  /// gradients. Input gradients are discarded (frozen embeddings).
+  void Backward(const GruContext& context,
+                const std::vector<float>& dhidden_final);
+
+  /// Learnable parameters: Wz,Uz,bz, Wr,Ur,br, Wh,Uh,bh.
+  ParameterList Parameters();
+
+ private:
+  /// pre = W x + U h + b for one gate.
+  void GatePreactivation(const Parameter& w, const Parameter& u,
+                         const Parameter& b, const std::vector<float>& x,
+                         const std::vector<float>& h,
+                         std::vector<float>* pre) const;
+
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  Parameter wz_, uz_, bz_;
+  Parameter wr_, ur_, br_;
+  Parameter wh_, uh_, bh_;
+};
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_GRU_H_

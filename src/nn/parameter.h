@@ -1,0 +1,40 @@
+#ifndef COPYATTACK_NN_PARAMETER_H_
+#define COPYATTACK_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace copyattack::nn {
+
+/// A learnable tensor together with its accumulated gradient. Layers own
+/// their parameters; optimizers mutate them through the pointers returned by
+/// each module's `Parameters()`.
+struct Parameter {
+  /// Human-readable name used by serialization and debugging ("dense/W").
+  std::string name;
+  math::Matrix value;
+  math::Matrix grad;
+
+  /// Allocates value and grad with the given shape (zero-filled).
+  Parameter(std::string parameter_name, std::size_t rows, std::size_t cols)
+      : name(std::move(parameter_name)),
+        value(rows, cols),
+        grad(rows, cols) {}
+
+  /// Clears the accumulated gradient.
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// Convenience alias: the flat list of parameters a module exposes.
+using ParameterList = std::vector<Parameter*>;
+
+/// Appends `extra` to `list` (modules compose their children this way).
+inline void AppendParameters(ParameterList& list, ParameterList extra) {
+  list.insert(list.end(), extra.begin(), extra.end());
+}
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_PARAMETER_H_

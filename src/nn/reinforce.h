@@ -1,0 +1,57 @@
+#ifndef COPYATTACK_NN_REINFORCE_H_
+#define COPYATTACK_NN_REINFORCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace copyattack::nn {
+
+/// Computes discounted returns G_t = sum_k gamma^(k-t) r_k for a whole
+/// episode's reward sequence.
+std::vector<double> DiscountedReturns(const std::vector<double>& rewards,
+                                      double gamma);
+
+/// Gradient of `-log softmax(logits)[action] * advantage` with respect to
+/// the logits, honoring an action mask: masked logits get exactly zero
+/// gradient and zero probability. `probs` must be the (masked) softmax
+/// output that was used to sample `action`. The result is
+/// `(probs[i] - 1{i == action}) * advantage` on unmasked entries.
+std::vector<float> PolicyGradientLogits(const std::vector<float>& probs,
+                                        std::size_t action,
+                                        double advantage,
+                                        const std::vector<bool>& mask);
+
+/// Unmasked convenience overload.
+std::vector<float> PolicyGradientLogits(const std::vector<float>& probs,
+                                        std::size_t action, double advantage);
+
+/// Adds the gradient of `-beta * H(probs)` (entropy bonus, encouraging
+/// exploration) into `dlogits`, honoring the mask. For softmax policies
+/// dH/dlogit_i = -p_i * (log p_i + H).
+void AddEntropyBonusGrad(const std::vector<float>& probs, double beta,
+                         const std::vector<bool>& mask,
+                         std::vector<float>& dlogits);
+
+/// Exponential-moving-average reward baseline used as the REINFORCE
+/// variance reducer: advantage = return - baseline.
+class MovingBaseline {
+ public:
+  /// `momentum` in [0,1): how much of the old baseline to keep per update.
+  explicit MovingBaseline(double momentum = 0.9) : momentum_(momentum) {}
+
+  /// Current baseline value (0 until the first observation).
+  double value() const { return initialized_ ? value_ : 0.0; }
+
+  /// Folds a new observed return into the baseline and returns the
+  /// advantage (observation minus the *pre-update* baseline).
+  double Update(double observed_return);
+
+ private:
+  double momentum_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_REINFORCE_H_

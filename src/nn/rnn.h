@@ -1,0 +1,61 @@
+#ifndef COPYATTACK_NN_RNN_H_
+#define COPYATTACK_NN_RNN_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace copyattack::nn {
+
+/// Hidden states recorded by `RnnEncoder::Forward`, consumed by `Backward`.
+struct RnnContext {
+  /// inputs[t] is the t-th input vector.
+  std::vector<std::vector<float>> inputs;
+  /// hiddens[t] is h_t (post-tanh); hiddens.size() == inputs.size().
+  std::vector<std::vector<float>> hiddens;
+};
+
+/// Vanilla (Elman) recurrent encoder `h_t = tanh(Wx x_t + Wh h_{t-1} + b)`
+/// over a sequence of embedding vectors, returning the final hidden state.
+///
+/// CopyAttack uses this to summarize the set of already-selected source
+/// users U^{B->A}_t into the state representation x_{v*} that conditions
+/// every node policy of the hierarchical tree (paper §4.3.3). An empty
+/// sequence encodes to the zero vector (the situation before the random
+/// seeding action a_0).
+class RnnEncoder {
+ public:
+  RnnEncoder(std::string name, std::size_t input_dim, std::size_t hidden_dim,
+             util::Rng& rng, float init_stddev = 0.1f);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Encodes `sequence` (possibly empty) and fills `context` for a later
+  /// `Backward`. Returns h_T (zero vector for an empty sequence).
+  std::vector<float> Forward(
+      const std::vector<std::vector<float>>& sequence,
+      RnnContext* context) const;
+
+  /// Backpropagates dL/dh_T through time, accumulating parameter gradients.
+  /// Gradients w.r.t. the inputs are discarded (the inputs are frozen
+  /// pre-trained MF embeddings, per the paper).
+  void Backward(const RnnContext& context,
+                const std::vector<float>& dhidden_final);
+
+  /// Learnable parameters: Wx, Wh, b.
+  ParameterList Parameters();
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  Parameter wx_;  // hidden x input
+  Parameter wh_;  // hidden x hidden
+  Parameter bias_;  // 1 x hidden
+};
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_RNN_H_

@@ -1,0 +1,23 @@
+#ifndef COPYATTACK_NN_SERIALIZE_H_
+#define COPYATTACK_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace copyattack::nn {
+
+/// Writes the parameter values (not gradients) to `path` in a simple
+/// little-endian binary format: a magic tag, the parameter count, then for
+/// each parameter its name, shape, and float payload. Returns false on I/O
+/// failure.
+bool SaveParameters(const ParameterList& params, const std::string& path);
+
+/// Restores parameter values from `path`. Names and shapes must match the
+/// supplied list exactly (the intended use is checkpoint/restore of the
+/// same model architecture). Returns false on I/O failure or mismatch.
+bool LoadParameters(const ParameterList& params, const std::string& path);
+
+}  // namespace copyattack::nn
+
+#endif  // COPYATTACK_NN_SERIALIZE_H_

@@ -1,0 +1,44 @@
+#include "rec/black_box.h"
+
+#include "math/top_k.h"
+#include "util/check.h"
+
+namespace copyattack::rec {
+
+BlackBoxRecommender::BlackBoxRecommender(Recommender* model,
+                                         data::Dataset* polluted)
+    : model_(model), polluted_(polluted) {
+  CA_CHECK(model != nullptr);
+  CA_CHECK(polluted != nullptr);
+}
+
+data::UserId BlackBoxRecommender::InjectUser(data::Profile profile) {
+  injected_interactions_ += profile.size();
+  ++injected_profiles_;
+  const data::UserId user = polluted_->AddUser(std::move(profile));
+  model_->ObserveNewUser(*polluted_, user);
+  return user;
+}
+
+std::vector<data::ItemId> BlackBoxRecommender::QueryTopK(
+    data::UserId user, const std::vector<data::ItemId>& candidates,
+    std::size_t k) {
+  ++query_count_;
+  const std::vector<float> scores =
+      model_->ScoreCandidates(user, candidates);
+  const std::vector<std::size_t> top = math::TopKIndices(scores, k);
+  std::vector<data::ItemId> items;
+  items.reserve(top.size());
+  for (const std::size_t index : top) {
+    items.push_back(candidates[index]);
+  }
+  return items;
+}
+
+void BlackBoxRecommender::ResetCounters() {
+  query_count_ = 0;
+  injected_profiles_ = 0;
+  injected_interactions_ = 0;
+}
+
+}  // namespace copyattack::rec

@@ -1,0 +1,64 @@
+#ifndef COPYATTACK_REC_BLACK_BOX_H_
+#define COPYATTACK_REC_BLACK_BOX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rec/recommender.h"
+
+namespace copyattack::rec {
+
+/// The attacker's view of the target recommender system (paper §4.5):
+/// only two operations exist — inject a user profile, and query the Top-k
+/// recommendation list of a user. Everything else about the model (its
+/// architecture, parameters, training data) is hidden.
+///
+/// The wrapper also meters the attack: number of injected profiles,
+/// number of injected interactions (the item budget of Table 2), and
+/// number of Top-k queries issued.
+class BlackBoxRecommender {
+ public:
+  /// `model` must already be serving over `*polluted`. Both are borrowed
+  /// and must outlive this wrapper.
+  BlackBoxRecommender(Recommender* model, data::Dataset* polluted);
+
+  /// Injection attack: appends a (copied) user profile to the target
+  /// domain and folds it into the model's serving state. Returns the new
+  /// user id.
+  data::UserId InjectUser(data::Profile profile);
+
+  /// Query access: Top-k item ids among `candidates` for `user`, best
+  /// first. Increments the query counter.
+  std::vector<data::ItemId> QueryTopK(
+      data::UserId user, const std::vector<data::ItemId>& candidates,
+      std::size_t k);
+
+  /// Number of Top-k queries issued so far.
+  std::size_t query_count() const { return query_count_; }
+
+  /// Number of profiles injected so far.
+  std::size_t injected_profiles() const { return injected_profiles_; }
+
+  /// Total number of interactions injected (the "item budget").
+  std::size_t injected_interactions() const {
+    return injected_interactions_;
+  }
+
+  /// Resets the attack meters (not the injected data).
+  void ResetCounters();
+
+  const data::Dataset& polluted() const { return *polluted_; }
+  const Recommender& model() const { return *model_; }
+
+ private:
+  Recommender* model_;
+  data::Dataset* polluted_;
+  std::size_t query_count_ = 0;
+  std::size_t injected_profiles_ = 0;
+  std::size_t injected_interactions_ = 0;
+};
+
+}  // namespace copyattack::rec
+
+#endif  // COPYATTACK_REC_BLACK_BOX_H_

@@ -1,0 +1,62 @@
+#ifndef COPYATTACK_REC_ITEM_KNN_H_
+#define COPYATTACK_REC_ITEM_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "rec/recommender.h"
+
+namespace copyattack::rec {
+
+/// Hyper-parameters of the item-based k-nearest-neighbor model.
+struct ItemKnnConfig {
+  /// Neighbors kept per item (the classic top-N similarity list).
+  std::size_t neighbors = 30;
+  /// Shrinkage added to the cosine denominator; damps similarities
+  /// estimated from few co-occurrences.
+  double shrinkage = 5.0;
+};
+
+/// Classic item-based collaborative filtering (Sarwar et al. 2001): item-
+/// item cosine similarity over co-occurrence counts, truncated to the top
+/// `neighbors` per item; a user's score for an item is the summed
+/// similarity to the items in their profile.
+///
+/// In this repo ItemKNN is a *third target-model family* for the
+/// channel ablation (`bench_target_models`): its similarity lists are
+/// frozen at training time, so — like frozen MF — it has no inductive
+/// injection channel, but unlike MF a retraining pass directly ingests
+/// the injected co-occurrences (the classic shilling-attack surface the
+/// pre-deep-learning literature studied).
+///
+/// There are no gradient epochs; `TrainEpoch` (re)builds the similarity
+/// lists from the current dataset, which is also what a platform's
+/// periodic retrain does in the refit-on-query environment.
+class ItemKnn final : public Recommender {
+ public:
+  explicit ItemKnn(const ItemKnnConfig& config = ItemKnnConfig());
+
+  void InitTraining(const data::Dataset& train, util::Rng& rng) override;
+  void TrainEpoch(const data::Dataset& train, util::Rng& rng) override;
+  void BeginServing(const data::Dataset& current) override;
+  void ObserveNewUser(const data::Dataset& current,
+                      data::UserId user) override;
+  float Score(data::UserId user, data::ItemId item) const override;
+  std::string name() const override { return "ItemKNN"; }
+
+  /// The truncated similarity list of `item` (pairs of neighbor id and
+  /// similarity, best first). Exposed for tests.
+  const std::vector<std::pair<data::ItemId, float>>& Neighbors(
+      data::ItemId item) const;
+
+ private:
+  ItemKnnConfig config_;
+  /// Per item: top-N (neighbor, similarity), sorted descending.
+  std::vector<std::vector<std::pair<data::ItemId, float>>> neighbors_;
+  /// Serving users' profiles (borrowed copies for scoring).
+  const data::Dataset* serving_ = nullptr;
+};
+
+}  // namespace copyattack::rec
+
+#endif  // COPYATTACK_REC_ITEM_KNN_H_

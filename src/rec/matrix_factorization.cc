@@ -1,0 +1,116 @@
+#include "rec/matrix_factorization.h"
+
+#include "math/vector_ops.h"
+#include "nn/activations.h"
+#include "util/check.h"
+
+namespace copyattack::rec {
+
+MatrixFactorization::MatrixFactorization(const MfConfig& config)
+    : config_(config) {
+  CA_CHECK_GT(config.embedding_dim, 0U);
+}
+
+void MatrixFactorization::InitTraining(const data::Dataset& train,
+                                       util::Rng& rng) {
+  trained_users_ = train.num_users();
+  users_.Resize(train.num_users(), config_.embedding_dim);
+  items_.Resize(train.num_items(), config_.embedding_dim);
+  users_.FillNormal(rng, 0.0f, config_.init_stddev);
+  items_.FillNormal(rng, 0.0f, config_.init_stddev);
+}
+
+void MatrixFactorization::TrainEpoch(const data::Dataset& train,
+                                     util::Rng& rng) {
+  CA_CHECK_EQ(users_.rows() >= train.num_users(), true)
+      << "InitTraining must run before TrainEpoch";
+  const std::size_t dim = config_.embedding_dim;
+  const float lr = config_.learning_rate;
+  const float reg = config_.regularization;
+
+  // One BPR step per training interaction, in random user order.
+  const std::size_t steps = train.num_interactions();
+  for (std::size_t s = 0; s < steps; ++s) {
+    const data::UserId u = static_cast<data::UserId>(
+        rng.UniformUint64(train.num_users()));
+    const data::Profile& profile = train.UserProfile(u);
+    if (profile.empty()) continue;
+    const data::ItemId pos =
+        profile[rng.UniformUint64(profile.size())];
+    // Rejection-sample a negative item the user has not interacted with.
+    data::ItemId neg = pos;
+    for (std::size_t attempt = 0; attempt < 32; ++attempt) {
+      const data::ItemId candidate = static_cast<data::ItemId>(
+          rng.UniformUint64(train.num_items()));
+      if (!train.HasInteraction(u, candidate)) {
+        neg = candidate;
+        break;
+      }
+    }
+    if (neg == pos) continue;
+
+    float* pu = users_.Row(u);
+    float* qi = items_.Row(pos);
+    float* qj = items_.Row(neg);
+    const float x = math::Dot(pu, qi, dim) - math::Dot(pu, qj, dim);
+    const float sigma = nn::Sigmoid(-x);  // dLoss/dx of -log sigmoid(x)
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float pu_d = pu[d];
+      const float qi_d = qi[d];
+      const float qj_d = qj[d];
+      pu[d] += lr * (sigma * (qi_d - qj_d) - reg * pu_d);
+      qi[d] += lr * (sigma * pu_d - reg * qi_d);
+      qj[d] += lr * (-sigma * pu_d - reg * qj_d);
+    }
+  }
+}
+
+void MatrixFactorization::BeginServing(const data::Dataset& current) {
+  CA_CHECK_GE(current.num_users(), trained_users_);
+  if (current.num_users() > users_.rows()) {
+    math::Matrix extended(current.num_users(), config_.embedding_dim);
+    for (std::size_t u = 0; u < users_.rows(); ++u) {
+      extended.CopyRowFrom(users_, u, u);
+    }
+    users_ = std::move(extended);
+  }
+  for (data::UserId u = static_cast<data::UserId>(trained_users_);
+       u < current.num_users(); ++u) {
+    FoldInUser(current, u);
+  }
+}
+
+void MatrixFactorization::ObserveNewUser(const data::Dataset& current,
+                                         data::UserId user) {
+  CA_CHECK_LT(user, current.num_users());
+  if (user >= users_.rows()) {
+    math::Matrix extended(current.num_users(), config_.embedding_dim);
+    for (std::size_t u = 0; u < users_.rows(); ++u) {
+      extended.CopyRowFrom(users_, u, u);
+    }
+    users_ = std::move(extended);
+  }
+  FoldInUser(current, user);
+}
+
+void MatrixFactorization::FoldInUser(const data::Dataset& current,
+                                     data::UserId user) {
+  const data::Profile& profile = current.UserProfile(user);
+  float* row = users_.Row(user);
+  for (std::size_t d = 0; d < config_.embedding_dim; ++d) row[d] = 0.0f;
+  if (profile.empty()) return;
+  const float inv = 1.0f / static_cast<float>(profile.size());
+  for (const data::ItemId item : profile) {
+    math::Axpy(inv, items_.Row(item), row, config_.embedding_dim);
+  }
+}
+
+float MatrixFactorization::Score(data::UserId user,
+                                 data::ItemId item) const {
+  CA_CHECK_LT(user, users_.rows());
+  CA_CHECK_LT(item, items_.rows());
+  return math::Dot(users_.Row(user), items_.Row(item),
+                   config_.embedding_dim);
+}
+
+}  // namespace copyattack::rec

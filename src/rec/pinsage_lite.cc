@@ -1,0 +1,210 @@
+#include "rec/pinsage_lite.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "nn/activations.h"
+#include "util/check.h"
+
+namespace copyattack::rec {
+
+PinSageLite::PinSageLite(const PinSageConfig& config) : config_(config) {
+  CA_CHECK_GT(config.embedding_dim, 0U);
+  CA_CHECK_GE(config.self_weight, 0.0f);
+  CA_CHECK_LE(config.self_weight, 1.0f);
+}
+
+void PinSageLite::InitTraining(const data::Dataset& train, util::Rng& rng) {
+  items_.Resize(train.num_items(), config_.embedding_dim);
+  items_.FillNormal(rng, 0.0f, config_.init_stddev);
+  // Frozen popularity intercept from the training interaction counts.
+  item_intercept_.assign(train.num_items(), 0.0f);
+  for (data::ItemId item = 0; item < train.num_items(); ++item) {
+    item_intercept_[item] =
+        config_.popularity_bias *
+        std::log1p(static_cast<float>(train.ItemPopularity(item)));
+  }
+  user_reps_.Resize(0, config_.embedding_dim);
+  item_user_sum_.Resize(0, config_.embedding_dim);
+  item_user_count_.clear();
+  mean_user_aggregate_.clear();
+  mean_frozen_ = false;
+}
+
+void PinSageLite::TrainEpoch(const data::Dataset& train, util::Rng& rng) {
+  CA_CHECK_EQ(items_.rows(), train.num_items());
+  // Item embeddings are about to change, so any frozen centering mean is
+  // stale; the next BeginServing recomputes it.
+  mean_frozen_ = false;
+  const std::size_t dim = config_.embedding_dim;
+  const float lr = config_.learning_rate;
+  const float reg = config_.regularization;
+
+  std::vector<float> user_rep(dim);
+  const std::size_t steps = train.num_interactions();
+  for (std::size_t s = 0; s < steps; ++s) {
+    const data::UserId u = static_cast<data::UserId>(
+        rng.UniformUint64(train.num_users()));
+    const data::Profile& profile = train.UserProfile(u);
+    if (profile.empty()) continue;
+    const data::ItemId pos = profile[rng.UniformUint64(profile.size())];
+    data::ItemId neg = pos;
+    for (std::size_t attempt = 0; attempt < 32; ++attempt) {
+      const data::ItemId candidate = static_cast<data::ItemId>(
+          rng.UniformUint64(train.num_items()));
+      if (!train.HasInteraction(u, candidate)) {
+        neg = candidate;
+        break;
+      }
+    }
+    if (neg == pos) continue;
+
+    // User representation: profile-mean of item embeddings (the positive
+    // item is excluded so the model cannot trivially memorize it).
+    for (std::size_t d = 0; d < dim; ++d) user_rep[d] = 0.0f;
+    std::size_t contributors = 0;
+    for (const data::ItemId item : profile) {
+      if (item == pos) continue;
+      math::Axpy(1.0f, items_.Row(item), user_rep.data(), dim);
+      ++contributors;
+    }
+    if (contributors == 0) continue;
+    const float inv = 1.0f / static_cast<float>(contributors);
+    for (std::size_t d = 0; d < dim; ++d) user_rep[d] *= inv;
+
+    float* qi = items_.Row(pos);
+    float* qj = items_.Row(neg);
+    const float x = math::Dot(user_rep.data(), qi, dim) -
+                    math::Dot(user_rep.data(), qj, dim);
+    const float sigma = nn::Sigmoid(-x);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float xu_d = user_rep[d];
+      qi[d] += lr * (sigma * xu_d - reg * qi[d]);
+      qj[d] += lr * (-sigma * xu_d - reg * qj[d]);
+    }
+  }
+}
+
+void PinSageLite::ComputeRawUserAggregate(const data::Dataset& current,
+                                          data::UserId user,
+                                          float* out) const {
+  const std::size_t dim = config_.embedding_dim;
+  for (std::size_t d = 0; d < dim; ++d) out[d] = 0.0f;
+  const data::Profile& profile = current.UserProfile(user);
+  if (profile.empty()) return;
+  const float inv = 1.0f / static_cast<float>(profile.size());
+  for (const data::ItemId item : profile) {
+    math::Axpy(inv, items_.Row(item), out, dim);
+  }
+}
+
+void PinSageLite::ComputeUserRepresentation(const data::Dataset& current,
+                                            data::UserId user,
+                                            float* out) const {
+  const std::size_t dim = config_.embedding_dim;
+  ComputeRawUserAggregate(current, user, out);
+  // Mean-centering removes the shared head-item component so only the
+  // user's distinctive taste direction remains.
+  if (config_.center_user_reps && mean_user_aggregate_.size() == dim) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      out[d] -= mean_user_aggregate_[d];
+    }
+  }
+  // PinSage-style L2 normalization of the aggregated representation. This
+  // is what gives user-side preference signal independent of profile
+  // length: a short, coherent profile yields as strong a direction as a
+  // long one (and makes every injected user contribute a unit vector to
+  // its items' neighborhoods).
+  math::NormalizeL2(out, dim);
+}
+
+void PinSageLite::BeginServing(const data::Dataset& current) {
+  CA_CHECK_EQ(items_.rows(), current.num_items());
+  const std::size_t dim = config_.embedding_dim;
+  // The centering mean is a model constant: computed once, over the first
+  // population the model serves (the clean training users), and frozen —
+  // injected users observed later are centered against the same mean.
+  if (!mean_frozen_) {
+    mean_user_aggregate_.assign(dim, 0.0f);
+    if (config_.center_user_reps && current.num_users() > 0) {
+      std::vector<float> aggregate(dim);
+      for (data::UserId u = 0; u < current.num_users(); ++u) {
+        ComputeRawUserAggregate(current, u, aggregate.data());
+        math::Axpy(1.0f / static_cast<float>(current.num_users()),
+                   aggregate.data(), mean_user_aggregate_.data(), dim);
+      }
+    }
+    mean_frozen_ = true;
+  }
+  user_reps_.Resize(current.num_users(), dim);
+  item_user_sum_.Resize(current.num_items(), dim);
+  item_user_count_.assign(current.num_items(), 0);
+  for (data::UserId u = 0; u < current.num_users(); ++u) {
+    ComputeUserRepresentation(current, u, user_reps_.Row(u));
+    for (const data::ItemId item : current.UserProfile(u)) {
+      math::Axpy(1.0f, user_reps_.Row(u), item_user_sum_.Row(item), dim);
+      ++item_user_count_[item];
+    }
+  }
+}
+
+void PinSageLite::ObserveNewUser(const data::Dataset& current,
+                                 data::UserId user) {
+  CA_CHECK_LT(user, current.num_users());
+  CA_CHECK_EQ(static_cast<std::size_t>(user), user_reps_.rows())
+      << "users must be observed in append order";
+  const std::size_t dim = config_.embedding_dim;
+  math::Matrix extended(user_reps_.rows() + 1, dim);
+  for (std::size_t u = 0; u < user_reps_.rows(); ++u) {
+    extended.CopyRowFrom(user_reps_, u, u);
+  }
+  user_reps_ = std::move(extended);
+  ComputeUserRepresentation(current, user, user_reps_.Row(user));
+  for (const data::ItemId item : current.UserProfile(user)) {
+    math::Axpy(1.0f, user_reps_.Row(user), item_user_sum_.Row(item), dim);
+    ++item_user_count_[item];
+  }
+}
+
+const float* PinSageLite::UserRepresentation(data::UserId user) const {
+  CA_CHECK_LT(user, user_reps_.rows());
+  return user_reps_.Row(user);
+}
+
+void PinSageLite::ItemRepresentation(data::ItemId item,
+                                     std::vector<float>* out) const {
+  CA_CHECK_LT(item, items_.rows());
+  const std::size_t dim = config_.embedding_dim;
+  out->assign(dim, 0.0f);
+  const float alpha = config_.self_weight;
+  math::Axpy(alpha, items_.Row(item), out->data(), dim);
+  if (item_user_count_[item] > 0) {
+    const float w =
+        (1.0f - alpha) /
+        std::pow(static_cast<float>(item_user_count_[item]),
+                 config_.neighbor_norm_exponent);
+    math::Axpy(w, item_user_sum_.Row(item), out->data(), dim);
+  }
+}
+
+float PinSageLite::Score(data::UserId user, data::ItemId item) const {
+  CA_CHECK_LT(user, user_reps_.rows());
+  CA_CHECK_LT(item, items_.rows());
+  const std::size_t dim = config_.embedding_dim;
+  const float* p = user_reps_.Row(user);
+  const float alpha = config_.self_weight;
+  float score = alpha * math::Dot(p, items_.Row(item), dim);
+  if (item_user_count_[item] > 0) {
+    const float w =
+        (1.0f - alpha) /
+        std::pow(static_cast<float>(item_user_count_[item]),
+                 config_.neighbor_norm_exponent);
+    score += w * math::Dot(p, item_user_sum_.Row(item), dim);
+  }
+  if (item < item_intercept_.size()) {
+    score += item_intercept_[item];
+  }
+  return score;
+}
+
+}  // namespace copyattack::rec

@@ -1,0 +1,109 @@
+#ifndef COPYATTACK_REC_PINSAGE_LITE_H_
+#define COPYATTACK_REC_PINSAGE_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+#include "rec/recommender.h"
+
+namespace copyattack::rec {
+
+/// Hyper-parameters of the PinSage-style target model.
+struct PinSageConfig {
+  std::size_t embedding_dim = 8;
+  float learning_rate = 0.05f;
+  float regularization = 0.005f;
+  float init_stddev = 0.1f;
+  /// Mixing weight between an item's own embedding and its aggregated
+  /// user-neighborhood representation at serving time:
+  /// z_i = alpha * q_i + (1 - alpha) * sum_{u in P_i} p_u / |P_i|^e.
+  /// The GCN-style degree normalization keeps a popularity signal (more
+  /// interacting users -> larger neighborhood term), which both matches
+  /// graph recommenders in practice and is what injection attacks exploit:
+  /// every injected profile strictly adds mass to the target item's
+  /// neighborhood representation.
+  float self_weight = 0.5f;
+  /// Degree-normalization exponent e above. 0.5 is the symmetric-GCN
+  /// choice; values toward 1.0 compress the popularity signal (1.0 is a
+  /// plain mean). The default 0.5 keeps popularity relevant while leaving
+  /// the preference (direction) component decisive near the Top-k
+  /// boundary.
+  float neighbor_norm_exponent = 0.5f;
+  /// Subtract the global mean user aggregate before normalizing user
+  /// representations (classical mean-centering from neighborhood CF).
+  /// Centering removes the non-discriminative "everybody likes the head"
+  /// component, so only distinctive co-preferences move rankings — which
+  /// is also why profile *crafting* matters for the attack: a long generic
+  /// profile centers away to noise, a focused session keeps its direction.
+  bool center_user_reps = true;
+  /// Weight of the item-popularity intercept added to every score:
+  /// `popularity_bias * log(1 + train_count_i)`. Recommenders learn such an
+  /// item intercept during training; it is a *frozen* model parameter, so
+  /// it keeps cold items out of Top-k lists before any attack but does not
+  /// react to injected interactions (only the inductive aggregation does).
+  float popularity_bias = 0.8f;
+};
+
+/// A graph-aggregation recommender standing in for PinSage (Ying et al.,
+/// KDD'18), the paper's black-box target model (§5.1.3).
+///
+/// Like PinSage, representations are produced *inductively* by aggregating
+/// local neighbors on the user-item bipartite graph:
+///   p_u = mean_{i in P_u} q_i                      (user from items)
+///   z_i = alpha q_i + (1-alpha) mean_{u in P_i} p_u (item from users)
+///   score(u, i) = <p_u, z_i>
+/// where the q_i are item embeddings trained with the BPR loss.
+///
+/// Because z_i is recomputed from the *current* interaction graph, an
+/// injected user immediately shifts the representation of every item in
+/// its profile — the exact mechanism that makes an inductive GNN
+/// recommender attackable by profile injection without any retraining.
+/// Serving-state updates are incremental (running sums per item), so a
+/// black-box query costs O(dim) per candidate.
+class PinSageLite final : public Recommender {
+ public:
+  explicit PinSageLite(const PinSageConfig& config = PinSageConfig());
+
+  void InitTraining(const data::Dataset& train, util::Rng& rng) override;
+  void TrainEpoch(const data::Dataset& train, util::Rng& rng) override;
+  void BeginServing(const data::Dataset& current) override;
+  void ObserveNewUser(const data::Dataset& current,
+                      data::UserId user) override;
+  float Score(data::UserId user, data::ItemId item) const override;
+  std::string name() const override { return "PinSageLite"; }
+
+  /// Trained item embeddings q (exposed for diagnostics and tests).
+  const math::Matrix& item_embeddings() const { return items_; }
+
+  /// Serving-time user representation p_u (valid after BeginServing /
+  /// ObserveNewUser).
+  const float* UserRepresentation(data::UserId user) const;
+
+  /// Serving-time item representation z_i, materialized into `out`
+  /// (size = embedding_dim).
+  void ItemRepresentation(data::ItemId item, std::vector<float>* out) const;
+
+  std::size_t embedding_dim() const { return config_.embedding_dim; }
+
+ private:
+  /// Profile-mean of item embeddings, before centering/normalization.
+  void ComputeRawUserAggregate(const data::Dataset& current,
+                               data::UserId user, float* out) const;
+
+  void ComputeUserRepresentation(const data::Dataset& current,
+                                 data::UserId user, float* out) const;
+
+  PinSageConfig config_;
+  math::Matrix items_;        // q: num_items x dim (trained)
+  std::vector<float> item_intercept_;       // frozen at InitTraining
+  std::vector<float> mean_user_aggregate_;  // frozen at first BeginServing
+  bool mean_frozen_ = false;
+  math::Matrix user_reps_;    // p: num_serving_users x dim
+  math::Matrix item_user_sum_;  // per item: sum of p over interacting users
+  std::vector<std::size_t> item_user_count_;
+};
+
+}  // namespace copyattack::rec
+
+#endif  // COPYATTACK_REC_PINSAGE_LITE_H_

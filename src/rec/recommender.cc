@@ -1,0 +1,24 @@
+#include "rec/recommender.h"
+
+namespace copyattack::rec {
+
+void Recommender::Fit(const data::Dataset& train, std::size_t epochs,
+                      util::Rng& rng) {
+  InitTraining(train, rng);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    TrainEpoch(train, rng);
+  }
+  BeginServing(train);
+}
+
+std::vector<float> Recommender::ScoreCandidates(
+    data::UserId user, const std::vector<data::ItemId>& candidates) const {
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  for (const data::ItemId item : candidates) {
+    scores.push_back(Score(user, item));
+  }
+  return scores;
+}
+
+}  // namespace copyattack::rec

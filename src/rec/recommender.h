@@ -1,0 +1,62 @@
+#ifndef COPYATTACK_REC_RECOMMENDER_H_
+#define COPYATTACK_REC_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/types.h"
+#include "util/rng.h"
+
+namespace copyattack::rec {
+
+/// Interface of a trainable Top-k recommender.
+///
+/// Lifecycle:
+///  1. `InitTraining` + repeated `TrainEpoch` (driven by `TrainWithEarly-
+///     Stopping`), or the convenience `Fit` which runs a fixed epoch count.
+///  2. `BeginServing(current)` builds serving-time representations over the
+///     *current* interaction data — which may already contain users that
+///     were not present during training (the model must handle them
+///     inductively, e.g. by aggregating item representations).
+///  3. `ObserveNewUser` incrementally folds a newly appended user into the
+///     serving state. This is the channel through which an injection
+///     attack perturbs the model: the copied profiles change the
+///     aggregated item representations without any retraining.
+///  4. `Score(user, item)` ranks candidates.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Resets parameters and prepares for `TrainEpoch` over `train`.
+  virtual void InitTraining(const data::Dataset& train, util::Rng& rng) = 0;
+
+  /// Runs one pass of stochastic training over `train`.
+  virtual void TrainEpoch(const data::Dataset& train, util::Rng& rng) = 0;
+
+  /// Convenience: `InitTraining` followed by `epochs` x `TrainEpoch` and a
+  /// final `BeginServing(train)`.
+  void Fit(const data::Dataset& train, std::size_t epochs, util::Rng& rng);
+
+  /// Rebuilds serving-time state from `current` (all users, including ones
+  /// unseen during training).
+  virtual void BeginServing(const data::Dataset& current) = 0;
+
+  /// Incrementally registers the newly appended `user` of `current`.
+  virtual void ObserveNewUser(const data::Dataset& current,
+                              data::UserId user) = 0;
+
+  /// Preference score of `user` for `item` under the serving state.
+  virtual float Score(data::UserId user, data::ItemId item) const = 0;
+
+  /// Short model name for reports.
+  virtual std::string name() const = 0;
+
+  /// Scores a candidate list (order preserved).
+  std::vector<float> ScoreCandidates(
+      data::UserId user, const std::vector<data::ItemId>& candidates) const;
+};
+
+}  // namespace copyattack::rec
+
+#endif  // COPYATTACK_REC_RECOMMENDER_H_

@@ -1,0 +1,48 @@
+#include "rec/trainer.h"
+
+#include "rec/evaluator.h"
+#include "util/logging.h"
+
+namespace copyattack::rec {
+
+TrainReport TrainWithEarlyStopping(Recommender& model,
+                                   const data::TrainValidTestSplit& split,
+                                   const data::Dataset& full,
+                                   const TrainOptions& options,
+                                   util::Rng& rng) {
+  TrainReport report;
+  model.InitTraining(split.train, rng);
+
+  std::size_t epochs_since_best = 0;
+  for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    model.TrainEpoch(split.train, rng);
+    report.epochs_run = epoch + 1;
+
+    model.BeginServing(split.train);
+    util::Rng eval_rng(options.eval_seed);  // same negatives every epoch
+    const MetricsByK valid =
+        EvaluateHeldOut(model, full, split.valid, {options.eval_k},
+                        options.num_negatives, eval_rng);
+    const double hr = valid.at(options.eval_k).hr;
+    if (hr > report.best_valid_hr) {
+      report.best_valid_hr = hr;
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+    }
+    CA_LOG(Debug) << model.name() << " epoch " << (epoch + 1)
+                  << " valid HR@" << options.eval_k << " = " << hr;
+    if (epochs_since_best >= options.patience) break;
+  }
+
+  model.BeginServing(split.train);
+  util::Rng eval_rng(options.eval_seed + 1);
+  const MetricsByK test =
+      EvaluateHeldOut(model, full, split.test, {options.eval_k},
+                      options.num_negatives, eval_rng);
+  report.test_hr = test.at(options.eval_k).hr;
+  report.test_ndcg = test.at(options.eval_k).ndcg;
+  return report;
+}
+
+}  // namespace copyattack::rec

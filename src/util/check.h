@@ -1,0 +1,72 @@
+#ifndef COPYATTACK_UTIL_CHECK_H_
+#define COPYATTACK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace copyattack::util {
+
+/// Prints a fatal diagnostic to stderr and aborts the process.
+///
+/// The project follows the Google style guide and does not use exceptions;
+/// contract violations are programming errors and terminate the process so
+/// they surface immediately in tests and benchmarks.
+[[noreturn]] inline void FatalCheckFailure(const char* file, int line,
+                                           const char* expr,
+                                           const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace internal_check {
+
+/// Stream sink used by the CA_CHECK macros to build failure messages lazily.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    FatalCheckFailure(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace copyattack::util
+
+/// Aborts with a diagnostic if `condition` is false. Additional context may be
+/// streamed: `CA_CHECK(n > 0) << "n=" << n;`
+#define CA_CHECK(condition)                                           \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::copyattack::util::internal_check::CheckMessageBuilder(__FILE__, \
+                                                            __LINE__, \
+                                                            #condition)
+
+#define CA_CHECK_EQ(a, b) CA_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define CA_CHECK_NE(a, b) CA_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define CA_CHECK_LT(a, b) CA_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define CA_CHECK_LE(a, b) CA_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define CA_CHECK_GT(a, b) CA_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define CA_CHECK_GE(a, b) CA_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#endif  // COPYATTACK_UTIL_CHECK_H_

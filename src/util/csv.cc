@@ -1,0 +1,46 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace copyattack::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  CA_CHECK_GT(arity_, 0U);
+  if (out_) {
+    out_ << Join(header, ",") << '\n';
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  CA_CHECK_EQ(fields.size(), arity_);
+  out_ << Join(fields, ",") << '\n';
+}
+
+void CsvWriter::Flush() { out_.flush(); }
+
+bool ReadCsv(const std::string& path, std::vector<std::string>* header,
+             std::vector<std::vector<std::string>>* rows) {
+  std::ifstream in(path);
+  if (!in) return false;
+  header->clear();
+  rows->clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = Split(line, ',');
+    if (first) {
+      *header = std::move(fields);
+      first = false;
+    } else {
+      rows->push_back(std::move(fields));
+    }
+  }
+  return true;
+}
+
+}  // namespace copyattack::util

@@ -1,0 +1,43 @@
+#ifndef COPYATTACK_UTIL_CSV_H_
+#define COPYATTACK_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace copyattack::util {
+
+/// Minimal CSV writer: one header row followed by data rows. Fields are
+/// written verbatim (the project only stores numeric fields and plain
+/// identifiers, so no quoting is required).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Check `ok()` before use.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Returns true if the file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one data row; must have the same arity as the header.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes buffered rows to disk.
+  void Flush();
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+/// Reads a whole CSV file into memory. Returns false if the file cannot be
+/// opened. The first row is returned separately as the header.
+bool ReadCsv(const std::string& path, std::vector<std::string>* header,
+             std::vector<std::vector<std::string>>* rows);
+
+}  // namespace copyattack::util
+
+#endif  // COPYATTACK_UTIL_CSV_H_

@@ -1,0 +1,116 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace copyattack::util {
+
+FlagParser& FlagParser::Define(const std::string& name,
+                               const std::string& default_value,
+                               const std::string& help) {
+  CA_CHECK(flags_.find(name) == flags_.end())
+      << "flag --" << name << " declared twice";
+  flags_[name] = Flag{default_value, help, default_value, false};
+  declaration_order_.push_back(name);
+  return *this;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  error_.clear();
+  command_.clear();
+  positional_.clear();
+  for (auto& [name, flag] : flags_) {
+    (void)name;
+    flag.value = flag.default_value;
+    flag.supplied = false;
+  }
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!StartsWith(token, "--")) {
+      if (command_.empty()) {
+        command_ = token;
+      } else {
+        positional_.push_back(token);
+      }
+      continue;
+    }
+
+    std::string name = token.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t equals = name.find('=');
+    if (equals != std::string::npos) {
+      value = name.substr(equals + 1);
+      name = name.substr(0, equals);
+      has_value = true;
+    }
+
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    if (!has_value) {
+      // `--flag value` form, unless the next token is another flag or
+      // missing — then treat as a boolean switch ("true").
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.supplied = true;
+  }
+  return true;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  const auto it = flags_.find(name);
+  CA_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.value;
+}
+
+std::size_t FlagParser::GetSizeT(const std::string& name) const {
+  std::size_t value = 0;
+  CA_CHECK(ParseSizeT(GetString(name), &value))
+      << "flag --" << name << " is not an unsigned integer: "
+      << GetString(name);
+  return value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  double value = 0.0;
+  CA_CHECK(ParseDouble(GetString(name), &value))
+      << "flag --" << name << " is not a number: " << GetString(name);
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string value = GetString(name);
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  CA_CHECK(false) << "flag --" << name << " is not a boolean: " << value;
+  return false;
+}
+
+bool FlagParser::WasSupplied(const std::string& name) const {
+  const auto it = flags_.find(name);
+  CA_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.supplied;
+}
+
+std::string FlagParser::HelpText() const {
+  std::ostringstream out;
+  for (const std::string& name : declaration_order_) {
+    const Flag& flag = flags_.at(name);
+    out << "  --" << name << " (default: " << flag.default_value << ")\n"
+        << "      " << flag.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace copyattack::util

@@ -1,0 +1,68 @@
+#ifndef COPYATTACK_UTIL_FLAGS_H_
+#define COPYATTACK_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace copyattack::util {
+
+/// Minimal command-line parser for the repository's tools.
+///
+/// Grammar: `tool <command> [--flag=value | --flag value | --switch] ...`
+/// Positional arguments after the command are collected in order.
+/// Unknown flags are an error surfaced through `ok()` so tools can print
+/// usage instead of silently ignoring typos.
+class FlagParser {
+ public:
+  /// Declares a flag with a default value (all values are strings at the
+  /// parsing level; typed getters convert). Returns *this for chaining.
+  FlagParser& Define(const std::string& name,
+                     const std::string& default_value,
+                     const std::string& help);
+
+  /// Parses argv (excluding argv[0]); the first non-flag token becomes the
+  /// command. Returns false on malformed input or unknown flags.
+  bool Parse(int argc, const char* const* argv);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// The first positional token ("" if none).
+  const std::string& command() const { return command_; }
+
+  /// Positional arguments after the command.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Typed accessors; abort on undeclared names (programming error),
+  /// return the default when the flag was not supplied.
+  std::string GetString(const std::string& name) const;
+  std::size_t GetSizeT(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True if the flag was explicitly supplied on the command line.
+  bool WasSupplied(const std::string& name) const;
+
+  /// Renders the declared flags as a usage/help block.
+  std::string HelpText() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+    bool supplied = false;
+  };
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declaration_order_;
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace copyattack::util
+
+#endif  // COPYATTACK_UTIL_FLAGS_H_

@@ -1,0 +1,31 @@
+#ifndef COPYATTACK_UTIL_STOPWATCH_H_
+#define COPYATTACK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace copyattack::util {
+
+/// Simple monotonic-clock stopwatch used for experiment wall-clock reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns the elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns the elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace copyattack::util
+
+#endif  // COPYATTACK_UTIL_STOPWATCH_H_

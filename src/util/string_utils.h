@@ -1,0 +1,34 @@
+#ifndef COPYATTACK_UTIL_STRING_UTILS_H_
+#define COPYATTACK_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace copyattack::util {
+
+/// Splits `text` on `delimiter`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Parses a non-negative integer. Returns false on malformed input.
+bool ParseSizeT(std::string_view text, std::size_t* out);
+
+/// Parses a double. Returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace copyattack::util
+
+#endif  // COPYATTACK_UTIL_STRING_UTILS_H_

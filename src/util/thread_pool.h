@@ -1,0 +1,56 @@
+#ifndef COPYATTACK_UTIL_THREAD_POOL_H_
+#define COPYATTACK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace copyattack::util {
+
+/// Fixed-size worker pool used to parallelize independent attack campaigns
+/// (e.g. the 50 target items of Table 2) across cores. Tasks may not spawn
+/// nested tasks into the same pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every `i` in `[0, n)` on the pool and waits. This is
+  /// the common fan-out pattern for per-target-item experiments.
+  static void ParallelFor(std::size_t n, std::size_t num_threads,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace copyattack::util
+
+#endif  // COPYATTACK_UTIL_THREAD_POOL_H_

@@ -1,0 +1,119 @@
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli.h"
+
+namespace copyattack::tools {
+namespace {
+
+/// Runs the CLI with the given arguments and captures stdout text.
+int RunTool(const std::vector<std::string>& args, std::string* output) {
+  std::vector<const char*> argv = {"copyattack"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out;
+  const int code = RunCli(static_cast<int>(argv.size()), argv.data(), out);
+  *output = out.str();
+  return code;
+}
+
+std::string TempPrefix(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void RemoveWorld(const std::string& prefix) {
+  for (const char* suffix : {".meta.csv", ".target.csv", ".source.csv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(CliTest, HelpListsCommandsAndFlags) {
+  std::string output;
+  EXPECT_EQ(RunTool({"help"}, &output), 0);
+  EXPECT_NE(output.find("generate"), std::string::npos);
+  EXPECT_NE(output.find("--budget"), std::string::npos);
+}
+
+TEST(CliTest, NoCommandPrintsHelp) {
+  std::string output;
+  EXPECT_EQ(RunTool({}, &output), 0);
+  EXPECT_NE(output.find("usage"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string output;
+  EXPECT_NE(RunTool({"frobnicate"}, &output), 0);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  std::string output;
+  EXPECT_NE(RunTool({"stats", "--bogus=1"}, &output), 0);
+  EXPECT_NE(output.find("unknown flag"), std::string::npos);
+}
+
+TEST(CliTest, GenerateStatsRoundTrip) {
+  const std::string prefix = TempPrefix("cli_world");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  EXPECT_NE(output.find("written:"), std::string::npos);
+
+  ASSERT_EQ(RunTool({"stats", "--data", prefix}, &output), 0);
+  EXPECT_NE(output.find("# of Users"), std::string::npos);
+  EXPECT_NE(output.find("Tiny"), std::string::npos);
+  RemoveWorld(prefix);
+}
+
+TEST(CliTest, GenerateRejectsBadConfig) {
+  std::string output;
+  EXPECT_NE(RunTool({"generate", "--config=huge", "--out=/tmp/x"}, &output), 0);
+  EXPECT_NE(output.find("unknown --config"), std::string::npos);
+}
+
+TEST(CliTest, StatsFailsOnMissingData) {
+  std::string output;
+  EXPECT_NE(RunTool({"stats", "--data=/nonexistent/prefix"}, &output), 0);
+  EXPECT_NE(output.find("could not load"), std::string::npos);
+}
+
+TEST(CliTest, TrainReportsQuality) {
+  const std::string prefix = TempPrefix("cli_train_world");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  ASSERT_EQ(RunTool({"train", "--data", prefix, "--max-epochs=5",
+                 "--patience=2"},
+                &output),
+            0);
+  EXPECT_NE(output.find("test  HR@10"), std::string::npos);
+  RemoveWorld(prefix);
+}
+
+TEST(CliTest, AttackRunsEndToEnd) {
+  const std::string prefix = TempPrefix("cli_attack_world");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  ASSERT_EQ(RunTool({"attack", "--data", prefix, "--method=TargetAttack40",
+                 "--targets=2", "--budget=6"},
+                &output),
+            0);
+  EXPECT_NE(output.find("WithoutAttack"), std::string::npos);
+  EXPECT_NE(output.find("TargetAttack40"), std::string::npos);
+  RemoveWorld(prefix);
+}
+
+TEST(CliTest, AttackRejectsUnknownMethod) {
+  const std::string prefix = TempPrefix("cli_method_world");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  EXPECT_NE(RunTool({"attack", "--data", prefix, "--method=VoodooAttack"},
+                &output),
+            0);
+  EXPECT_NE(output.find("unknown --method"), std::string::npos);
+  RemoveWorld(prefix);
+}
+
+}  // namespace
+}  // namespace copyattack::tools

@@ -1,0 +1,310 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchical_tree.h"
+#include "cluster/kmeans.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace copyattack::cluster {
+namespace {
+
+math::Matrix MakeGaussianBlobs(std::size_t per_blob, util::Rng& rng) {
+  // Three well-separated 2-D blobs.
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  math::Matrix points(3 * per_blob, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = b * per_blob + i;
+      points(row, 0) =
+          centers[b][0] + static_cast<float>(rng.Normal(0.0, 0.5));
+      points(row, 1) =
+          centers[b][1] + static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+  }
+  return points;
+}
+
+std::vector<std::size_t> AllIndices(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  return indices;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  util::Rng rng(5);
+  const math::Matrix points = MakeGaussianBlobs(30, rng);
+  const auto result = KMeans(points, AllIndices(90), 3, rng);
+  // All points of a blob should share one cluster.
+  for (std::size_t b = 0; b < 3; ++b) {
+    std::set<std::size_t> labels;
+    for (std::size_t i = 0; i < 30; ++i) {
+      labels.insert(result.assignment[b * 30 + i]);
+    }
+    EXPECT_EQ(labels.size(), 1U) << "blob " << b << " was split";
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  util::Rng rng(5);
+  const math::Matrix points = MakeGaussianBlobs(30, rng);
+  util::Rng r1(1), r2(1);
+  const double inertia1 = KMeans(points, AllIndices(90), 1, r1).inertia;
+  const double inertia3 = KMeans(points, AllIndices(90), 3, r2).inertia;
+  EXPECT_LT(inertia3, inertia1 * 0.5);
+}
+
+TEST(KMeansTest, WorksOnSubset) {
+  util::Rng rng(5);
+  const math::Matrix points = MakeGaussianBlobs(30, rng);
+  const std::vector<std::size_t> subset = {0, 1, 2, 30, 31, 32};
+  const auto result = KMeans(points, subset, 2, rng);
+  EXPECT_EQ(result.assignment.size(), subset.size());
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  math::Matrix points(6, 2, 1.0f);  // all identical
+  util::Rng rng(7);
+  const auto result = KMeans(points, AllIndices(6), 3, rng);
+  EXPECT_EQ(result.assignment.size(), 6U);
+}
+
+TEST(BalancedAssignTest, SizesDifferByAtMostOne) {
+  util::Rng rng(9);
+  math::Matrix points(50, 3);
+  points.FillNormal(rng, 0.0f, 1.0f);
+  const auto km = KMeans(points, AllIndices(50), 4, rng);
+  const auto balanced = BalancedAssign(points, AllIndices(50), km.centroids);
+  std::map<std::size_t, std::size_t> sizes;
+  for (const std::size_t c : balanced) ++sizes[c];
+  EXPECT_EQ(sizes.size(), 4U);
+  std::size_t min_size = 50, max_size = 0;
+  for (const auto& [c, n] : sizes) {
+    (void)c;
+    min_size = std::min(min_size, n);
+    max_size = std::max(max_size, n);
+  }
+  EXPECT_LE(max_size - min_size, 1U);
+}
+
+TEST(BalancedAssignTest, ExactDivisionGivesEqualSizes) {
+  util::Rng rng(11);
+  math::Matrix points(40, 2);
+  points.FillNormal(rng, 0.0f, 1.0f);
+  const auto assignment =
+      BalancedKMeans(points, AllIndices(40), 4, rng);
+  std::map<std::size_t, std::size_t> sizes;
+  for (const std::size_t c : assignment) ++sizes[c];
+  for (const auto& [c, n] : sizes) {
+    (void)c;
+    EXPECT_EQ(n, 10U);
+  }
+}
+
+TEST(BalancedAssignTest, PrefersNearCentroids) {
+  // Two clear blobs of equal size: balancing should not need to move
+  // anything, so the balanced assignment must equal the natural one.
+  util::Rng rng(13);
+  math::Matrix points(20, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    points(i, 0) = static_cast<float>(rng.Normal(0.0, 0.1));
+    points(i, 1) = 0.0f;
+    points(10 + i, 0) = static_cast<float>(rng.Normal(20.0, 0.1));
+    points(10 + i, 1) = 0.0f;
+  }
+  math::Matrix centroids(2, 2, 0.0f);
+  centroids(1, 0) = 20.0f;
+  const auto assignment = BalancedAssign(points, AllIndices(20), centroids);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(assignment[i], 0U);
+    EXPECT_EQ(assignment[10 + i], 1U);
+  }
+}
+
+TEST(TreeTest, BranchingForDepth) {
+  EXPECT_EQ(HierarchicalTree::BranchingForDepth(8, 3), 2U);
+  EXPECT_EQ(HierarchicalTree::BranchingForDepth(9, 3), 3U);   // 2^3 < 9 <= 3^3
+  EXPECT_EQ(HierarchicalTree::BranchingForDepth(1000, 3), 10U);
+  EXPECT_EQ(HierarchicalTree::BranchingForDepth(100, 1), 100U);
+  EXPECT_EQ(HierarchicalTree::BranchingForDepth(5, 10), 2U);
+}
+
+TEST(TreeTest, EveryUserIsExactlyOneLeaf) {
+  util::Rng rng(17);
+  math::Matrix embeddings(37, 4);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, 3, rng);
+  EXPECT_EQ(tree.num_leaves(), 37U);
+  std::set<std::size_t> users;
+  for (const std::size_t leaf : tree.leaves()) {
+    EXPECT_TRUE(tree.IsLeaf(leaf));
+    users.insert(tree.node(leaf).leaf_user);
+  }
+  EXPECT_EQ(users.size(), 37U);
+  for (std::size_t u = 0; u < 37; ++u) {
+    const std::size_t leaf = tree.LeafOfUser(u);
+    ASSERT_NE(leaf, kNoNode);
+    EXPECT_EQ(tree.node(leaf).leaf_user, u);
+  }
+}
+
+TEST(TreeTest, DepthMatchesPaperBound) {
+  util::Rng rng(19);
+  math::Matrix embeddings(100, 4);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, 5, rng);
+  // 5^2 = 25 < 100 <= 125 = 5^3, so depth must be 3.
+  EXPECT_EQ(tree.depth(), 3U);
+}
+
+TEST(TreeTest, BuildWithDepthHonorsRequestedDepth) {
+  util::Rng rng(19);
+  math::Matrix embeddings(64, 4);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  for (const std::size_t depth : {2U, 3U, 6U}) {
+    const auto tree =
+        HierarchicalTree::BuildWithDepth(embeddings, depth, rng);
+    EXPECT_LE(tree.depth(), depth) << "depth " << depth;
+    EXPECT_EQ(tree.num_leaves(), 64U);
+  }
+}
+
+TEST(TreeTest, ParentChildConsistency) {
+  util::Rng rng(23);
+  math::Matrix embeddings(29, 3);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, 4, rng);
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    for (const std::size_t child : tree.node(id).children) {
+      EXPECT_EQ(tree.node(child).parent, id);
+      EXPECT_EQ(tree.node(child).level, tree.node(id).level + 1);
+    }
+  }
+  EXPECT_EQ(tree.node(tree.root()).parent, kNoNode);
+}
+
+TEST(TreeTest, InternalNodesHaveBetweenTwoAndBranchingChildren) {
+  util::Rng rng(29);
+  math::Matrix embeddings(50, 3);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, 4, rng);
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const auto& node = tree.node(id);
+    if (!node.children.empty()) {
+      EXPECT_GE(node.children.size(), 2U);
+      EXPECT_LE(node.children.size(), 4U);
+    }
+  }
+}
+
+TEST(TreeTest, MaskPropagatesUpward) {
+  util::Rng rng(31);
+  math::Matrix embeddings(16, 3);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, 2, rng);
+
+  // Allow only user 5: exactly the path root->leaf(5) must be unmasked.
+  const auto mask =
+      tree.ComputeMask([](std::size_t user) { return user == 5; });
+  EXPECT_TRUE(mask[tree.root()]);
+  std::size_t unmasked_leaves = 0;
+  for (const std::size_t leaf : tree.leaves()) {
+    if (mask[leaf]) {
+      ++unmasked_leaves;
+      EXPECT_EQ(tree.node(leaf).leaf_user, 5U);
+      // Every ancestor must be unmasked.
+      for (std::size_t n = leaf; n != kNoNode; n = tree.node(n).parent) {
+        EXPECT_TRUE(mask[n]);
+      }
+    }
+  }
+  EXPECT_EQ(unmasked_leaves, 1U);
+
+  // Internal nodes with no allowed descendant must be masked.
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    if (tree.node(id).children.empty()) continue;
+    bool any_child = false;
+    for (const std::size_t child : tree.node(id).children) {
+      any_child = any_child || mask[child];
+    }
+    EXPECT_EQ(mask[id], any_child);
+  }
+}
+
+TEST(TreeTest, MaskAllowAllAndAllowNone) {
+  util::Rng rng(37);
+  math::Matrix embeddings(10, 2);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, 3, rng);
+  const auto all = tree.ComputeMask([](std::size_t) { return true; });
+  EXPECT_TRUE(std::all_of(all.begin(), all.end(),
+                          [](bool b) { return b; }));
+  const auto none = tree.ComputeMask([](std::size_t) { return false; });
+  EXPECT_TRUE(std::none_of(none.begin(), none.end(),
+                           [](bool b) { return b; }));
+}
+
+TEST(TreeTest, SingleUserTree) {
+  math::Matrix embeddings(1, 2, 0.5f);
+  util::Rng rng(41);
+  const auto tree = HierarchicalTree::Build(embeddings, 2, rng);
+  EXPECT_EQ(tree.num_leaves(), 1U);
+  EXPECT_EQ(tree.depth(), 0U);
+  EXPECT_TRUE(tree.IsLeaf(tree.root()));
+}
+
+/// Property sweep over (#users, branching): structure invariants hold for
+/// many shapes.
+class TreeShapeProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(TreeShapeProperty, StructureInvariants) {
+  const auto [n, branching] = GetParam();
+  util::Rng rng(1000 + n * 7 + branching);
+  math::Matrix embeddings(n, 4);
+  embeddings.FillNormal(rng, 0.0f, 1.0f);
+  const auto tree = HierarchicalTree::Build(embeddings, branching, rng);
+
+  EXPECT_EQ(tree.num_leaves(), n);
+  EXPECT_EQ(tree.num_nodes(),
+            tree.num_leaves() + tree.num_internal_nodes());
+
+  // Paper bound: branching^(depth-1) < n <= branching^depth (for n > 1).
+  if (n > 1) {
+    const double depth_bound =
+        std::ceil(std::log(static_cast<double>(n)) /
+                  std::log(static_cast<double>(branching)) - 1e-9);
+    EXPECT_LE(tree.depth(), static_cast<std::size_t>(depth_bound) + 1);
+  }
+
+  // Balanced: leaf levels differ by at most one.
+  std::size_t min_level = SIZE_MAX, max_level = 0;
+  for (const std::size_t leaf : tree.leaves()) {
+    min_level = std::min(min_level, tree.node(leaf).level);
+    max_level = std::max(max_level, tree.node(leaf).level);
+  }
+  EXPECT_LE(max_level - min_level, 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeShapeProperty,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(2, 2),
+                      std::make_pair<std::size_t, std::size_t>(7, 2),
+                      std::make_pair<std::size_t, std::size_t>(8, 2),
+                      std::make_pair<std::size_t, std::size_t>(9, 2),
+                      std::make_pair<std::size_t, std::size_t>(27, 3),
+                      std::make_pair<std::size_t, std::size_t>(50, 4),
+                      std::make_pair<std::size_t, std::size_t>(100, 10),
+                      std::make_pair<std::size_t, std::size_t>(121, 5)));
+
+}  // namespace
+}  // namespace copyattack::cluster

@@ -1,0 +1,125 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/crafting.h"
+
+namespace copyattack::core {
+namespace {
+
+using data::ItemId;
+using data::Profile;
+
+TEST(CraftingTest, PaperExampleFiftyPercent) {
+  // The exact example from §4.4: a 10-item profile with the target at
+  // position 4 (v5), clipped at 50%, keeps {v3, v4, v5*, v6, v7}.
+  const Profile profile = {1, 2, 3, 4, 50, 6, 7, 8, 9, 10};
+  const Profile crafted = ClipProfileAroundTarget(profile, 50, 0.5);
+  EXPECT_EQ(crafted, (Profile{3, 4, 50, 6, 7}));
+}
+
+TEST(CraftingTest, FullFractionKeepsEverything) {
+  const Profile profile = {1, 2, 3, 4, 5};
+  EXPECT_EQ(ClipProfileAroundTarget(profile, 3, 1.0), profile);
+}
+
+TEST(CraftingTest, TinyFractionKeepsAtLeastTarget) {
+  const Profile profile = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Profile crafted = ClipProfileAroundTarget(profile, 7, 0.1);
+  ASSERT_EQ(crafted.size(), 1U);
+  EXPECT_EQ(crafted[0], 7U);
+}
+
+TEST(CraftingTest, TargetAtStartShiftsWindowRight) {
+  const Profile profile = {9, 1, 2, 3, 4, 5, 6, 7};
+  const Profile crafted = ClipProfileAroundTarget(profile, 9, 0.5);
+  EXPECT_EQ(crafted.size(), 4U);
+  EXPECT_EQ(crafted.front(), 9U);
+  // Window must be contiguous from the start.
+  EXPECT_EQ(crafted, (Profile{9, 1, 2, 3}));
+}
+
+TEST(CraftingTest, TargetAtEndShiftsWindowLeft) {
+  const Profile profile = {1, 2, 3, 4, 5, 6, 7, 9};
+  const Profile crafted = ClipProfileAroundTarget(profile, 9, 0.5);
+  EXPECT_EQ(crafted, (Profile{5, 6, 7, 9}));
+}
+
+TEST(CraftingTest, SingleItemProfile) {
+  const Profile profile = {42};
+  EXPECT_EQ(ClipProfileAroundTarget(profile, 42, 0.1), profile);
+  EXPECT_EQ(ClipProfileAroundTarget(profile, 42, 1.0), profile);
+}
+
+TEST(CraftingTest, MissingTargetCentersOnMiddle) {
+  const Profile profile = {1, 2, 3, 4, 5, 6};
+  const Profile crafted = ClipProfileAroundTarget(profile, 99, 0.5);
+  EXPECT_EQ(crafted.size(), 3U);
+  // Centered on index 3 -> {3, 4, 5}.
+  EXPECT_EQ(crafted, (Profile{3, 4, 5}));
+}
+
+TEST(CraftingTest, WindowLengthRounding) {
+  EXPECT_EQ(CraftWindowLength(10, 0.5), 5U);
+  EXPECT_EQ(CraftWindowLength(10, 0.05), 1U);
+  EXPECT_EQ(CraftWindowLength(10, 1.0), 10U);
+  EXPECT_EQ(CraftWindowLength(3, 0.5), 2U);   // 1.5 rounds to 2
+  EXPECT_EQ(CraftWindowLength(1, 0.1), 1U);
+}
+
+TEST(CraftingTest, CraftLevelsCoverTenPercentSteps) {
+  ASSERT_EQ(kNumCraftLevels, 10U);
+  for (std::size_t i = 0; i < kNumCraftLevels; ++i) {
+    EXPECT_DOUBLE_EQ(kCraftLevels[i], 0.1 * static_cast<double>(i + 1));
+  }
+}
+
+/// Property sweep over (profile length, target position, level): the
+/// crafted profile is always a contiguous subsequence containing the
+/// target with the expected length.
+struct CraftCase {
+  std::size_t length;
+  std::size_t target_pos;
+  std::size_t level;
+};
+
+class CraftingProperty : public ::testing::TestWithParam<CraftCase> {};
+
+TEST_P(CraftingProperty, WindowInvariants) {
+  const CraftCase c = GetParam();
+  Profile profile(c.length);
+  for (std::size_t i = 0; i < c.length; ++i) {
+    profile[i] = static_cast<ItemId>(i + 100);
+  }
+  const ItemId target = profile[c.target_pos];
+  const double fraction = kCraftLevels[c.level];
+  const Profile crafted = ClipProfileAroundTarget(profile, target, fraction);
+
+  // Expected length.
+  EXPECT_EQ(crafted.size(), CraftWindowLength(c.length, fraction));
+  // Contains the target.
+  EXPECT_NE(std::find(crafted.begin(), crafted.end(), target),
+            crafted.end());
+  // Contiguous subsequence of the original.
+  const auto begin_it =
+      std::find(profile.begin(), profile.end(), crafted.front());
+  ASSERT_NE(begin_it, profile.end());
+  const std::size_t offset =
+      static_cast<std::size_t>(begin_it - profile.begin());
+  for (std::size_t i = 0; i < crafted.size(); ++i) {
+    EXPECT_EQ(crafted[i], profile[offset + i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CraftingProperty,
+    ::testing::Values(CraftCase{1, 0, 0}, CraftCase{2, 0, 0},
+                      CraftCase{2, 1, 9}, CraftCase{5, 0, 4},
+                      CraftCase{5, 4, 4}, CraftCase{10, 4, 4},
+                      CraftCase{10, 0, 2}, CraftCase{10, 9, 2},
+                      CraftCase{17, 8, 6}, CraftCase{33, 1, 3},
+                      CraftCase{33, 31, 7}, CraftCase{100, 50, 0},
+                      CraftCase{100, 99, 9}));
+
+}  // namespace
+}  // namespace copyattack::core

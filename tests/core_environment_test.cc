@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "core/environment.h"
+#include "rec/pinsage_lite.h"
+#include "test_helpers.h"
+
+namespace copyattack::core {
+namespace {
+
+using testhelpers::SharedTinyWorld;
+
+EnvConfig SmallEnvConfig() {
+  EnvConfig config;
+  config.budget = 6;
+  config.query_interval = 3;
+  config.num_pretend_users = 10;
+  config.reward_k = 20;
+  config.query_candidates = 50;
+  config.seed = 7;
+  return config;
+}
+
+data::Profile MakeAttackProfile(const data::CrossDomainDataset& dataset,
+                                data::ItemId target) {
+  const auto& holders = dataset.SourceHolders(target);
+  return dataset.source.UserProfile(holders[0]);
+}
+
+TEST(EnvironmentTest, ResetAddsPretendUsersOnly) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+  EXPECT_EQ(env.black_box().polluted().num_users(),
+            tw.split.train.num_users() + 10);
+  EXPECT_EQ(env.black_box().injected_profiles(), 0U);
+  EXPECT_FALSE(env.done());
+  EXPECT_EQ(env.pretend_users().size(), 10U);
+}
+
+TEST(EnvironmentTest, PretendUsersNeverHoldTargetItem) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+  for (const data::UserId user : env.pretend_users()) {
+    EXPECT_FALSE(
+        env.black_box().polluted().HasInteraction(user, tw.cold_target));
+  }
+}
+
+TEST(EnvironmentTest, QueryCadenceEveryThirdInjection) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+
+  const data::Profile profile =
+      MakeAttackProfile(tw.world.dataset, tw.cold_target);
+  // With query_interval 3: steps 1,2 no query; step 3 queries.
+  data::Profile p1 = profile;
+  auto r1 = env.Step(std::move(p1));
+  EXPECT_FALSE(r1.queried);
+  data::Profile p2 = profile;
+  // Profiles must be unique per injected user? No — duplicates across
+  // users are allowed; each injection creates a new user.
+  auto r2 = env.Step(std::move(p2));
+  EXPECT_FALSE(r2.queried);
+  data::Profile p3 = profile;
+  auto r3 = env.Step(std::move(p3));
+  EXPECT_TRUE(r3.queried);
+}
+
+TEST(EnvironmentTest, BudgetTerminatesEpisode) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+  const data::Profile profile =
+      MakeAttackProfile(tw.world.dataset, tw.cold_target);
+  AttackEnvironment::StepResult last;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(env.done());
+    data::Profile p = profile;
+    last = env.Step(std::move(p));
+  }
+  EXPECT_TRUE(env.done());
+  EXPECT_TRUE(last.done);
+  // The final step always queries (reward for the terminal state).
+  EXPECT_TRUE(last.queried);
+  EXPECT_EQ(env.black_box().injected_profiles(), 6U);
+}
+
+TEST(EnvironmentTest, ResetClearsInjections) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+  data::Profile p = MakeAttackProfile(tw.world.dataset, tw.cold_target);
+  env.Step(std::move(p));
+  EXPECT_EQ(env.black_box().injected_profiles(), 1U);
+
+  env.Reset(tw.cold_target);
+  EXPECT_EQ(env.black_box().injected_profiles(), 0U);
+  EXPECT_EQ(env.black_box().polluted().num_users(),
+            tw.split.train.num_users() + 10);
+  EXPECT_FALSE(env.done());
+}
+
+TEST(EnvironmentTest, RewardIsInUnitInterval) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+  const double reward = env.QueryReward();
+  EXPECT_GE(reward, 0.0);
+  EXPECT_LE(reward, 1.0);
+}
+
+TEST(EnvironmentTest, InjectionIncreasesPretendReward) {
+  // Inject many profiles holding the target item; reward over pretend
+  // users should not decrease relative to the clean state.
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  EnvConfig config = SmallEnvConfig();
+  config.budget = 12;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model, config);
+  env.Reset(tw.cold_target);
+  const double before = env.QueryReward();
+
+  const auto& holders = tw.world.dataset.SourceHolders(tw.cold_target);
+  std::size_t injected = 0;
+  for (const data::UserId holder : holders) {
+    if (env.done()) break;
+    env.Step(tw.world.dataset.source.UserProfile(holder));
+    ++injected;
+  }
+  ASSERT_GT(injected, 0U);
+  const double after = env.QueryReward();
+  EXPECT_GE(after, before);
+}
+
+TEST(EnvironmentTest, EvaluateRealPromotionDeterministic) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model_a = tw.model;
+  AttackEnvironment env_a(tw.world.dataset, tw.split.train, &model_a,
+                          SmallEnvConfig());
+  env_a.Reset(tw.cold_target);
+  const auto metrics_a = env_a.EvaluateRealPromotion({20, 10}, 50, 50);
+
+  rec::PinSageLite model_b = tw.model;
+  AttackEnvironment env_b(tw.world.dataset, tw.split.train, &model_b,
+                          SmallEnvConfig());
+  env_b.Reset(tw.cold_target);
+  const auto metrics_b = env_b.EvaluateRealPromotion({20, 10}, 50, 50);
+
+  EXPECT_DOUBLE_EQ(metrics_a.at(20).hr, metrics_b.at(20).hr);
+  EXPECT_DOUBLE_EQ(metrics_a.at(10).ndcg, metrics_b.at(10).ndcg);
+}
+
+TEST(EnvironmentTest, LifetimeQueriesAccumulateAcrossResets) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  env.Reset(tw.cold_target);
+  env.QueryReward();
+  env.Reset(tw.cold_target);
+  env.QueryReward();
+  EXPECT_EQ(env.lifetime_queries(), 2U);
+}
+
+TEST(EnvironmentDeathTest, StepBeforeResetAborts) {
+  const auto& tw = SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
+                        SmallEnvConfig());
+  EXPECT_DEATH(env.Step({0, 1}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace copyattack::core
+
+namespace copyattack::core {
+namespace {
+
+TEST(EnvironmentTest, QueryBudgetTerminatesEpisode) {
+  const auto& tw = testhelpers::SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  EnvConfig config;
+  config.budget = 30;
+  config.query_interval = 3;
+  config.num_pretend_users = 8;
+  config.query_candidates = 40;
+  config.max_query_rounds = 2;  // ends after the 2nd query round
+  config.seed = 7;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model, config);
+  env.Reset(tw.cold_target);
+
+  const auto& holders = tw.world.dataset.SourceHolders(tw.cold_target);
+  std::size_t steps = 0;
+  util::Rng rng(3);
+  while (!env.done()) {
+    const data::UserId holder =
+        holders[rng.UniformUint64(holders.size())];
+    env.Step(tw.world.dataset.source.UserProfile(holder));
+    ++steps;
+    ASSERT_LE(steps, 30U);
+  }
+  // 2 query rounds x interval 3 = 6 injections, well under the budget.
+  EXPECT_EQ(steps, 6U);
+}
+
+/// Property sweep: the number of query rounds in one full-budget episode
+/// is ceil(budget / interval) for every (budget, interval) combination.
+class QueryCadenceProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(QueryCadenceProperty, RoundsMatchFormula) {
+  const auto [budget, interval] = GetParam();
+  const auto& tw = testhelpers::SharedTinyWorld();
+  rec::PinSageLite model = tw.model;
+  EnvConfig config;
+  config.budget = budget;
+  config.query_interval = interval;
+  config.num_pretend_users = 5;
+  config.query_candidates = 30;
+  config.seed = 7;
+  AttackEnvironment env(tw.world.dataset, tw.split.train, &model, config);
+  env.Reset(tw.cold_target);
+
+  const auto& holders = tw.world.dataset.SourceHolders(tw.cold_target);
+  util::Rng rng(3);
+  std::size_t query_rounds = 0;
+  while (!env.done()) {
+    const data::UserId holder =
+        holders[rng.UniformUint64(holders.size())];
+    const auto result =
+        env.Step(tw.world.dataset.source.UserProfile(holder));
+    if (result.queried) ++query_rounds;
+  }
+  // Query at every full interval plus the terminal step; steps at both a
+  // full interval and the budget count once.
+  const std::size_t expected =
+      budget / interval + (budget % interval == 0 ? 0 : 1);
+  EXPECT_EQ(query_rounds, expected)
+      << "budget=" << budget << " interval=" << interval;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cadences, QueryCadenceProperty,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(6, 3),
+                      std::make_pair<std::size_t, std::size_t>(7, 3),
+                      std::make_pair<std::size_t, std::size_t>(9, 2),
+                      std::make_pair<std::size_t, std::size_t>(5, 1),
+                      std::make_pair<std::size_t, std::size_t>(10, 4),
+                      std::make_pair<std::size_t, std::size_t>(3, 5)));
+
+}  // namespace
+}  // namespace copyattack::core

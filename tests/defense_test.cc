@@ -1,0 +1,171 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crafting.h"
+#include "defense/detectors.h"
+#include "defense/profile_features.h"
+#include "rec/matrix_factorization.h"
+#include "test_helpers.h"
+
+namespace copyattack::defense {
+namespace {
+
+using testhelpers::SharedTinyWorld;
+
+/// Fixture: extractor over the tiny world's target domain plus MF item
+/// embeddings.
+class DefenseFixture : public ::testing::Test {
+ protected:
+  DefenseFixture() {
+    const auto& tw = SharedTinyWorld();
+    util::Rng rng(3);
+    mf_.Fit(tw.world.dataset.target, 10, rng);
+    extractor_ = std::make_unique<ProfileFeatureExtractor>(
+        &tw.world.dataset.target, &mf_.item_embeddings());
+  }
+
+  std::vector<ProfileFeatures> RealFeatures(std::size_t count) {
+    const auto& tw = SharedTinyWorld();
+    util::Rng rng(5);
+    std::vector<ProfileFeatures> features;
+    for (std::size_t i = 0; i < count; ++i) {
+      const data::UserId u = static_cast<data::UserId>(
+          rng.UniformUint64(tw.world.dataset.target.num_users()));
+      features.push_back(extractor_->Extract(
+          tw.world.dataset.target.UserProfile(u), rng));
+    }
+    return features;
+  }
+
+  /// Fabricated shilling profiles: the target plus random filler.
+  std::vector<ProfileFeatures> FabricatedFeatures(std::size_t count) {
+    const auto& tw = SharedTinyWorld();
+    util::Rng rng(7);
+    std::vector<ProfileFeatures> features;
+    for (std::size_t i = 0; i < count; ++i) {
+      data::Profile fake = {tw.cold_target};
+      while (fake.size() < 15) {
+        const data::ItemId item = static_cast<data::ItemId>(
+            rng.UniformUint64(tw.world.dataset.target.num_items()));
+        bool dup = false;
+        for (const data::ItemId existing : fake) {
+          dup = dup || existing == item;
+        }
+        if (!dup) fake.push_back(item);
+      }
+      features.push_back(extractor_->Extract(fake, rng));
+    }
+    return features;
+  }
+
+  /// CopyAttack-style profiles: crafted windows of real source holders.
+  std::vector<ProfileFeatures> CopiedFeatures() {
+    const auto& tw = SharedTinyWorld();
+    util::Rng rng(9);
+    std::vector<ProfileFeatures> features;
+    for (const data::ItemId item : tw.world.dataset.OverlapItems()) {
+      for (const data::UserId holder : tw.world.dataset.SourceHolders(item)) {
+        if (features.size() >= 80) return features;
+        features.push_back(extractor_->Extract(
+            core::ClipProfileAroundTarget(
+                tw.world.dataset.source.UserProfile(holder), item, 0.5),
+            rng));
+      }
+    }
+    return features;
+  }
+
+  rec::MatrixFactorization mf_;
+  std::unique_ptr<ProfileFeatureExtractor> extractor_;
+};
+
+TEST_F(DefenseFixture, FeatureNamesExist) {
+  for (std::size_t i = 0; i < kNumProfileFeatures; ++i) {
+    EXPECT_NE(ProfileFeatureName(i), nullptr);
+  }
+}
+
+TEST_F(DefenseFixture, FeaturesAreFinite) {
+  for (const ProfileFeatures& f : RealFeatures(30)) {
+    for (const double v : f) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_F(DefenseFixture, SingleItemProfileFeatures) {
+  util::Rng rng(11);
+  const ProfileFeatures f = extractor_->Extract({0}, rng);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);  // log length of 1
+  EXPECT_DOUBLE_EQ(f[3], 1.0);  // coherence of a singleton is perfect
+  EXPECT_DOUBLE_EQ(f[5], 0.0);  // no dispersion
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.0, 0.1, 0.2}, {1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({1.0, 2.0}, {0.0, 0.1}), 0.0);
+}
+
+TEST(RocAucTest, IdenticalDistributionsGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.5);
+}
+
+TEST(RocAucTest, TiesCountHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1.0}, {1.0}), 0.5);
+}
+
+TEST_F(DefenseFixture, ZScoreFlagsFabricatedProfiles) {
+  const auto real = RealFeatures(80);
+  const auto fake = FabricatedFeatures(60);
+  ZScoreDetector detector;
+  detector.Fit(real);
+  const DetectionReport report = EvaluateDetector(detector, real, fake);
+  EXPECT_GT(report.auc, 0.75)
+      << "fabricated shilling profiles must be clearly detectable";
+}
+
+TEST_F(DefenseFixture, CopiedProfilesEvadeDetectionBetter) {
+  const auto real = RealFeatures(80);
+  const auto fake = FabricatedFeatures(60);
+  const auto copied = CopiedFeatures();
+  ASSERT_GE(copied.size(), 20U);
+
+  ZScoreDetector detector;
+  detector.Fit(real);
+  const DetectionReport fake_report = EvaluateDetector(detector, real, fake);
+  const DetectionReport copied_report =
+      EvaluateDetector(detector, real, copied);
+  // The paper's core premise: copied real profiles look far more genuine
+  // than fabricated ones.
+  EXPECT_LT(copied_report.auc, fake_report.auc - 0.1);
+}
+
+TEST_F(DefenseFixture, KnnDetectorAlsoSeparatesFabricated) {
+  const auto real = RealFeatures(80);
+  const auto fake = FabricatedFeatures(60);
+  KnnDetector detector(5);
+  detector.Fit(real);
+  const DetectionReport report = EvaluateDetector(detector, real, fake);
+  EXPECT_GT(report.auc, 0.7);
+}
+
+TEST_F(DefenseFixture, RecallRespectsFprBudget) {
+  const auto real = RealFeatures(100);
+  ZScoreDetector detector;
+  detector.Fit(real);
+  // Evaluating genuine vs genuine: recall at 5% FPR should be near 5%.
+  const DetectionReport report =
+      EvaluateDetector(detector, real, RealFeatures(100), 0.05);
+  EXPECT_LT(report.recall_at_fpr, 0.25);
+}
+
+TEST(DetectorDeathTest, ScoreBeforeFitAborts) {
+  ZScoreDetector detector;
+  ProfileFeatures f{};
+  EXPECT_DEATH(detector.Score(f), "Fit must be called");
+}
+
+}  // namespace
+}  // namespace copyattack::defense

@@ -1,0 +1,422 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/matrix.h"
+#include "math/metrics.h"
+#include "math/sampling.h"
+#include "math/stats.h"
+#include "math/top_k.h"
+#include "math/vector_ops.h"
+#include "util/rng.h"
+
+namespace copyattack::math {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  EXPECT_EQ(m.size(), 6U);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), 7.0f);
+}
+
+TEST(MatrixTest, FillAndZero) {
+  Matrix m(2, 2);
+  m.Fill(3.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 3.0f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, AddScaledAndScale) {
+  Matrix a(1, 3, 1.0f);
+  Matrix b(1, 3, 2.0f);
+  a.AddScaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a(0, 0), 2.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a(0, 2), 4.0f);
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0f;
+  m(0, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = Matrix::Multiply(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(MatrixTest, MultiplyTransposedBMatchesMultiply) {
+  util::Rng rng(1);
+  Matrix a(3, 4);
+  a.FillNormal(rng, 0.0f, 1.0f);
+  Matrix b(2, 4);
+  b.FillNormal(rng, 0.0f, 1.0f);
+  // Transpose b into bt and check A*bt == MultiplyTransposedB(a, b).
+  Matrix bt(4, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) bt(j, i) = b(i, j);
+  }
+  const Matrix expected = Matrix::Multiply(a, bt);
+  const Matrix got = Matrix::MultiplyTransposedB(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(got(i, j), expected(i, j), 1e-5f);
+    }
+  }
+}
+
+TEST(MatrixTest, CopyRowFrom) {
+  Matrix src(2, 3, 0.0f);
+  src(1, 0) = 1;
+  src(1, 1) = 2;
+  src(1, 2) = 3;
+  Matrix dst(4, 3, 9.0f);
+  dst.CopyRowFrom(src, 1, 2);
+  EXPECT_FLOAT_EQ(dst(2, 1), 2.0f);
+  EXPECT_FLOAT_EQ(dst(0, 0), 9.0f);
+}
+
+TEST(VectorOpsTest, DotAndAxpy) {
+  const float a[] = {1, 2, 3};
+  float b[] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 32.0f);
+  Axpy(2.0f, a, b, 3);
+  EXPECT_FLOAT_EQ(b[0], 6.0f);
+  EXPECT_FLOAT_EQ(b[2], 12.0f);
+}
+
+TEST(VectorOpsTest, Distances) {
+  const float a[] = {0, 0};
+  const float b[] = {3, 4};
+  EXPECT_FLOAT_EQ(SquaredDistance(a, b, 2), 25.0f);
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b, 2), 5.0f);
+}
+
+TEST(VectorOpsTest, SoftmaxSumsToOneAndIsMonotone) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0f, 1e-6f);
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[1], v[2]);
+}
+
+TEST(VectorOpsTest, SoftmaxNumericallyStable) {
+  std::vector<float> v = {1000.0f, 1001.0f};
+  SoftmaxInPlace(v);
+  EXPECT_NEAR(v[0] + v[1], 1.0f, 1e-6f);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(VectorOpsTest, MaskedSoftmaxZeroesMaskedEntries) {
+  std::vector<float> v = {5.0f, 1.0f, 2.0f};
+  MaskedSoftmaxInPlace(v, {false, true, true});
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_NEAR(v[1] + v[2], 1.0f, 1e-6f);
+  EXPECT_GT(v[2], v[1]);
+}
+
+TEST(VectorOpsTest, MaskedSoftmaxSingleUnmasked) {
+  std::vector<float> v = {-10.0f, 3.0f};
+  MaskedSoftmaxInPlace(v, {true, false});
+  EXPECT_NEAR(v[0], 1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(v[1], 0.0f);
+}
+
+TEST(VectorOpsTest, LogSumExpMatchesDirect) {
+  std::vector<float> v = {0.1f, 0.2f, 0.3f};
+  double direct = 0.0;
+  for (const float x : v) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(v), std::log(direct), 1e-6);
+}
+
+TEST(VectorOpsTest, ArgMaxBreaksTiesLow) {
+  EXPECT_EQ(ArgMax({1.0f, 3.0f, 3.0f}), 1U);
+}
+
+TEST(VectorOpsTest, NormalizeL2) {
+  float v[] = {3.0f, 4.0f};
+  NormalizeL2(v, 2);
+  EXPECT_NEAR(v[0] * v[0] + v[1] * v[1], 1.0f, 1e-6f);
+  float zero[] = {0.0f, 0.0f};
+  NormalizeL2(zero, 2);  // must not produce NaN
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+TEST(TopKTest, ReturnsBestFirst) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  const auto top = TopKIndices(scores, 2);
+  ASSERT_EQ(top.size(), 2U);
+  EXPECT_EQ(top[0], 1U);
+  EXPECT_EQ(top[1], 3U);
+}
+
+TEST(TopKTest, KLargerThanInputReturnsFullSort) {
+  const std::vector<float> scores = {0.3f, 0.1f, 0.2f};
+  const auto top = TopKIndices(scores, 10);
+  EXPECT_EQ(top, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(TopKTest, TiesBreakTowardLowerIndex) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  const auto top = TopKIndices(scores, 3);
+  EXPECT_EQ(top, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TopKTest, RankOfConsistentWithArgSort) {
+  util::Rng rng(17);
+  std::vector<float> scores(50);
+  for (auto& s : scores) s = static_cast<float>(rng.UniformDouble());
+  const auto order = ArgSortDescending(scores);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    EXPECT_EQ(RankOf(scores, order[rank]), rank);
+  }
+}
+
+TEST(SamplingTest, AliasTableMatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 7.0};
+  AliasTable table(weights);
+  util::Rng rng(23);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(SamplingTest, AliasTableZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0});
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Sample(rng), 1U);
+  }
+}
+
+TEST(SamplingTest, AliasTableProbabilityOf) {
+  AliasTable table({1.0, 3.0});
+  EXPECT_NEAR(table.ProbabilityOf(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.ProbabilityOf(1), 0.75, 1e-12);
+}
+
+TEST(SamplingTest, ZipfWeightsDecreasing) {
+  const auto w = ZipfWeights(10, 1.0);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LT(w[i], w[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+}
+
+TEST(SamplingTest, SampleCategoricalRespectsZeros) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t s = SampleCategorical({0.0f, 0.5f, 0.0f, 0.5f}, rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(StatsTest, RunningStatsMeanVariance) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatsMergeEqualsSequential) {
+  util::Rng rng(31);
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Normal();
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.9), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, HistogramCountsSum) {
+  const auto h = Histogram({0.0, 0.1, 0.5, 0.9, 1.0}, 2);
+  EXPECT_EQ(std::accumulate(h.begin(), h.end(), 0UL), 5UL);
+  EXPECT_EQ(h[0], 2U);  // 0.0 and 0.1; 0.5 lands exactly on the boundary
+  EXPECT_EQ(h[1], 3U);  // 0.5, 0.9, 1.0
+}
+
+TEST(MetricsTest, HitRatioAtK) {
+  EXPECT_DOUBLE_EQ(HitRatioAtK(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(4, 5), 1.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(5, 5), 0.0);
+}
+
+TEST(MetricsTest, NdcgAtK) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(0, 10), 1.0);
+  EXPECT_NEAR(NdcgAtK(1, 10), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK(10, 10), 0.0);
+  // NDCG decreases with rank.
+  EXPECT_GT(NdcgAtK(1, 20), NdcgAtK(2, 20));
+}
+
+/// Property sweep: masked softmax equals plain softmax restricted to the
+/// unmasked coordinates, for several vector sizes.
+class MaskedSoftmaxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskedSoftmaxProperty, MatchesRestrictedSoftmax) {
+  const int n = GetParam();
+  util::Rng rng(100 + n);
+  std::vector<float> values(n);
+  std::vector<bool> mask(n);
+  bool any = false;
+  for (int i = 0; i < n; ++i) {
+    values[i] = static_cast<float>(rng.Normal());
+    mask[i] = rng.Bernoulli(0.6);
+    any = any || mask[i];
+  }
+  if (!any) mask[0] = true;
+
+  std::vector<float> restricted;
+  for (int i = 0; i < n; ++i) {
+    if (mask[i]) restricted.push_back(values[i]);
+  }
+  SoftmaxInPlace(restricted);
+
+  MaskedSoftmaxInPlace(values, mask);
+  std::size_t j = 0;
+  for (int i = 0; i < n; ++i) {
+    if (mask[i]) {
+      EXPECT_NEAR(values[i], restricted[j++], 1e-5f);
+    } else {
+      EXPECT_FLOAT_EQ(values[i], 0.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MaskedSoftmaxProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace copyattack::math
+
+namespace copyattack::math {
+namespace {
+
+/// Property sweep: the alias table reproduces arbitrary weight vectors'
+/// normalized probabilities (reconstruction check, no sampling noise).
+class AliasTableProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasTableProperty, NormalizedProbabilitiesPreserved) {
+  util::Rng rng(700 + GetParam());
+  const std::size_t n = 1 + rng.UniformUint64(40);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = rng.Bernoulli(0.2) ? 0.0 : rng.UniformDouble(0.01, 5.0);
+    total += w;
+  }
+  if (total == 0.0) {
+    weights[0] = 1.0;
+    total = 1.0;
+  }
+  AliasTable table(weights);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(table.ProbabilityOf(i), weights[i] / total, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasTableProperty,
+                         ::testing::Range(0, 10));
+
+/// Property: matrix multiplication is associative on random inputs
+/// (within float tolerance) — a structural check of the kernel.
+TEST(MatrixProperty, MultiplicationAssociative) {
+  util::Rng rng(41);
+  Matrix a(3, 4), b(4, 5), c(5, 2);
+  a.FillNormal(rng, 0.0f, 1.0f);
+  b.FillNormal(rng, 0.0f, 1.0f);
+  c.FillNormal(rng, 0.0f, 1.0f);
+  const Matrix left = Matrix::Multiply(Matrix::Multiply(a, b), c);
+  const Matrix right = Matrix::Multiply(a, Matrix::Multiply(b, c));
+  for (std::size_t i = 0; i < left.rows(); ++i) {
+    for (std::size_t j = 0; j < left.cols(); ++j) {
+      EXPECT_NEAR(left(i, j), right(i, j), 1e-4f);
+    }
+  }
+}
+
+/// Property: Merge is associative and order-insensitive for RunningStats.
+TEST(StatsProperty, MergeOrderInsensitive) {
+  util::Rng rng(43);
+  std::vector<double> values(60);
+  for (auto& v : values) v = rng.Normal(2.0, 3.0);
+
+  RunningStats abc, acb;
+  RunningStats a, b, c;
+  for (int i = 0; i < 20; ++i) a.Add(values[i]);
+  for (int i = 20; i < 40; ++i) b.Add(values[i]);
+  for (int i = 40; i < 60; ++i) c.Add(values[i]);
+
+  abc = a;
+  abc.Merge(b);
+  abc.Merge(c);
+  acb = a;
+  acb.Merge(c);
+  acb.Merge(b);
+  EXPECT_NEAR(abc.Mean(), acb.Mean(), 1e-9);
+  EXPECT_NEAR(abc.Variance(), acb.Variance(), 1e-9);
+  EXPECT_EQ(abc.count(), 60U);
+}
+
+/// Property: TopKIndices(k) is always a prefix of the full argsort.
+class TopKPrefixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKPrefixProperty, PrefixOfArgsort) {
+  util::Rng rng(900 + GetParam());
+  std::vector<float> scores(1 + rng.UniformUint64(60));
+  for (auto& s : scores) s = static_cast<float>(rng.Normal());
+  const auto full = ArgSortDescending(scores);
+  const std::size_t k = 1 + rng.UniformUint64(scores.size());
+  const auto top = TopKIndices(scores, k);
+  ASSERT_EQ(top.size(), std::min(k, scores.size()));
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i], full[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKPrefixProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace copyattack::math

@@ -1,0 +1,72 @@
+#ifndef COPYATTACK_TESTS_TEST_HELPERS_H_
+#define COPYATTACK_TESTS_TEST_HELPERS_H_
+
+#include <memory>
+
+#include "core/runner.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/target_items.h"
+#include "rec/pinsage_lite.h"
+#include "util/rng.h"
+
+namespace copyattack::testhelpers {
+
+/// A tiny end-to-end world shared by the core tests: synthetic cross-domain
+/// data, a train split, a fitted PinSage-style target model, and the
+/// source-domain artifacts (MF embeddings + clustering tree).
+struct TinyWorld {
+  data::SyntheticWorld world;
+  data::TrainValidTestSplit split;
+  rec::PinSageLite model;  // fitted prototype; copy per campaign
+  core::SourceArtifacts artifacts;
+  data::ItemId cold_target = data::kNoItem;
+
+  TinyWorld()
+      : world(data::GenerateSyntheticWorld(data::SyntheticConfig::Tiny())),
+        split(MakeSplit(world)),
+        model(MakeModel(split)),
+        artifacts(MakeArtifacts(world)) {
+    util::Rng rng(17);
+    const auto targets =
+        data::SampleColdTargetItems(world.dataset, 1, 10, rng);
+    if (!targets.empty()) cold_target = targets[0];
+  }
+
+  static data::TrainValidTestSplit MakeSplit(
+      const data::SyntheticWorld& world) {
+    util::Rng rng(23);
+    return data::SplitDataset(world.dataset.target, rng);
+  }
+
+  static rec::PinSageLite MakeModel(
+      const data::TrainValidTestSplit& split) {
+    rec::PinSageLite model;
+    util::Rng rng(29);
+    model.Fit(split.train, 12, rng);
+    return model;
+  }
+
+  static core::SourceArtifacts MakeArtifacts(
+      const data::SyntheticWorld& world) {
+    core::SourceArtifactOptions options;
+    options.mf_epochs = 8;
+    options.tree_depth = 3;
+    return core::PrepareSourceArtifacts(world.dataset, options);
+  }
+
+  /// Model factory for campaign runners (fresh serving state per clone).
+  core::ModelFactory ModelFactory() const {
+    return [this] { return std::make_unique<rec::PinSageLite>(model); };
+  }
+};
+
+/// Returns the process-wide shared TinyWorld (built once; read-only).
+inline const TinyWorld& SharedTinyWorld() {
+  static const TinyWorld* const world = new TinyWorld();
+  return *world;
+}
+
+}  // namespace copyattack::testhelpers
+
+#endif  // COPYATTACK_TESTS_TEST_HELPERS_H_

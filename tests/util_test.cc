@@ -1,0 +1,335 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
+
+namespace copyattack::util {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversAllBuckets) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.UniformUint64(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30U);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30U);
+  for (const std::size_t v : sample) EXPECT_LT(v, 100U);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(3);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10U);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.Fork();
+  // Child stream should not replicate the parent's next outputs.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  const auto fields = Split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4U);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtilsTest, TrimRemovesWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilsTest, JoinConcatenates) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtilsTest, StartsWithWorks) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilsTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 4), "1.0000");
+}
+
+TEST(StringUtilsTest, ParseSizeT) {
+  std::size_t v = 0;
+  EXPECT_TRUE(ParseSizeT("123", &v));
+  EXPECT_EQ(v, 123U);
+  EXPECT_TRUE(ParseSizeT(" 7 ", &v));
+  EXPECT_EQ(v, 7U);
+  EXPECT_FALSE(ParseSizeT("abc", &v));
+  EXPECT_FALSE(ParseSizeT("", &v));
+  EXPECT_FALSE(ParseSizeT("12x", &v));
+}
+
+TEST(StringUtilsTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("x", &v));
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/ca_csv_test.csv";
+  {
+    CsvWriter writer(path, {"a", "b"});
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"1", "2"});
+    writer.WriteRow({"x", "y"});
+    writer.Flush();
+  }
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path, &header, &rows));
+  EXPECT_EQ(header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"x", "y"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  EXPECT_FALSE(ReadCsv("/nonexistent/path/file.csv", &header, &rows));
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  const double a = watch.ElapsedSeconds();
+  const double b = watch.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(50);
+  ThreadPool::ParallelFor(50, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSequentialFallback) {
+  std::vector<int> order;
+  ThreadPool::ParallelFor(5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace copyattack::util
+
+#include "util/flags.h"
+
+namespace copyattack::util {
+namespace {
+
+FlagParser MakeTestParser() {
+  FlagParser parser;
+  parser.Define("name", "default", "a string flag")
+      .Define("count", "3", "an integer flag")
+      .Define("rate", "0.5", "a double flag")
+      .Define("verbose", "false", "a boolean switch");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsApplyWithoutArguments) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run"};
+  ASSERT_TRUE(parser.Parse(1, argv));
+  EXPECT_EQ(parser.command(), "run");
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetSizeT("count"), 3U);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.WasSupplied("name"));
+}
+
+TEST(FlagParserTest, EqualsAndSpaceForms) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--name=alpha", "--count", "7"};
+  ASSERT_TRUE(parser.Parse(4, argv));
+  EXPECT_EQ(parser.GetString("name"), "alpha");
+  EXPECT_EQ(parser.GetSizeT("count"), 7U);
+  EXPECT_TRUE(parser.WasSupplied("name"));
+  EXPECT_TRUE(parser.WasSupplied("count"));
+}
+
+TEST(FlagParserTest, BareSwitchBecomesTrue) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SwitchFollowedByFlag) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--verbose", "--count=2"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_EQ(parser.GetSizeT("count"), 2U);
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "a", "--count=1", "b"};
+  ASSERT_TRUE(parser.Parse(4, argv));
+  EXPECT_EQ(parser.command(), "run");
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--bogus=1"};
+  EXPECT_FALSE(parser.Parse(2, argv));
+  EXPECT_FALSE(parser.ok());
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(FlagParserTest, ReparseResetsState) {
+  FlagParser parser = MakeTestParser();
+  const char* argv1[] = {"run", "--name=x"};
+  ASSERT_TRUE(parser.Parse(2, argv1));
+  const char* argv2[] = {"run"};
+  ASSERT_TRUE(parser.Parse(1, argv2));
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_FALSE(parser.WasSupplied("name"));
+}
+
+TEST(FlagParserTest, HelpTextMentionsFlags) {
+  FlagParser parser = MakeTestParser();
+  const std::string help = parser.HelpText();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+}
+
+TEST(FlagParserDeathTest, UndeclaredAccessAborts) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run"};
+  ASSERT_TRUE(parser.Parse(1, argv));
+  EXPECT_DEATH(parser.GetString("nope"), "undeclared flag");
+}
+
+TEST(FlagParserDeathTest, BadIntegerAborts) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--count=xyz"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_DEATH(parser.GetSizeT("count"), "not an unsigned integer");
+}
+
+}  // namespace
+}  // namespace copyattack::util

@@ -1,0 +1,224 @@
+#include "cli.h"
+
+#include <memory>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/copy_attack.h"
+#include "core/flat_policy.h"
+#include "core/runner.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "data/target_items.h"
+#include "rec/pinsage_lite.h"
+#include "rec/trainer.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace copyattack::tools {
+namespace {
+
+util::FlagParser MakeParser() {
+  util::FlagParser parser;
+  parser.Define("config", "small", "generate: world preset (small|large|tiny)")
+      .Define("out", "world", "generate: output path prefix")
+      .Define("data", "world", "stats/train/attack: dataset path prefix")
+      .Define("seed", "7", "generate/attack: RNG seed")
+      .Define("max-epochs", "40", "train: epoch cap")
+      .Define("patience", "5", "train: early-stopping patience")
+      .Define("method", "CopyAttack", "attack: method name")
+      .Define("targets", "10", "attack: number of cold target items")
+      .Define("budget", "30", "attack: profile budget per episode")
+      .Define("episodes", "15", "attack: training episodes (learning methods)")
+      .Define("depth", "3", "attack: clustering tree depth")
+      .Define("threads", "1", "attack: worker threads over target items");
+  return parser;
+}
+
+int PrintHelp(const util::FlagParser& parser, std::ostream& out) {
+  out << "usage: copyattack <generate|stats|train|attack|help> [flags]\n\n"
+      << "flags:\n"
+      << parser.HelpText();
+  return 0;
+}
+
+int CmdGenerate(const util::FlagParser& parser, std::ostream& out) {
+  data::SyntheticConfig config;
+  const std::string preset = parser.GetString("config");
+  if (preset == "small") {
+    config = data::SyntheticConfig::SmallCross();
+  } else if (preset == "large") {
+    config = data::SyntheticConfig::LargeCross();
+  } else if (preset == "tiny") {
+    config = data::SyntheticConfig::Tiny();
+  } else {
+    out << "error: unknown --config " << preset << '\n';
+    return 2;
+  }
+  if (parser.WasSupplied("seed")) {
+    config.seed = parser.GetSizeT("seed");
+  }
+  const data::SyntheticWorld world = data::GenerateSyntheticWorld(config);
+  const std::string prefix = parser.GetString("out");
+  if (!data::SaveCrossDomain(world.dataset, prefix)) {
+    out << "error: could not write " << prefix << ".*.csv\n";
+    return 1;
+  }
+  out << data::FormatStats(data::ComputeStats(world.dataset));
+  out << "written: " << prefix << ".{meta,target,source}.csv\n";
+  return 0;
+}
+
+/// Loads a dataset pair or reports the failure.
+bool LoadOrComplain(const util::FlagParser& parser,
+                    data::CrossDomainDataset* dataset, std::ostream& out) {
+  const std::string prefix = parser.GetString("data");
+  if (!data::LoadCrossDomain(prefix, dataset)) {
+    out << "error: could not load dataset prefix " << prefix << '\n';
+    return false;
+  }
+  return true;
+}
+
+int CmdStats(const util::FlagParser& parser, std::ostream& out) {
+  data::CrossDomainDataset dataset("", 1);
+  if (!LoadOrComplain(parser, &dataset, out)) return 1;
+  out << data::FormatStats(data::ComputeStats(dataset));
+  return 0;
+}
+
+int CmdTrain(const util::FlagParser& parser, std::ostream& out) {
+  data::CrossDomainDataset dataset("", 1);
+  if (!LoadOrComplain(parser, &dataset, out)) return 1;
+
+  util::Rng split_rng(11);
+  const data::TrainValidTestSplit split =
+      data::SplitDataset(dataset.target, split_rng);
+
+  rec::PinSageLite model;
+  rec::TrainOptions options;
+  options.max_epochs = parser.GetSizeT("max-epochs");
+  options.patience = parser.GetSizeT("patience");
+  util::Rng train_rng(13);
+  util::Stopwatch watch;
+  const rec::TrainReport report = rec::TrainWithEarlyStopping(
+      model, split, dataset.target, options, train_rng);
+  out << "epochs:        " << report.epochs_run << '\n'
+      << "valid HR@10:   " << report.best_valid_hr << '\n'
+      << "test  HR@10:   " << report.test_hr << '\n'
+      << "test  NDCG@10: " << report.test_ndcg << '\n'
+      << "wall seconds:  " << watch.ElapsedSeconds() << '\n';
+  return 0;
+}
+
+int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
+  data::CrossDomainDataset dataset("", 1);
+  if (!LoadOrComplain(parser, &dataset, out)) return 1;
+
+  util::Rng split_rng(11);
+  const data::TrainValidTestSplit split =
+      data::SplitDataset(dataset.target, split_rng);
+
+  rec::PinSageLite model;
+  rec::TrainOptions train_options;
+  util::Rng train_rng(13);
+  const rec::TrainReport train_report = rec::TrainWithEarlyStopping(
+      model, split, dataset.target, train_options, train_rng);
+  out << "target model test HR@10: " << train_report.test_hr << '\n';
+
+  core::SourceArtifactOptions artifact_options;
+  artifact_options.tree_depth = parser.GetSizeT("depth");
+  const core::SourceArtifacts artifacts =
+      core::PrepareSourceArtifacts(dataset, artifact_options);
+
+  util::Rng target_rng(parser.GetSizeT("seed"));
+  const auto targets = data::SampleColdTargetItems(
+      dataset, parser.GetSizeT("targets"), 10, target_rng);
+  out << "attacking " << targets.size() << " cold target items\n";
+
+  core::CampaignConfig campaign;
+  campaign.env.budget = parser.GetSizeT("budget");
+  campaign.episodes = parser.GetSizeT("episodes");
+  campaign.seed = parser.GetSizeT("seed");
+  campaign.num_threads = parser.GetSizeT("threads");
+
+  const core::ModelFactory model_factory = [&] {
+    return std::make_unique<rec::PinSageLite>(model);
+  };
+
+  const std::string method = parser.GetString("method");
+  core::StrategyFactory strategy_factory;
+  bool learns = true;
+  if (method == "RandomAttack") {
+    learns = false;
+    strategy_factory = [&](std::uint64_t) {
+      return std::make_unique<core::RandomAttack>(dataset);
+    };
+  } else if (method == "TargetAttack40" || method == "TargetAttack70" ||
+             method == "TargetAttack100") {
+    learns = false;
+    const double keep = method == "TargetAttack40"   ? 0.4
+                        : method == "TargetAttack70" ? 0.7
+                                                     : 1.0;
+    strategy_factory = [&dataset, keep](std::uint64_t) {
+      return std::make_unique<core::TargetAttack>(dataset, keep);
+    };
+  } else if (method == "PolicyNetwork") {
+    strategy_factory = [&](std::uint64_t seed) {
+      return std::make_unique<core::FlatPolicyNetwork>(
+          &dataset, &artifacts.mf.user_embeddings(),
+          &artifacts.mf.item_embeddings(),
+          core::FlatPolicyNetwork::Config{}, seed);
+    };
+  } else if (method == "CopyAttack" || method == "CopyAttack-Masking" ||
+             method == "CopyAttack-Length") {
+    core::CopyAttackConfig config;
+    config.use_masking = method != "CopyAttack-Masking";
+    config.use_crafting = method != "CopyAttack-Length";
+    strategy_factory = [&dataset, &artifacts, config](std::uint64_t seed) {
+      return std::make_unique<core::CopyAttack>(
+          &dataset, &artifacts.tree, &artifacts.mf.user_embeddings(),
+          &artifacts.mf.item_embeddings(), config, seed);
+    };
+  } else {
+    out << "error: unknown --method " << method << '\n';
+    return 2;
+  }
+  if (!learns) campaign.episodes = 1;
+
+  out << core::CampaignRowHeader() << '\n';
+  const auto clean = core::EvaluateWithoutAttack(
+      dataset, split.train, model_factory, targets, campaign);
+  out << core::FormatCampaignRow(clean) << '\n';
+  const auto attacked = core::RunCampaign(
+      dataset, split.train, model_factory, strategy_factory, targets,
+      campaign);
+  out << core::FormatCampaignRow(attacked) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(int argc, const char* const* argv, std::ostream& out) {
+  util::FlagParser parser = MakeParser();
+  if (!parser.Parse(argc - 1, argv + 1)) {
+    out << "error: " << parser.error() << '\n';
+    PrintHelp(parser, out);
+    return 2;
+  }
+  const std::string& command = parser.command();
+  if (command == "generate") return CmdGenerate(parser, out);
+  if (command == "stats") return CmdStats(parser, out);
+  if (command == "train") return CmdTrain(parser, out);
+  if (command == "attack") return CmdAttack(parser, out);
+  if (command.empty() || command == "help") {
+    return PrintHelp(parser, out);
+  }
+  out << "error: unknown command '" << command << "'\n";
+  PrintHelp(parser, out);
+  return 2;
+}
+
+}  // namespace copyattack::tools

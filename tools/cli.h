@@ -1,0 +1,37 @@
+#ifndef COPYATTACK_TOOLS_CLI_H_
+#define COPYATTACK_TOOLS_CLI_H_
+
+#include <ostream>
+
+namespace copyattack::tools {
+
+/// Entry point of the `copyattack` command-line tool, separated from
+/// main() so the commands are unit-testable. Commands:
+///
+///   copyattack generate --config small|large|tiny --out PREFIX [--seed N]
+///       Generates a synthetic cross-domain world and writes it to
+///       PREFIX.{meta,target,source}.csv.
+///
+///   copyattack stats --data PREFIX
+///       Prints Table-1 statistics of a saved dataset pair.
+///
+///   copyattack train --data PREFIX [--max-epochs N] [--patience N]
+///       Trains the PinSage-style target model with early stopping and
+///       prints validation/test quality.
+///
+///   copyattack attack --data PREFIX --method NAME [--targets N]
+///       [--budget N] [--episodes N] [--depth N] [--seed N]
+///       Runs one attacking method over sampled cold target items and
+///       prints the WithoutAttack reference row plus the method's row.
+///       Methods: RandomAttack, TargetAttack40/70/100, PolicyNetwork,
+///       CopyAttack, CopyAttack-Masking, CopyAttack-Length.
+///
+///   copyattack help
+///       Prints usage.
+///
+/// Returns a process exit code (0 on success).
+int RunCli(int argc, const char* const* argv, std::ostream& out);
+
+}  // namespace copyattack::tools
+
+#endif  // COPYATTACK_TOOLS_CLI_H_
