@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_budget_small.dir/bench_fig5_budget_small.cc.o"
+  "CMakeFiles/bench_fig5_budget_small.dir/bench_fig5_budget_small.cc.o.d"
+  "bench_fig5_budget_small"
+  "bench_fig5_budget_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_budget_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

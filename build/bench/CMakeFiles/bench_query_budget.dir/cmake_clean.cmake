@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_budget.dir/bench_query_budget.cc.o"
+  "CMakeFiles/bench_query_budget.dir/bench_query_budget.cc.o.d"
+  "bench_query_budget"
+  "bench_query_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reward_shaping.dir/bench_reward_shaping.cc.o"
+  "CMakeFiles/bench_reward_shaping.dir/bench_reward_shaping.cc.o.d"
+  "bench_reward_shaping"
+  "bench_reward_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reward_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_target_model.dir/bench_target_model.cc.o"
+  "CMakeFiles/bench_target_model.dir/bench_target_model.cc.o.d"
+  "bench_target_model"
+  "bench_target_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_target_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

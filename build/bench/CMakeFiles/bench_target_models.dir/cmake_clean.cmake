@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_target_models.dir/bench_target_models.cc.o"
+  "CMakeFiles/bench_target_models.dir/bench_target_models.cc.o.d"
+  "bench_target_models"
+  "bench_target_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_target_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_benchlib.dir/bench_common.cc.o"
+  "CMakeFiles/ca_benchlib.dir/bench_common.cc.o.d"
+  "libca_benchlib.a"
+  "libca_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_audit.dir/detector_audit.cpp.o"
+  "CMakeFiles/detector_audit.dir/detector_audit.cpp.o.d"
+  "detector_audit"
+  "detector_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

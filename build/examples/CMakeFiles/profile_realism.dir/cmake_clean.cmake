@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_realism.dir/profile_realism.cpp.o"
+  "CMakeFiles/profile_realism.dir/profile_realism.cpp.o.d"
+  "profile_realism"
+  "profile_realism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_realism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

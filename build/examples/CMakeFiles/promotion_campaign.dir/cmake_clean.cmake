@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion_campaign.dir/promotion_campaign.cpp.o"
+  "CMakeFiles/promotion_campaign.dir/promotion_campaign.cpp.o.d"
+  "promotion_campaign"
+  "promotion_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_cluster.dir/hierarchical_tree.cc.o"
+  "CMakeFiles/ca_cluster.dir/hierarchical_tree.cc.o.d"
+  "CMakeFiles/ca_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/ca_cluster.dir/kmeans.cc.o.d"
+  "libca_cluster.a"
+  "libca_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

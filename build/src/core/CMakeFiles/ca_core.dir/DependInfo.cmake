@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/ca_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/copy_attack.cc" "src/core/CMakeFiles/ca_core.dir/copy_attack.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/copy_attack.cc.o.d"
+  "/root/repo/src/core/crafting.cc" "src/core/CMakeFiles/ca_core.dir/crafting.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/crafting.cc.o.d"
+  "/root/repo/src/core/crafting_policy.cc" "src/core/CMakeFiles/ca_core.dir/crafting_policy.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/crafting_policy.cc.o.d"
+  "/root/repo/src/core/environment.cc" "src/core/CMakeFiles/ca_core.dir/environment.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/environment.cc.o.d"
+  "/root/repo/src/core/flat_policy.cc" "src/core/CMakeFiles/ca_core.dir/flat_policy.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/flat_policy.cc.o.d"
+  "/root/repo/src/core/proxy.cc" "src/core/CMakeFiles/ca_core.dir/proxy.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/proxy.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/ca_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/selection_policy.cc" "src/core/CMakeFiles/ca_core.dir/selection_policy.cc.o" "gcc" "src/core/CMakeFiles/ca_core.dir/selection_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ca_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ca_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/ca_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

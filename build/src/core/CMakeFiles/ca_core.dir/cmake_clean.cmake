@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_core.dir/baselines.cc.o"
+  "CMakeFiles/ca_core.dir/baselines.cc.o.d"
+  "CMakeFiles/ca_core.dir/copy_attack.cc.o"
+  "CMakeFiles/ca_core.dir/copy_attack.cc.o.d"
+  "CMakeFiles/ca_core.dir/crafting.cc.o"
+  "CMakeFiles/ca_core.dir/crafting.cc.o.d"
+  "CMakeFiles/ca_core.dir/crafting_policy.cc.o"
+  "CMakeFiles/ca_core.dir/crafting_policy.cc.o.d"
+  "CMakeFiles/ca_core.dir/environment.cc.o"
+  "CMakeFiles/ca_core.dir/environment.cc.o.d"
+  "CMakeFiles/ca_core.dir/flat_policy.cc.o"
+  "CMakeFiles/ca_core.dir/flat_policy.cc.o.d"
+  "CMakeFiles/ca_core.dir/proxy.cc.o"
+  "CMakeFiles/ca_core.dir/proxy.cc.o.d"
+  "CMakeFiles/ca_core.dir/runner.cc.o"
+  "CMakeFiles/ca_core.dir/runner.cc.o.d"
+  "CMakeFiles/ca_core.dir/selection_policy.cc.o"
+  "CMakeFiles/ca_core.dir/selection_policy.cc.o.d"
+  "libca_core.a"
+  "libca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cross_domain.cc" "src/data/CMakeFiles/ca_data.dir/cross_domain.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/cross_domain.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/ca_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/ca_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/io.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/ca_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/split.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/ca_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/ca_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/target_items.cc" "src/data/CMakeFiles/ca_data.dir/target_items.cc.o" "gcc" "src/data/CMakeFiles/ca_data.dir/target_items.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/ca_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_data.dir/cross_domain.cc.o"
+  "CMakeFiles/ca_data.dir/cross_domain.cc.o.d"
+  "CMakeFiles/ca_data.dir/dataset.cc.o"
+  "CMakeFiles/ca_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ca_data.dir/io.cc.o"
+  "CMakeFiles/ca_data.dir/io.cc.o.d"
+  "CMakeFiles/ca_data.dir/split.cc.o"
+  "CMakeFiles/ca_data.dir/split.cc.o.d"
+  "CMakeFiles/ca_data.dir/stats.cc.o"
+  "CMakeFiles/ca_data.dir/stats.cc.o.d"
+  "CMakeFiles/ca_data.dir/synthetic.cc.o"
+  "CMakeFiles/ca_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/ca_data.dir/target_items.cc.o"
+  "CMakeFiles/ca_data.dir/target_items.cc.o.d"
+  "libca_data.a"
+  "libca_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

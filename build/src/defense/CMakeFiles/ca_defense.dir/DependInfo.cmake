@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/detectors.cc" "src/defense/CMakeFiles/ca_defense.dir/detectors.cc.o" "gcc" "src/defense/CMakeFiles/ca_defense.dir/detectors.cc.o.d"
+  "/root/repo/src/defense/profile_features.cc" "src/defense/CMakeFiles/ca_defense.dir/profile_features.cc.o" "gcc" "src/defense/CMakeFiles/ca_defense.dir/profile_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ca_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_defense.dir/detectors.cc.o"
+  "CMakeFiles/ca_defense.dir/detectors.cc.o.d"
+  "CMakeFiles/ca_defense.dir/profile_features.cc.o"
+  "CMakeFiles/ca_defense.dir/profile_features.cc.o.d"
+  "libca_defense.a"
+  "libca_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/ca_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/ca_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/metrics.cc" "src/math/CMakeFiles/ca_math.dir/metrics.cc.o" "gcc" "src/math/CMakeFiles/ca_math.dir/metrics.cc.o.d"
+  "/root/repo/src/math/sampling.cc" "src/math/CMakeFiles/ca_math.dir/sampling.cc.o" "gcc" "src/math/CMakeFiles/ca_math.dir/sampling.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/ca_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/ca_math.dir/stats.cc.o.d"
+  "/root/repo/src/math/top_k.cc" "src/math/CMakeFiles/ca_math.dir/top_k.cc.o" "gcc" "src/math/CMakeFiles/ca_math.dir/top_k.cc.o.d"
+  "/root/repo/src/math/vector_ops.cc" "src/math/CMakeFiles/ca_math.dir/vector_ops.cc.o" "gcc" "src/math/CMakeFiles/ca_math.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_math.dir/matrix.cc.o"
+  "CMakeFiles/ca_math.dir/matrix.cc.o.d"
+  "CMakeFiles/ca_math.dir/metrics.cc.o"
+  "CMakeFiles/ca_math.dir/metrics.cc.o.d"
+  "CMakeFiles/ca_math.dir/sampling.cc.o"
+  "CMakeFiles/ca_math.dir/sampling.cc.o.d"
+  "CMakeFiles/ca_math.dir/stats.cc.o"
+  "CMakeFiles/ca_math.dir/stats.cc.o.d"
+  "CMakeFiles/ca_math.dir/top_k.cc.o"
+  "CMakeFiles/ca_math.dir/top_k.cc.o.d"
+  "CMakeFiles/ca_math.dir/vector_ops.cc.o"
+  "CMakeFiles/ca_math.dir/vector_ops.cc.o.d"
+  "libca_math.a"
+  "libca_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/ca_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/ca_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/ca_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/ca_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/ca_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/reinforce.cc" "src/nn/CMakeFiles/ca_nn.dir/reinforce.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/reinforce.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/ca_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/ca_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/ca_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/ca_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

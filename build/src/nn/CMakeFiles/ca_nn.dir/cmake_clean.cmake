@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_nn.dir/activations.cc.o"
+  "CMakeFiles/ca_nn.dir/activations.cc.o.d"
+  "CMakeFiles/ca_nn.dir/dense.cc.o"
+  "CMakeFiles/ca_nn.dir/dense.cc.o.d"
+  "CMakeFiles/ca_nn.dir/gru.cc.o"
+  "CMakeFiles/ca_nn.dir/gru.cc.o.d"
+  "CMakeFiles/ca_nn.dir/mlp.cc.o"
+  "CMakeFiles/ca_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/ca_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ca_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ca_nn.dir/reinforce.cc.o"
+  "CMakeFiles/ca_nn.dir/reinforce.cc.o.d"
+  "CMakeFiles/ca_nn.dir/rnn.cc.o"
+  "CMakeFiles/ca_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/ca_nn.dir/serialize.cc.o"
+  "CMakeFiles/ca_nn.dir/serialize.cc.o.d"
+  "libca_nn.a"
+  "libca_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

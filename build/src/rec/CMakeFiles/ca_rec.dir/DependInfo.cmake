@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/black_box.cc" "src/rec/CMakeFiles/ca_rec.dir/black_box.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/black_box.cc.o.d"
+  "/root/repo/src/rec/evaluator.cc" "src/rec/CMakeFiles/ca_rec.dir/evaluator.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/evaluator.cc.o.d"
+  "/root/repo/src/rec/item_knn.cc" "src/rec/CMakeFiles/ca_rec.dir/item_knn.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/item_knn.cc.o.d"
+  "/root/repo/src/rec/matrix_factorization.cc" "src/rec/CMakeFiles/ca_rec.dir/matrix_factorization.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/matrix_factorization.cc.o.d"
+  "/root/repo/src/rec/pinsage_lite.cc" "src/rec/CMakeFiles/ca_rec.dir/pinsage_lite.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/pinsage_lite.cc.o.d"
+  "/root/repo/src/rec/recommender.cc" "src/rec/CMakeFiles/ca_rec.dir/recommender.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/recommender.cc.o.d"
+  "/root/repo/src/rec/trainer.cc" "src/rec/CMakeFiles/ca_rec.dir/trainer.cc.o" "gcc" "src/rec/CMakeFiles/ca_rec.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ca_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_rec.dir/black_box.cc.o"
+  "CMakeFiles/ca_rec.dir/black_box.cc.o.d"
+  "CMakeFiles/ca_rec.dir/evaluator.cc.o"
+  "CMakeFiles/ca_rec.dir/evaluator.cc.o.d"
+  "CMakeFiles/ca_rec.dir/item_knn.cc.o"
+  "CMakeFiles/ca_rec.dir/item_knn.cc.o.d"
+  "CMakeFiles/ca_rec.dir/matrix_factorization.cc.o"
+  "CMakeFiles/ca_rec.dir/matrix_factorization.cc.o.d"
+  "CMakeFiles/ca_rec.dir/pinsage_lite.cc.o"
+  "CMakeFiles/ca_rec.dir/pinsage_lite.cc.o.d"
+  "CMakeFiles/ca_rec.dir/recommender.cc.o"
+  "CMakeFiles/ca_rec.dir/recommender.cc.o.d"
+  "CMakeFiles/ca_rec.dir/trainer.cc.o"
+  "CMakeFiles/ca_rec.dir/trainer.cc.o.d"
+  "libca_rec.a"
+  "libca_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

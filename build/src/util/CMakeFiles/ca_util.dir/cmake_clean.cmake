@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_util.dir/csv.cc.o"
+  "CMakeFiles/ca_util.dir/csv.cc.o.d"
+  "CMakeFiles/ca_util.dir/flags.cc.o"
+  "CMakeFiles/ca_util.dir/flags.cc.o.d"
+  "CMakeFiles/ca_util.dir/logging.cc.o"
+  "CMakeFiles/ca_util.dir/logging.cc.o.d"
+  "CMakeFiles/ca_util.dir/rng.cc.o"
+  "CMakeFiles/ca_util.dir/rng.cc.o.d"
+  "CMakeFiles/ca_util.dir/string_utils.cc.o"
+  "CMakeFiles/ca_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/ca_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ca_util.dir/thread_pool.cc.o.d"
+  "libca_util.a"
+  "libca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_crafting_test.dir/core_crafting_test.cc.o"
+  "CMakeFiles/core_crafting_test.dir/core_crafting_test.cc.o.d"
+  "core_crafting_test"
+  "core_crafting_test.pdb"
+  "core_crafting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_crafting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

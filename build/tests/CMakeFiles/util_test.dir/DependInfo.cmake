@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/util_test.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ca_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/ca_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ca_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ca_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

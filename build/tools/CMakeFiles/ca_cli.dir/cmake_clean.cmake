@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_cli.dir/cli.cc.o"
+  "CMakeFiles/ca_cli.dir/cli.cc.o.d"
+  "libca_cli.a"
+  "libca_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copyattack.dir/copyattack_main.cc.o"
+  "CMakeFiles/copyattack.dir/copyattack_main.cc.o.d"
+  "copyattack"
+  "copyattack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copyattack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
