@@ -6,10 +6,13 @@
 
 #include "cluster/hierarchical_tree.h"
 #include "cluster/kmeans.h"
+#include "core/environment.h"
 #include "core/selection_policy.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "data/target_items.h"
 #include "math/top_k.h"
+#include "math/vector_ops.h"
 #include "rec/matrix_factorization.h"
 #include "rec/pinsage_lite.h"
 #include "util/rng.h"
@@ -140,6 +143,113 @@ void BM_PinSageObserveNewUser(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PinSageObserveNewUser);
+
+void BM_EnvReset(benchmark::State& state) {
+  // Steady-state episode Reset on a reused environment: after the first
+  // (cold) reset every iteration takes the snapshot/rollback fast path.
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::PinSageLite model;
+  util::Rng rng(41);
+  model.Fit(split.train, 3, rng);
+  util::Rng target_rng(47);
+  const auto targets =
+      data::SampleColdTargetItems(World().dataset, 1, 10, target_rng);
+  core::EnvConfig config;
+  config.budget = 6;
+  config.num_pretend_users = 10;
+  core::AttackEnvironment env(World().dataset, split.train, &model, config);
+  env.Reset(targets[0]);  // cold reset outside the timed loop
+  const data::Profile injection = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    state.PauseTiming();
+    env.Step(data::Profile(injection));  // make the reset non-trivial
+    state.ResumeTiming();
+    env.Reset(targets[0]);
+  }
+}
+BENCHMARK(BM_EnvReset);
+
+void BM_EnvResetLegacy(benchmark::State& state) {
+  // The pre-rollback reset recipe (deep-copy the training data, re-add
+  // pretend users, BeginServing) for before/after comparison with
+  // BM_EnvReset.
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::PinSageLite model;
+  util::Rng rng(41);
+  model.Fit(split.train, 3, rng);
+  for (auto _ : state) {
+    data::Dataset polluted = split.train;
+    for (std::size_t i = 0; i < 10; ++i) {
+      polluted.AddUser({0, 1, 2, 3, 4});
+    }
+    model.BeginServing(polluted);
+    benchmark::DoNotOptimize(polluted.num_users());
+  }
+}
+BENCHMARK(BM_EnvResetLegacy);
+
+void BM_InjectUser(benchmark::State& state) {
+  // Per-injection cost after `range(0)` prior injections in the same
+  // episode. Amortized growth means the cost should stay flat across the
+  // 0/32/256 columns.
+  const std::size_t prior = static_cast<std::size_t>(state.range(0));
+  util::Rng split_rng(37);
+  const auto split = data::SplitDataset(World().dataset.target, split_rng);
+  rec::PinSageLite model;
+  util::Rng rng(41);
+  model.Fit(split.train, 3, rng);
+  data::Dataset polluted = split.train;
+  model.BeginServing(polluted);
+  const auto checkpoint = polluted.Checkpoint();
+  model.CheckpointServing();
+  const data::Profile injection = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    state.PauseTiming();
+    polluted.RollbackTo(checkpoint);
+    model.RollbackServing();
+    for (std::size_t i = 0; i < prior; ++i) {
+      const data::UserId u = polluted.AddUser(data::Profile(injection));
+      model.ObserveNewUser(polluted, u);
+    }
+    state.ResumeTiming();
+    const data::UserId user = polluted.AddUser(data::Profile(injection));
+    model.ObserveNewUser(polluted, user);
+  }
+}
+BENCHMARK(BM_InjectUser)->Arg(0)->Arg(32)->Arg(256);
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const math::Matrix m = RandomEmbeddings(2, n, 53);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Dot(m.Row(0), m.Row(1), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dot)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Axpy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  math::Matrix m = RandomEmbeddings(2, n, 59);
+  for (auto _ : state) {
+    math::Axpy(0.001f, m.Row(0), m.Row(1), n);
+    benchmark::DoNotOptimize(m.Row(1)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Axpy)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SquaredDistance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const math::Matrix m = RandomEmbeddings(2, n, 61);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::SquaredDistance(m.Row(0), m.Row(1), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SquaredDistance)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_TopK(benchmark::State& state) {
   util::Rng rng(43);

@@ -23,6 +23,11 @@ AttackEnvironment::AttackEnvironment(const data::CrossDomainDataset& dataset,
   CA_CHECK_GT(config.query_interval, 0U);
   CA_CHECK_GT(config.num_pretend_users, 0U);
   GeneratePretendProfiles();
+  // One copy of the training data for the whole environment lifetime;
+  // every episode rolls the polluted state back to this base checkpoint
+  // (or to the per-target checkpoint below) instead of re-copying.
+  polluted_ = std::make_unique<data::Dataset>(target_train_);
+  base_checkpoint_ = polluted_->Checkpoint();
 }
 
 void AttackEnvironment::GeneratePretendProfiles() {
@@ -56,32 +61,47 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
   episode_query_rounds_ = 0;
   done_ = false;
 
-  // Fresh polluted copy: training data + pretend users, no injections.
-  polluted_ = std::make_unique<data::Dataset>(target_train_);
-  pretend_user_ids_.clear();
-  for (const data::Profile& profile : pretend_profiles_) {
-    // A pretend user must not already hold the target item, otherwise it
-    // cannot witness the promotion.
-    data::Profile cleaned;
-    cleaned.reserve(profile.size());
-    for (const data::ItemId item : profile) {
-      if (item != target_item) cleaned.push_back(item);
+  // Fast path: same target item and the model still holds a valid serving
+  // checkpoint — roll the dataset and the model back past last episode's
+  // injections in O(injected) instead of rebuilding in O(dataset). The
+  // rolled-back state (training data + the deterministically re-added
+  // pretend users) is bit-identical to the slow path's, so rewards and
+  // promotion metrics are unchanged; see RollbackEquivalence tests.
+  if (target_item == checkpointed_target_ && model_->RollbackServing()) {
+    polluted_->RollbackTo(episode_checkpoint_);
+    ++fast_resets_;
+  } else {
+    checkpointed_target_ = data::kNoItem;
+    polluted_->RollbackTo(base_checkpoint_);
+    pretend_user_ids_.clear();
+    for (const data::Profile& profile : pretend_profiles_) {
+      // A pretend user must not already hold the target item, otherwise it
+      // cannot witness the promotion.
+      data::Profile cleaned;
+      cleaned.reserve(profile.size());
+      for (const data::ItemId item : profile) {
+        if (item != target_item) cleaned.push_back(item);
+      }
+      pretend_user_ids_.push_back(polluted_->AddUser(std::move(cleaned)));
     }
-    pretend_user_ids_.push_back(polluted_->AddUser(std::move(cleaned)));
+    model_->BeginServing(*polluted_);
+    episode_checkpoint_ = polluted_->Checkpoint();
+    if (model_->CheckpointServing()) checkpointed_target_ = target_item;
+
+    // Fixed query candidates per pretend user for this target item. They
+    // depend only on the rolled-back dataset state and the target item, so
+    // the fast path reuses the cached lists unchanged.
+    query_negatives_.clear();
+    util::Rng candidate_rng(config_.seed ^
+                            (0x9E3779B97F4A7C15ULL * (target_item + 1)));
+    for (const data::UserId user : pretend_user_ids_) {
+      query_negatives_.push_back(rec::SampleNegatives(
+          *polluted_, user, target_item, config_.query_candidates,
+          candidate_rng));
+    }
   }
-  model_->BeginServing(*polluted_);
   black_box_ =
       std::make_unique<rec::BlackBoxRecommender>(model_, polluted_.get());
-
-  // Fixed query candidates per pretend user for this target item.
-  query_negatives_.clear();
-  util::Rng candidate_rng(config_.seed ^
-                          (0x9E3779B97F4A7C15ULL * (target_item + 1)));
-  for (const data::UserId user : pretend_user_ids_) {
-    query_negatives_.push_back(rec::SampleNegatives(
-        *polluted_, user, target_item, config_.query_candidates,
-        candidate_rng));
-  }
 }
 
 double AttackEnvironment::QueryReward() {

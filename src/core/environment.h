@@ -119,6 +119,11 @@ class AttackEnvironment {
   /// Total Top-k queries issued across all episodes since construction.
   std::size_t lifetime_queries() const { return lifetime_queries_; }
 
+  /// Number of Resets served by the snapshot/rollback fast path (as
+  /// opposed to a full rebuild). Exposed for tests and perf tooling to
+  /// verify the optimization engages.
+  std::size_t fast_resets() const { return fast_resets_; }
+
   /// Final-state promotion metrics over a sample of *real* target-domain
   /// users (the quantity Table 2 reports; pretend users are excluded).
   rec::MetricsByK EvaluateRealPromotion(const std::vector<std::size_t>& ks,
@@ -146,7 +151,18 @@ class AttackEnvironment {
   /// Fixed per-pretend-user negative candidates for the current target item.
   std::vector<std::vector<data::ItemId>> query_negatives_;
 
+  /// One long-lived polluted copy of the training data. Episodes are
+  /// separated by checkpoint/rollback (O(injected) per reset), not by
+  /// re-copying the dataset (O(dataset) per reset).
   std::unique_ptr<data::Dataset> polluted_;
+  /// Training data only (taken at construction).
+  data::DatasetCheckpoint base_checkpoint_;
+  /// Training data + pretend users for `checkpointed_target_` (retaken
+  /// whenever the target item changes or the model checkpoint lapses).
+  data::DatasetCheckpoint episode_checkpoint_;
+  /// Target item the episode checkpoint and the model's serving checkpoint
+  /// were taken for; kNoItem when the slow reset path must run.
+  data::ItemId checkpointed_target_ = data::kNoItem;
   std::unique_ptr<rec::BlackBoxRecommender> black_box_;
 
   data::ItemId target_item_ = data::kNoItem;
@@ -154,6 +170,7 @@ class AttackEnvironment {
   std::size_t episode_query_rounds_ = 0;
   bool done_ = true;
   std::size_t lifetime_queries_ = 0;
+  std::size_t fast_resets_ = 0;
   util::Rng refit_rng_;
 };
 

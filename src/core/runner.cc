@@ -88,7 +88,6 @@ CampaignResult EvaluateWithoutAttack(
   result.method = "WithoutAttack";
 
   std::vector<ItemOutcome> outcomes(targets.size());
-  std::mutex mutex;
   util::ThreadPool::ParallelFor(
       targets.size(), config.num_threads, [&](std::size_t index) {
         const data::ItemId item = targets[index];
@@ -101,7 +100,7 @@ CampaignResult EvaluateWithoutAttack(
         ItemOutcome outcome;
         outcome.metrics = env.EvaluateRealPromotion(
             config.eval_ks, config.eval_users, config.eval_negatives);
-        std::lock_guard<std::mutex> lock(mutex);
+        // Each worker writes its own pre-sized slot; no lock needed.
         outcomes[index] = std::move(outcome);
       });
 
@@ -122,7 +121,7 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
 
   std::vector<ItemOutcome> outcomes(targets.size());
   std::string method_name;
-  std::mutex mutex;
+  std::once_flag method_name_once;
 
   util::ThreadPool::ParallelFor(
       targets.size(), config.num_threads, [&](std::size_t index) {
@@ -165,9 +164,11 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
         outcome.metrics = env.EvaluateRealPromotion(
             config.eval_ks, config.eval_users, config.eval_negatives);
 
-        std::lock_guard<std::mutex> lock(mutex);
+        // Distinct slots per worker; only the shared method name needs a
+        // one-time guard (every strategy instance reports the same name).
         outcomes[index] = std::move(outcome);
-        if (method_name.empty()) method_name = strategy->name();
+        std::call_once(method_name_once,
+                       [&] { method_name = strategy->name(); });
       });
 
   result.method = method_name;

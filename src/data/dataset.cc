@@ -37,6 +37,60 @@ void Dataset::AppendInteraction(UserId user, ItemId item) {
   sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), item), item);
   item_profiles_[item].push_back(user);
   ++num_interactions_;
+  if (journaling_) append_journal_.emplace_back(user, item);
+}
+
+DatasetCheckpoint Dataset::Checkpoint() {
+  journaling_ = true;
+  DatasetCheckpoint checkpoint;
+  checkpoint.num_users = profiles_.size();
+  checkpoint.num_interactions = num_interactions_;
+  checkpoint.journal_size = append_journal_.size();
+  checkpoint.item_profile_sizes.reserve(num_items_);
+  for (const auto& item_profile : item_profiles_) {
+    checkpoint.item_profile_sizes.push_back(
+        static_cast<std::uint32_t>(item_profile.size()));
+  }
+  return checkpoint;
+}
+
+void Dataset::RollbackTo(const DatasetCheckpoint& checkpoint) {
+  CA_CHECK(journaling_) << "RollbackTo without a prior Checkpoint";
+  CA_CHECK_LE(checkpoint.num_users, profiles_.size());
+  CA_CHECK_LE(checkpoint.journal_size, append_journal_.size());
+  CA_CHECK_EQ(checkpoint.item_profile_sizes.size(), num_items_);
+
+  // Truncates `item`'s inverted list back to its checkpointed length.
+  // Idempotent, so items touched by several appended users cost one
+  // resize each time but converge to the same state.
+  const auto truncate_item = [&](ItemId item) {
+    auto& item_profile = item_profiles_[item];
+    const std::size_t base = checkpoint.item_profile_sizes[item];
+    if (item_profile.size() > base) item_profile.resize(base);
+  };
+
+  // Undo interactions appended to users that survive the rollback, newest
+  // first (each user's appends are popped in reverse insertion order).
+  for (std::size_t j = append_journal_.size(); j > checkpoint.journal_size;
+       --j) {
+    const auto [user, item] = append_journal_[j - 1];
+    truncate_item(item);
+    if (user >= checkpoint.num_users) continue;  // removed wholesale below
+    CA_CHECK(!profiles_[user].empty());
+    CA_CHECK_EQ(profiles_[user].back(), item);
+    profiles_[user].pop_back();
+    auto& sorted = sorted_items_[user];
+    sorted.erase(std::lower_bound(sorted.begin(), sorted.end(), item));
+  }
+  append_journal_.resize(checkpoint.journal_size);
+
+  // Drop appended users and their inverted-list entries.
+  for (std::size_t u = checkpoint.num_users; u < profiles_.size(); ++u) {
+    for (const ItemId item : profiles_[u]) truncate_item(item);
+  }
+  profiles_.resize(checkpoint.num_users);
+  sorted_items_.resize(checkpoint.num_users);
+  num_interactions_ = checkpoint.num_interactions;
 }
 
 const Profile& Dataset::UserProfile(UserId user) const {

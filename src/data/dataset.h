@@ -2,11 +2,29 @@
 #define COPYATTACK_DATA_DATASET_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "data/types.h"
 
 namespace copyattack::data {
+
+/// A point-in-time marker of a `Dataset` produced by `Dataset::Checkpoint`.
+/// Rolling back to it removes every user and interaction appended after the
+/// checkpoint was taken. Checkpoints nest: taking a later checkpoint and
+/// rolling back to it keeps an earlier one valid, and rolling back to an
+/// earlier checkpoint invalidates every later one.
+struct DatasetCheckpoint {
+  std::size_t num_users = 0;
+  std::size_t num_interactions = 0;
+  /// Position in the dataset's append journal (interactions appended to
+  /// users that already existed) at checkpoint time.
+  std::size_t journal_size = 0;
+  /// `ItemProfile(i).size()` for every item at checkpoint time; rollback
+  /// truncates only the item profiles actually touched afterwards.
+  std::vector<std::uint32_t> item_profile_sizes;
+};
 
 /// An implicit-feedback interaction dataset for one domain: every user has a
 /// temporally ordered profile of item interactions, and every item has a
@@ -54,12 +72,33 @@ class Dataset {
   /// Average profile length over users; 0 when empty.
   double MeanProfileLength() const;
 
+  /// Records the current extent of the dataset so a later `RollbackTo`
+  /// can truncate everything appended afterwards. The first call enables
+  /// append journaling (needed to undo `AppendInteraction` on users that
+  /// predate the checkpoint). Cost: O(num_items) to snapshot the item
+  /// profile sizes — taken once per attack target, amortized over the
+  /// episode loop.
+  DatasetCheckpoint Checkpoint();
+
+  /// Reverts the dataset to the state captured by `checkpoint`: users
+  /// appended since are removed, interactions appended to surviving users
+  /// are popped, and the touched item profiles are truncated. Cost is
+  /// O(appended interactions), not O(dataset) — this replaces the
+  /// per-episode deep copy in the attack environment. `checkpoint` must
+  /// originate from this dataset (or a copy sharing its history) and still
+  /// describe a prefix of it.
+  void RollbackTo(const DatasetCheckpoint& checkpoint);
+
  private:
   std::size_t num_items_;
   std::size_t num_interactions_ = 0;
   std::vector<Profile> profiles_;                 // ordered, per user
   std::vector<std::vector<ItemId>> sorted_items_; // sorted copy, per user
   std::vector<std::vector<UserId>> item_profiles_;
+  /// `AppendInteraction` calls recorded since journaling was enabled by the
+  /// first `Checkpoint()`; rollback undoes the suffix past a checkpoint.
+  bool journaling_ = false;
+  std::vector<std::pair<UserId, ItemId>> append_journal_;
 };
 
 }  // namespace copyattack::data

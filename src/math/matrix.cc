@@ -30,6 +30,33 @@ void Matrix::Resize(std::size_t rows, std::size_t cols) {
   data_.assign(rows * cols, 0.0f);
 }
 
+void Matrix::Reserve(std::size_t rows) {
+  CA_CHECK_GT(cols_, 0U) << "Reserve requires a fixed column count";
+  data_.reserve(rows * cols_);
+}
+
+float* Matrix::AppendRow() {
+  CA_CHECK_GT(cols_, 0U) << "AppendRow requires a fixed column count";
+  // std::vector::resize grows capacity geometrically, so repeated appends
+  // are amortized O(cols) instead of O(rows * cols).
+  data_.resize(data_.size() + cols_, 0.0f);
+  ++rows_;
+  return data_.data() + (rows_ - 1) * cols_;
+}
+
+void Matrix::EnsureRows(std::size_t rows) {
+  if (rows <= rows_) return;
+  CA_CHECK_GT(cols_, 0U) << "EnsureRows requires a fixed column count";
+  data_.resize(rows * cols_, 0.0f);
+  rows_ = rows;
+}
+
+void Matrix::TruncateRows(std::size_t rows) {
+  CA_CHECK_LE(rows, rows_);
+  data_.resize(rows * cols_);  // keeps capacity for the next episode
+  rows_ = rows;
+}
+
 void Matrix::CopyRowFrom(const Matrix& src, std::size_t src_row,
                          std::size_t dst_row) {
   CA_CHECK_EQ(src.cols_, cols_);

@@ -78,6 +78,31 @@ class Matrix {
   /// Resizes to `rows` x `cols`, discarding contents, filled with zero.
   void Resize(std::size_t rows, std::size_t cols);
 
+  /// Number of rows the current allocation can hold without reallocating
+  /// (0 for a column-less matrix).
+  std::size_t row_capacity() const {
+    return cols_ == 0 ? 0 : data_.capacity() / cols_;
+  }
+
+  /// Pre-allocates storage for at least `rows` rows (column count must be
+  /// set). Existing contents are preserved; `rows()` is unchanged.
+  void Reserve(std::size_t rows);
+
+  /// Appends one zero-filled row and returns a pointer to it. Storage grows
+  /// geometrically, so appending is O(cols) amortized — this is the
+  /// injection-loop growth path (one row per injected profile).
+  float* AppendRow();
+
+  /// Grows to `rows` rows, preserving existing contents and zero-filling
+  /// the new rows. No-op when `rows <= rows()`.
+  void EnsureRows(std::size_t rows);
+
+  /// Shrinks to `rows` rows in O(1), keeping the allocation (so a later
+  /// regrowth to the old size reuses it). This is the serving-state
+  /// rollback path: episode-injected rows are dropped without copying the
+  /// surviving rows.
+  void TruncateRows(std::size_t rows);
+
   /// Copies row `src_row` of `src` into row `dst_row` of this matrix.
   /// Column counts must match.
   void CopyRowFrom(const Matrix& src, std::size_t src_row,

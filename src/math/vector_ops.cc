@@ -8,19 +8,52 @@
 
 namespace copyattack::math {
 
-float Dot(const float* a, const float* b, std::size_t n) {
-  float sum = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+// The three kernels below sit at the bottom of scoring, fold-in, BPR
+// training, and k-means. They are written so the compiler auto-vectorizes
+// them without -ffast-math: reductions use four independent accumulators
+// (breaking the sequential float dependence chain into four lanes), and
+// `__restrict` tells the optimizer the spans do not overlap. The summation
+// order is fixed by the implementation, so results stay bit-deterministic
+// run to run.
+
+float Dot(const float* __restrict a, const float* __restrict b,
+          std::size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) sum += a[i] * b[i];
   return sum;
 }
 
-void Axpy(float alpha, const float* x, float* y, std::size_t n) {
+void Axpy(float alpha, const float* __restrict x, float* __restrict y,
+          std::size_t n) {
+  // No reduction here; the restrict qualifiers alone let the compiler emit
+  // packed fma/mul-add without a runtime overlap check.
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-float SquaredDistance(const float* a, const float* b, std::size_t n) {
-  float sum = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
+float SquaredDistance(const float* __restrict a, const float* __restrict b,
+                      std::size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  float sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) {
     const float d = a[i] - b[i];
     sum += d * d;
   }

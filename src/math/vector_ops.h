@@ -6,10 +6,12 @@
 
 namespace copyattack::math {
 
-/// Dot product of two equal-length float spans.
+/// Dot product of two equal-length float spans. Accumulation order is
+/// fixed (4-way unrolled lanes, then a tail) and deterministic.
 float Dot(const float* a, const float* b, std::size_t n);
 
-/// y += alpha * x, element-wise over `n` floats.
+/// y += alpha * x, element-wise over `n` floats. `x` and `y` must not
+/// overlap (the implementation is restrict-qualified so it vectorizes).
 void Axpy(float alpha, const float* x, float* y, std::size_t n);
 
 /// Euclidean (L2) distance between two equal-length float spans.

@@ -21,6 +21,7 @@ void ItemKnn::TrainEpoch(const data::Dataset& train, util::Rng& rng) {
   (void)rng;
   CA_CHECK_EQ(neighbors_.size(), train.num_items())
       << "InitTraining must run before TrainEpoch";
+  serving_checkpoint_valid_ = false;  // similarity lists are rebuilt
 
   // Co-occurrence counting via each user's profile pairs. Quadratic in
   // profile length, linear in users — fine at this repository's scale.
@@ -68,6 +69,16 @@ void ItemKnn::ObserveNewUser(const data::Dataset& current,
   CA_CHECK_LT(user, current.num_users());
   serving_ = &current;  // profiles are read directly from the dataset
 }
+
+bool ItemKnn::CheckpointServing() {
+  // All serving state lives in the dataset (rolled back by the caller) and
+  // the frozen similarity lists, so the checkpoint is just "similarities
+  // unchanged since". A retraining pass invalidates it.
+  serving_checkpoint_valid_ = serving_ != nullptr;
+  return serving_checkpoint_valid_;
+}
+
+bool ItemKnn::RollbackServing() { return serving_checkpoint_valid_; }
 
 float ItemKnn::Score(data::UserId user, data::ItemId item) const {
   CA_CHECK(serving_ != nullptr) << "BeginServing must be called first";

@@ -41,6 +41,8 @@ class ItemKnn final : public Recommender {
   void BeginServing(const data::Dataset& current) override;
   void ObserveNewUser(const data::Dataset& current,
                       data::UserId user) override;
+  bool CheckpointServing() override;
+  bool RollbackServing() override;
   float Score(data::UserId user, data::ItemId item) const override;
   std::string name() const override { return "ItemKNN"; }
 
@@ -55,6 +57,9 @@ class ItemKnn final : public Recommender {
   std::vector<std::vector<std::pair<data::ItemId, float>>> neighbors_;
   /// Serving users' profiles (borrowed copies for scoring).
   const data::Dataset* serving_ = nullptr;
+  /// True while the similarity lists are unchanged since the last
+  /// CheckpointServing (scoring state itself lives in the dataset).
+  bool serving_checkpoint_valid_ = false;
 };
 
 }  // namespace copyattack::rec

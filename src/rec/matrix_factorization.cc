@@ -14,6 +14,7 @@ MatrixFactorization::MatrixFactorization(const MfConfig& config)
 void MatrixFactorization::InitTraining(const data::Dataset& train,
                                        util::Rng& rng) {
   trained_users_ = train.num_users();
+  serving_checkpoint_valid_ = false;
   users_.Resize(train.num_users(), config_.embedding_dim);
   items_.Resize(train.num_items(), config_.embedding_dim);
   users_.FillNormal(rng, 0.0f, config_.init_stddev);
@@ -24,6 +25,9 @@ void MatrixFactorization::TrainEpoch(const data::Dataset& train,
                                      util::Rng& rng) {
   CA_CHECK_EQ(users_.rows() >= train.num_users(), true)
       << "InitTraining must run before TrainEpoch";
+  // Item embeddings change below, so previously folded-in serving rows
+  // (and any serving checkpoint over them) are stale.
+  serving_checkpoint_valid_ = false;
   const std::size_t dim = config_.embedding_dim;
   const float lr = config_.learning_rate;
   const float reg = config_.regularization;
@@ -67,13 +71,7 @@ void MatrixFactorization::TrainEpoch(const data::Dataset& train,
 
 void MatrixFactorization::BeginServing(const data::Dataset& current) {
   CA_CHECK_GE(current.num_users(), trained_users_);
-  if (current.num_users() > users_.rows()) {
-    math::Matrix extended(current.num_users(), config_.embedding_dim);
-    for (std::size_t u = 0; u < users_.rows(); ++u) {
-      extended.CopyRowFrom(users_, u, u);
-    }
-    users_ = std::move(extended);
-  }
+  users_.EnsureRows(current.num_users());
   for (data::UserId u = static_cast<data::UserId>(trained_users_);
        u < current.num_users(); ++u) {
     FoldInUser(current, u);
@@ -83,14 +81,24 @@ void MatrixFactorization::BeginServing(const data::Dataset& current) {
 void MatrixFactorization::ObserveNewUser(const data::Dataset& current,
                                          data::UserId user) {
   CA_CHECK_LT(user, current.num_users());
-  if (user >= users_.rows()) {
-    math::Matrix extended(current.num_users(), config_.embedding_dim);
-    for (std::size_t u = 0; u < users_.rows(); ++u) {
-      extended.CopyRowFrom(users_, u, u);
-    }
-    users_ = std::move(extended);
-  }
+  users_.EnsureRows(current.num_users());
   FoldInUser(current, user);
+}
+
+bool MatrixFactorization::CheckpointServing() {
+  // Fold-in rows are a pure function of the (frozen) item embeddings and
+  // each user's profile, so the checkpoint only needs the row count: rows
+  // kept through a rollback are already correct, rows past the mark are
+  // dropped in O(1).
+  serving_checkpoint_rows_ = users_.rows();
+  serving_checkpoint_valid_ = true;
+  return true;
+}
+
+bool MatrixFactorization::RollbackServing() {
+  if (!serving_checkpoint_valid_) return false;
+  users_.TruncateRows(serving_checkpoint_rows_);
+  return true;
 }
 
 void MatrixFactorization::FoldInUser(const data::Dataset& current,

@@ -39,6 +39,8 @@ class MatrixFactorization final : public Recommender {
   void BeginServing(const data::Dataset& current) override;
   void ObserveNewUser(const data::Dataset& current,
                       data::UserId user) override;
+  bool CheckpointServing() override;
+  bool RollbackServing() override;
   float Score(data::UserId user, data::ItemId item) const override;
   std::string name() const override { return "MF-BPR"; }
 
@@ -58,6 +60,10 @@ class MatrixFactorization final : public Recommender {
   std::size_t trained_users_ = 0;
   math::Matrix users_;    // serving users (trained + folded-in)
   math::Matrix items_;    // num_items x dim
+  /// Serving-state checkpoint: the row count to truncate back to.
+  /// Invalidated by any training (fold-ins depend on the item embeddings).
+  std::size_t serving_checkpoint_rows_ = 0;
+  bool serving_checkpoint_valid_ = false;
 };
 
 }  // namespace copyattack::rec

@@ -29,13 +29,16 @@ void PinSageLite::InitTraining(const data::Dataset& train, util::Rng& rng) {
   item_user_count_.clear();
   mean_user_aggregate_.clear();
   mean_frozen_ = false;
+  serving_checkpoint_valid_ = false;
 }
 
 void PinSageLite::TrainEpoch(const data::Dataset& train, util::Rng& rng) {
   CA_CHECK_EQ(items_.rows(), train.num_items());
-  // Item embeddings are about to change, so any frozen centering mean is
-  // stale; the next BeginServing recomputes it.
+  // Item embeddings are about to change, so any frozen centering mean and
+  // any serving checkpoint built on them are stale; the next BeginServing
+  // recomputes them.
   mean_frozen_ = false;
+  serving_checkpoint_valid_ = false;
   const std::size_t dim = config_.embedding_dim;
   const float lr = config_.learning_rate;
   const float reg = config_.regularization;
@@ -146,6 +149,8 @@ void PinSageLite::BeginServing(const data::Dataset& current) {
       ++item_user_count_[item];
     }
   }
+  // A full rebuild supersedes whatever state an older checkpoint captured.
+  serving_checkpoint_valid_ = false;
 }
 
 void PinSageLite::ObserveNewUser(const data::Dataset& current,
@@ -154,16 +159,37 @@ void PinSageLite::ObserveNewUser(const data::Dataset& current,
   CA_CHECK_EQ(static_cast<std::size_t>(user), user_reps_.rows())
       << "users must be observed in append order";
   const std::size_t dim = config_.embedding_dim;
-  math::Matrix extended(user_reps_.rows() + 1, dim);
-  for (std::size_t u = 0; u < user_reps_.rows(); ++u) {
-    extended.CopyRowFrom(user_reps_, u, u);
-  }
-  user_reps_ = std::move(extended);
-  ComputeUserRepresentation(current, user, user_reps_.Row(user));
+  float* rep = user_reps_.AppendRow();  // amortized O(dim), not O(users*dim)
+  ComputeUserRepresentation(current, user, rep);
   for (const data::ItemId item : current.UserProfile(user)) {
-    math::Axpy(1.0f, user_reps_.Row(user), item_user_sum_.Row(item), dim);
+    math::Axpy(1.0f, rep, item_user_sum_.Row(item), dim);
     ++item_user_count_[item];
+    if (serving_checkpoint_valid_) touched_since_checkpoint_.push_back(item);
   }
+}
+
+bool PinSageLite::CheckpointServing() {
+  if (!mean_frozen_) return false;  // nothing served yet
+  checkpoint_user_rows_ = user_reps_.rows();
+  checkpoint_item_user_sum_ = item_user_sum_;
+  checkpoint_item_user_count_ = item_user_count_;
+  touched_since_checkpoint_.clear();
+  serving_checkpoint_valid_ = true;
+  return true;
+}
+
+bool PinSageLite::RollbackServing() {
+  if (!serving_checkpoint_valid_) return false;
+  // Restore only the neighborhood accumulators that injections touched —
+  // O(injected interactions), with bit-exact rows memcpy'd back from the
+  // snapshot (float accumulation is not reversible by subtraction).
+  for (const data::ItemId item : touched_since_checkpoint_) {
+    item_user_sum_.CopyRowFrom(checkpoint_item_user_sum_, item, item);
+    item_user_count_[item] = checkpoint_item_user_count_[item];
+  }
+  touched_since_checkpoint_.clear();
+  user_reps_.TruncateRows(checkpoint_user_rows_);
+  return true;
 }
 
 const float* PinSageLite::UserRepresentation(data::UserId user) const {

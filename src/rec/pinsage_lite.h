@@ -70,6 +70,8 @@ class PinSageLite final : public Recommender {
   void BeginServing(const data::Dataset& current) override;
   void ObserveNewUser(const data::Dataset& current,
                       data::UserId user) override;
+  bool CheckpointServing() override;
+  bool RollbackServing() override;
   float Score(data::UserId user, data::ItemId item) const override;
   std::string name() const override { return "PinSageLite"; }
 
@@ -102,6 +104,15 @@ class PinSageLite final : public Recommender {
   math::Matrix user_reps_;    // p: num_serving_users x dim
   math::Matrix item_user_sum_;  // per item: sum of p over interacting users
   std::vector<std::size_t> item_user_count_;
+
+  /// Serving-state checkpoint (CheckpointServing/RollbackServing): a copy
+  /// of the neighborhood accumulators plus a journal of items touched by
+  /// ObserveNewUser since, so rollback restores exactly the touched rows.
+  bool serving_checkpoint_valid_ = false;
+  std::size_t checkpoint_user_rows_ = 0;
+  math::Matrix checkpoint_item_user_sum_;
+  std::vector<std::size_t> checkpoint_item_user_count_;
+  std::vector<data::ItemId> touched_since_checkpoint_;
 };
 
 }  // namespace copyattack::rec

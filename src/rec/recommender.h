@@ -46,6 +46,20 @@ class Recommender {
   virtual void ObserveNewUser(const data::Dataset& current,
                               data::UserId user) = 0;
 
+  /// Snapshots the current serving-time state so a later `RollbackServing`
+  /// can rewind past users observed afterwards — the model-side half of the
+  /// environment's episode snapshot/rollback (the dataset side is
+  /// `data::Dataset::Checkpoint`). Returns false when the model does not
+  /// support serving checkpoints (callers fall back to `BeginServing`).
+  /// Any training after the checkpoint invalidates it.
+  virtual bool CheckpointServing() { return false; }
+
+  /// Restores the serving state captured by the last `CheckpointServing`
+  /// in O(observed-since-checkpoint), bit-identically to a full
+  /// `BeginServing` rebuild over the rolled-back dataset. Returns false
+  /// (leaving the model untouched) when no valid checkpoint exists.
+  virtual bool RollbackServing() { return false; }
+
   /// Preference score of `user` for `item` under the serving state.
   virtual float Score(data::UserId user, data::ItemId item) const = 0;
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
 
@@ -66,6 +67,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* const pool = new ThreadPool(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
 void ThreadPool::ParallelFor(std::size_t n, std::size_t num_threads,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -73,11 +80,35 @@ void ThreadPool::ParallelFor(std::size_t n, std::size_t num_threads,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min(num_threads, n));
-  for (std::size_t i = 0; i < n; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
+
+  // Dynamic work queue: every executor (the helpers below plus the calling
+  // thread) claims the next unclaimed index until the range is drained.
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&next, &fn, n] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+
+  ThreadPool& pool = Shared();
+  const std::size_t helpers =
+      std::min({num_threads - 1, n - 1, pool.size()});
+  // Per-call completion latch (pool.Wait() would also wait on unrelated
+  // tasks submitted by concurrent callers).
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.Submit([&drain, &done_mutex, &done_cv, &pending] {
+      drain();
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--pending == 0) done_cv.notify_one();
+    });
   }
-  pool.Wait();
+  drain();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 }  // namespace copyattack::util

@@ -34,8 +34,18 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
-  /// Runs `fn(i)` for every `i` in `[0, n)` on the pool and waits. This is
-  /// the common fan-out pattern for per-target-item experiments.
+  /// The process-wide shared pool (one worker per hardware thread),
+  /// created lazily on first use and reused by every `ParallelFor` — so
+  /// repeated fan-outs don't pay thread creation/join per call.
+  static ThreadPool& Shared();
+
+  /// Runs `fn(i)` for every `i` in `[0, n)` with up to `num_threads`
+  /// concurrent executors and waits. Indices are claimed dynamically from
+  /// an atomic counter, so uneven per-index work (e.g. target items whose
+  /// episodes end early) load-balances instead of being pinned to a
+  /// static stripe. The calling thread participates, which both caps the
+  /// helper count at `num_threads - 1` and guarantees progress even when
+  /// the shared pool is busy.
   static void ParallelFor(std::size_t n, std::size_t num_threads,
                           const std::function<void(std::size_t)>& fn);
 

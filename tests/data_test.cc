@@ -51,6 +51,108 @@ TEST(DatasetTest, AppendInteraction) {
   EXPECT_EQ(d.ItemProfile(3), (std::vector<UserId>{0}));
 }
 
+TEST(DatasetTest, RollbackRemovesAppendedUsers) {
+  Dataset d(6);
+  d.AddUser({1, 3});
+  d.AddUser({3, 2});
+  const DatasetCheckpoint checkpoint = d.Checkpoint();
+
+  d.AddUser({0, 3, 5});
+  d.AddUser({2});
+  EXPECT_EQ(d.num_users(), 4U);
+  EXPECT_EQ(d.ItemProfile(3), (std::vector<UserId>{0, 1, 2}));
+
+  d.RollbackTo(checkpoint);
+  EXPECT_EQ(d.num_users(), 2U);
+  EXPECT_EQ(d.num_interactions(), 4U);
+  EXPECT_EQ(d.UserProfile(0), (Profile{1, 3}));
+  EXPECT_EQ(d.UserProfile(1), (Profile{3, 2}));
+  EXPECT_EQ(d.ItemProfile(3), (std::vector<UserId>{0, 1}));
+  EXPECT_EQ(d.ItemPopularity(5), 0U);
+  EXPECT_EQ(d.ItemPopularity(0), 0U);
+}
+
+TEST(DatasetTest, RollbackUndoesAppendedInteractions) {
+  Dataset d(6);
+  d.AddUser({1});
+  const DatasetCheckpoint checkpoint = d.Checkpoint();
+
+  d.AppendInteraction(0, 4);   // appended to a pre-checkpoint user
+  d.AddUser({4, 2});           // new user also touching item 4
+  d.AppendInteraction(1, 5);   // appended to a post-checkpoint user
+  EXPECT_EQ(d.ItemProfile(4), (std::vector<UserId>{0, 1}));
+
+  d.RollbackTo(checkpoint);
+  EXPECT_EQ(d.num_users(), 1U);
+  EXPECT_EQ(d.num_interactions(), 1U);
+  EXPECT_EQ(d.UserProfile(0), (Profile{1}));
+  EXPECT_FALSE(d.HasInteraction(0, 4));
+  EXPECT_EQ(d.ItemPopularity(4), 0U);
+  EXPECT_EQ(d.ItemPopularity(5), 0U);
+}
+
+TEST(DatasetTest, CheckpointsNestAndRepeat) {
+  Dataset d(4);
+  d.AddUser({0});
+  const DatasetCheckpoint base = d.Checkpoint();
+  d.AddUser({1, 2});
+  const DatasetCheckpoint inner = d.Checkpoint();
+
+  // Repeated episode loop against the inner checkpoint.
+  for (int episode = 0; episode < 3; ++episode) {
+    d.AddUser({2, 3});
+    d.AppendInteraction(0, static_cast<ItemId>(3));
+    d.RollbackTo(inner);
+    EXPECT_EQ(d.num_users(), 2U);
+    EXPECT_EQ(d.ItemProfile(2), (std::vector<UserId>{1}));
+    EXPECT_EQ(d.UserProfile(0), (Profile{0}));
+  }
+
+  // Rolling back further to the outer checkpoint still works.
+  d.RollbackTo(base);
+  EXPECT_EQ(d.num_users(), 1U);
+  EXPECT_EQ(d.num_interactions(), 1U);
+  EXPECT_EQ(d.ItemPopularity(1), 0U);
+}
+
+TEST(DatasetTest, RollbackMatchesFreshCopyOnSyntheticData) {
+  // Property: checkpoint -> mutate -> rollback leaves the dataset
+  // indistinguishable from an untouched copy, across every accessor.
+  const auto world = GenerateSyntheticWorld(SyntheticConfig::Tiny());
+  Dataset d = world.dataset.target;
+  const Dataset reference = d;
+  const DatasetCheckpoint checkpoint = d.Checkpoint();
+
+  util::Rng rng(99);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const ItemId a = static_cast<ItemId>(rng.UniformUint64(d.num_items()));
+      ItemId b = static_cast<ItemId>(rng.UniformUint64(d.num_items()));
+      if (b == a) b = (b + 1) % static_cast<ItemId>(d.num_items());
+      d.AddUser({a, b});
+    }
+    d.RollbackTo(checkpoint);
+  }
+
+  ASSERT_EQ(d.num_users(), reference.num_users());
+  ASSERT_EQ(d.num_interactions(), reference.num_interactions());
+  for (UserId u = 0; u < reference.num_users(); ++u) {
+    ASSERT_EQ(d.UserProfile(u), reference.UserProfile(u)) << "user " << u;
+  }
+  for (ItemId i = 0; i < reference.num_items(); ++i) {
+    ASSERT_EQ(d.ItemProfile(i), reference.ItemProfile(i)) << "item " << i;
+  }
+  EXPECT_EQ(d.ItemsByPopularity(), reference.ItemsByPopularity());
+}
+
+TEST(DatasetDeathTest, RollbackWithoutCheckpointAborts) {
+  Dataset d(3);
+  d.AddUser({0});
+  DatasetCheckpoint bogus;
+  bogus.item_profile_sizes.assign(3, 0);
+  EXPECT_DEATH(d.RollbackTo(bogus), "CHECK failed");
+}
+
 TEST(DatasetTest, AllInteractionsOrdering) {
   Dataset d(5);
   d.AddUser({2, 0});

@@ -99,6 +99,99 @@ TEST(MatrixTest, CopyRowFrom) {
   EXPECT_FLOAT_EQ(dst(0, 0), 9.0f);
 }
 
+TEST(MatrixTest, AppendRowGrowsAmortized) {
+  Matrix m(0, 3);
+  EXPECT_EQ(m.rows(), 0U);
+  for (std::size_t r = 0; r < 100; ++r) {
+    float* row = m.AppendRow();
+    EXPECT_FLOAT_EQ(row[0], 0.0f);  // new rows arrive zeroed
+    for (std::size_t c = 0; c < 3; ++c) {
+      row[c] = static_cast<float>(r * 3 + c);
+    }
+  }
+  EXPECT_EQ(m.rows(), 100U);
+  // Every previously written row survived the geometric reallocations.
+  for (std::size_t r = 0; r < 100; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_FLOAT_EQ(m(r, c), static_cast<float>(r * 3 + c));
+    }
+  }
+}
+
+TEST(MatrixTest, ReserveAvoidsReallocation) {
+  Matrix m(0, 4);
+  m.Reserve(64);
+  EXPECT_GE(m.row_capacity(), 64U);
+  const float* base = m.AppendRow();
+  for (std::size_t r = 1; r < 64; ++r) m.AppendRow();
+  EXPECT_EQ(m.Row(0), base);  // no reallocation within the reservation
+}
+
+TEST(MatrixTest, EnsureRowsPreservesAndZeroFills) {
+  Matrix m(2, 2, 5.0f);
+  m.EnsureRows(4);
+  EXPECT_EQ(m.rows(), 4U);
+  EXPECT_FLOAT_EQ(m(1, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m(3, 0), 0.0f);
+  m.EnsureRows(1);  // never shrinks
+  EXPECT_EQ(m.rows(), 4U);
+}
+
+TEST(MatrixTest, TruncateRowsKeepsCapacityForRegrowth) {
+  Matrix m(8, 2, 1.0f);
+  m.TruncateRows(3);
+  EXPECT_EQ(m.rows(), 3U);
+  EXPECT_GE(m.row_capacity(), 8U);
+  EXPECT_FLOAT_EQ(m(2, 1), 1.0f);
+  // Regrowing reuses the allocation and yields zeroed rows again.
+  m.EnsureRows(6);
+  EXPECT_FLOAT_EQ(m(5, 0), 0.0f);
+}
+
+TEST(VectorOpsTest, KernelsMatchDoublePrecisionReference) {
+  // The unrolled kernels must agree with a double-precision reference to
+  // within float rounding, across lengths covering every unroll tail.
+  util::Rng rng(314);
+  for (const std::size_t n : {1U, 2U, 3U, 4U, 5U, 7U, 8U, 15U, 64U, 257U}) {
+    std::vector<float> a(n), b(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+      b[i] = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+      y[i] = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+    }
+    double dot_ref = 0.0, dist_ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dot_ref += static_cast<double>(a[i]) * b[i];
+      const double d = static_cast<double>(a[i]) - b[i];
+      dist_ref += d * d;
+    }
+    const double tolerance = 1e-4 * static_cast<double>(n);
+    EXPECT_NEAR(Dot(a.data(), b.data(), n), dot_ref, tolerance) << "n=" << n;
+    EXPECT_NEAR(SquaredDistance(a.data(), b.data(), n), dist_ref, tolerance)
+        << "n=" << n;
+
+    std::vector<double> axpy_ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      axpy_ref[i] = static_cast<double>(y[i]) + 0.75 * a[i];
+    }
+    Axpy(0.75f, a.data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(y[i], axpy_ref[i], 1e-5) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(VectorOpsTest, DotIsDeterministicAcrossCalls) {
+  util::Rng rng(55);
+  std::vector<float> a(123), b(123);
+  for (auto& v : a) v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  const float first = Dot(a.data(), b.data(), a.size());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(first, Dot(a.data(), b.data(), a.size()));
+  }
+}
+
 TEST(VectorOpsTest, DotAndAxpy) {
   const float a[] = {1, 2, 3};
   float b[] = {4, 5, 6};

@@ -1,0 +1,185 @@
+// Perf smoke check for the episode hot path. Measures, on the synthetic
+// LargeCross pair:
+//   - steady-state episode Reset latency (snapshot/rollback fast path),
+//   - the legacy reset recipe (deep-copy + re-add pretend users +
+//     BeginServing) replicated in-process for a fair before/after,
+//   - per-injection latency across quartiles of a 128-profile campaign
+//     (amortized growth means the quartiles should be flat),
+//   - Dot/Axpy/SquaredDistance kernel throughput at dim 256.
+//
+// Writes one CSV row to the path given as argv[1] (default
+// bench_results/micro_hotpath.csv relative to the working directory) and
+// mirrors it on stdout. Exits non-zero if the fast reset is not at least
+// 5x faster than the legacy recipe.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "math/vector_ops.h"
+#include "rec/pinsage_lite.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace copyattack;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "bench_results/micro_hotpath.csv";
+
+  auto world =
+      data::GenerateSyntheticWorld(data::SyntheticConfig::LargeCross());
+  util::Rng split_rng(23);
+  auto split = data::SplitDataset(world.dataset.target, split_rng);
+  rec::PinSageLite model;
+  util::Rng fit_rng(29);
+  model.Fit(split.train, 3, fit_rng);
+
+  core::EnvConfig env_config;
+  env_config.budget = 30;
+  env_config.num_pretend_users = 50;
+  core::AttackEnvironment env(world.dataset, split.train, &model,
+                              env_config);
+
+  // Steady-state reset latency (avg over 20, after a warmup reset).
+  env.Reset(0);
+  auto t0 = Clock::now();
+  const int kResets = 20;
+  for (int i = 0; i < kResets; ++i) env.Reset(0);
+  auto t1 = Clock::now();
+  const double reset_fast_us = 1e6 * Seconds(t0, t1) / kResets;
+
+  // The pre-rollback reset recipe: deep-copy the training data, re-add the
+  // pretend users, rebuild the serving state. Measured on the same data
+  // and model so the comparison is apples-to-apples.
+  double reset_legacy_us = 0.0;
+  {
+    std::vector<data::Profile> pretend;
+    util::Rng pretend_rng(31);
+    for (std::size_t i = 0; i < env_config.num_pretend_users; ++i) {
+      const data::UserId donor = static_cast<data::UserId>(
+          pretend_rng.UniformUint64(split.train.num_users()));
+      data::Profile profile = split.train.UserProfile(donor);
+      if (profile.empty()) profile = {0, 1, 2};
+      pretend.push_back(std::move(profile));
+    }
+    const int kLegacyResets = 20;
+    auto s = Clock::now();
+    for (int i = 0; i < kLegacyResets; ++i) {
+      data::Dataset polluted = split.train;
+      for (const data::Profile& profile : pretend) {
+        polluted.AddUser(data::Profile(profile));
+      }
+      model.BeginServing(polluted);
+    }
+    auto e = Clock::now();
+    reset_legacy_us = 1e6 * Seconds(s, e) / kLegacyResets;
+    // The loop above left the model serving the throwaway dataset; restore
+    // the environment's serving state before the injection measurements.
+    env.Reset(0);
+  }
+
+  // Per-injection cost: inject 128 profiles, timed in 4 quartiles of 32.
+  // Flat quartiles demonstrate O(1) amortized growth.
+  env.Reset(0);
+  util::Rng rng(5);
+  std::vector<data::Profile> profiles;
+  for (int i = 0; i < 128; ++i) {
+    data::UserId u = static_cast<data::UserId>(
+        rng.UniformUint64(world.dataset.source.num_users()));
+    profiles.push_back(world.dataset.source.UserProfile(u));
+    if (profiles.back().empty()) profiles.back() = {0, 1, 2};
+  }
+  double inject_us[4] = {0, 0, 0, 0};
+  for (int q = 0; q < 4; ++q) {
+    auto s = Clock::now();
+    for (int i = 0; i < 32; ++i) {
+      env.black_box().InjectUser(data::Profile(profiles[q * 32 + i]));
+    }
+    auto e = Clock::now();
+    inject_us[q] = 1e6 * Seconds(s, e) / 32;
+  }
+
+  // Kernel throughput at dim 256 (flop counts: dot/axpy 2n, sqdist 3n).
+  double dot_gflops = 0.0, axpy_gflops = 0.0, sqdist_gflops = 0.0;
+  {
+    std::vector<float> a(256), b(256), y(256);
+    util::Rng krng(9);
+    for (auto& v : a) v = static_cast<float>(krng.UniformDouble());
+    for (auto& v : b) v = static_cast<float>(krng.UniformDouble());
+    volatile float sink = 0.0f;
+    const long iters = 2000000;
+    auto s = Clock::now();
+    for (long i = 0; i < iters; ++i) {
+      sink = sink + math::Dot(a.data(), b.data(), 256);
+    }
+    auto e = Clock::now();
+    dot_gflops = 2.0 * 256 * iters / Seconds(s, e) / 1e9;
+    s = Clock::now();
+    for (long i = 0; i < iters; ++i) {
+      math::Axpy(1.0001f, a.data(), y.data(), 256);
+    }
+    e = Clock::now();
+    axpy_gflops = 2.0 * 256 * iters / Seconds(s, e) / 1e9;
+    s = Clock::now();
+    for (long i = 0; i < iters; ++i) {
+      sink = sink + math::SquaredDistance(a.data(), b.data(), 256);
+    }
+    e = Clock::now();
+    sqdist_gflops = 3.0 * 256 * iters / Seconds(s, e) / 1e9;
+    (void)sink;
+  }
+
+  const double speedup = reset_legacy_us / reset_fast_us;
+  const std::string header =
+      "reset_fast_us,reset_legacy_us,reset_speedup,"
+      "inject_q0_us,inject_q1_us,inject_q2_us,inject_q3_us,"
+      "dot256_gflops,axpy256_gflops,sqdist256_gflops";
+  char row[512];
+  std::snprintf(row, sizeof(row),
+                "%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%.2f,%.2f",
+                reset_fast_us, reset_legacy_us, speedup, inject_us[0],
+                inject_us[1], inject_us[2], inject_us[3], dot_gflops,
+                axpy_gflops, sqdist_gflops);
+
+  const std::filesystem::path out(out_path);
+  if (out.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "perf_smoke: cannot create %s: %s\n",
+                   out.parent_path().c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "%s\n%s\n", header.c_str(), row);
+  std::fclose(f);
+  std::printf("%s\n%s\n", header.c_str(), row);
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL reset speedup %.1fx < 5x required\n",
+                 speedup);
+    return 1;
+  }
+  std::printf("perf_smoke: OK (reset %.1fx faster than legacy)\n", speedup);
+  return 0;
+}
