@@ -6,12 +6,37 @@
 
 namespace copyattack::data {
 
+namespace {
+
+/// RAII claim on a dataset's mutation sentinel. The exchange/store pair is
+/// sequentially consistent, so back-to-back mutations from different
+/// threads synchronize through the flag and the fatal check fires before
+/// any overlapping writer touches the underlying vectors.
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(internal_dataset::MutationSentinel& sentinel)
+      : sentinel_(sentinel) {
+    CA_CHECK(!sentinel_.busy.exchange(true))
+        << "concurrent Dataset mutation — datasets are single-writer; give "
+           "each thread its own environment/dataset";
+  }
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+  ~ScopedMutation() { sentinel_.busy.store(false); }
+
+ private:
+  internal_dataset::MutationSentinel& sentinel_;
+};
+
+}  // namespace
+
 Dataset::Dataset(std::size_t num_items)
     : num_items_(num_items), item_profiles_(num_items) {
   CA_CHECK_GT(num_items, 0U);
 }
 
 UserId Dataset::AddUser(Profile profile) {
+  ScopedMutation mutation(mutation_sentinel_);
   const UserId user = static_cast<UserId>(profiles_.size());
   std::vector<ItemId> sorted = profile;
   std::sort(sorted.begin(), sorted.end());
@@ -28,6 +53,7 @@ UserId Dataset::AddUser(Profile profile) {
 }
 
 void Dataset::AppendInteraction(UserId user, ItemId item) {
+  ScopedMutation mutation(mutation_sentinel_);
   CA_CHECK_LT(user, profiles_.size());
   CA_CHECK_LT(item, num_items_);
   CA_CHECK(!HasInteraction(user, item))
@@ -41,6 +67,7 @@ void Dataset::AppendInteraction(UserId user, ItemId item) {
 }
 
 DatasetCheckpoint Dataset::Checkpoint() {
+  ScopedMutation mutation(mutation_sentinel_);
   journaling_ = true;
   DatasetCheckpoint checkpoint;
   checkpoint.num_users = profiles_.size();
@@ -55,6 +82,7 @@ DatasetCheckpoint Dataset::Checkpoint() {
 }
 
 void Dataset::RollbackTo(const DatasetCheckpoint& checkpoint) {
+  ScopedMutation mutation(mutation_sentinel_);
   CA_CHECK(journaling_) << "RollbackTo without a prior Checkpoint";
   CA_CHECK_LE(checkpoint.num_users, profiles_.size());
   CA_CHECK_LE(checkpoint.journal_size, append_journal_.size());

@@ -1,6 +1,7 @@
 #ifndef COPYATTACK_DATA_DATASET_H_
 #define COPYATTACK_DATA_DATASET_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -9,6 +10,25 @@
 #include "data/types.h"
 
 namespace copyattack::data {
+
+namespace internal_dataset {
+
+/// Cheap always-on detector for concurrent mutation of one `Dataset`.
+/// Mutating entry points flip `busy` and abort if it was already set — the
+/// structure is single-writer by contract (each campaign worker owns its
+/// environment's dataset), so an overlap is a caller bug that would
+/// otherwise corrupt state silently. Copies and moves reset the flag: the
+/// new object starts with no mutation in flight.
+struct MutationSentinel {
+  MutationSentinel() = default;
+  MutationSentinel(const MutationSentinel&) noexcept {}
+  MutationSentinel& operator=(const MutationSentinel&) noexcept {
+    return *this;
+  }
+  std::atomic<bool> busy{false};
+};
+
+}  // namespace internal_dataset
 
 /// A point-in-time marker of a `Dataset` produced by `Dataset::Checkpoint`.
 /// Rolling back to it removes every user and interaction appended after the
@@ -99,6 +119,8 @@ class Dataset {
   /// first `Checkpoint()`; rollback undoes the suffix past a checkpoint.
   bool journaling_ = false;
   std::vector<std::pair<UserId, ItemId>> append_journal_;
+  /// Trips a fatal check when two threads mutate this dataset at once.
+  mutable internal_dataset::MutationSentinel mutation_sentinel_;
 };
 
 }  // namespace copyattack::data

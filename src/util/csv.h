@@ -7,9 +7,10 @@
 
 namespace copyattack::util {
 
-/// Minimal CSV writer: one header row followed by data rows. Fields are
-/// written verbatim (the project only stores numeric fields and plain
-/// identifiers, so no quoting is required).
+/// Minimal CSV writer: one header row followed by data rows. Fields that
+/// contain a comma, a double quote, or a CR/LF are quoted RFC-4180 style
+/// (embedded quotes doubled); everything else is written verbatim, so the
+/// project's numeric tables stay byte-stable.
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row.
@@ -34,9 +35,21 @@ class CsvWriter {
 };
 
 /// Reads a whole CSV file into memory. Returns false if the file cannot be
-/// opened. The first row is returned separately as the header.
+/// opened. The first row is returned separately as the header. Quoted
+/// fields are unescaped (doubled quotes collapse); a field must be quoted
+/// to contain a comma. Embedded newlines inside quotes are not supported —
+/// rows are line-delimited. Malformed quoting (stray or unterminated
+/// quotes) is tolerated: the remainder of the field is taken verbatim,
+/// matching the lenient readers used by the bench tooling.
 bool ReadCsv(const std::string& path, std::vector<std::string>* header,
              std::vector<std::vector<std::string>>* rows);
+
+/// Splits one CSV line into fields with the quoting rules above. Exposed
+/// for tests and for tools that stream rows without loading whole files.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Quotes `field` if needed per the writer's rules (comma, quote, CR/LF).
+std::string EscapeCsvField(const std::string& field);
 
 }  // namespace copyattack::util
 

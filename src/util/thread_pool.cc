@@ -7,6 +7,25 @@
 
 namespace copyattack::util {
 
+namespace {
+
+/// True while the current thread is executing a `ParallelFor` range. Nested
+/// calls check it to fall back to inline execution — submitting helper tasks
+/// from inside a pool task and blocking on them deadlocks when every worker
+/// is parked in an outer call's completion wait.
+thread_local bool t_inside_parallel_for = false;
+
+/// Scoped setter so early returns and nested scopes restore the flag.
+class ParallelForScope {
+ public:
+  ParallelForScope() { t_inside_parallel_for = true; }
+  ParallelForScope(const ParallelForScope&) = delete;
+  ParallelForScope& operator=(const ParallelForScope&) = delete;
+  ~ParallelForScope() { t_inside_parallel_for = false; }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   workers_.reserve(n);
@@ -68,7 +87,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* const pool = new ThreadPool(
+  static ThreadPool* const pool = new ThreadPool(  // lint:allow(raw-new): process-lifetime singleton
       std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   return *pool;
 }
@@ -76,7 +95,10 @@ ThreadPool& ThreadPool::Shared() {
 void ThreadPool::ParallelFor(std::size_t n, std::size_t num_threads,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (num_threads <= 1 || n == 1) {
+  if (num_threads <= 1 || n == 1 || t_inside_parallel_for) {
+    // Serial path. The re-entrant case lands here too: the outermost call
+    // already fanned out across the pool, so a nested call runs its range
+    // inline on this executor instead of deadlocking on busy workers.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -85,6 +107,7 @@ void ThreadPool::ParallelFor(std::size_t n, std::size_t num_threads,
   // thread) claims the next unclaimed index until the range is drained.
   std::atomic<std::size_t> next{0};
   const auto drain = [&next, &fn, n] {
+    ParallelForScope scope;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
       fn(i);

@@ -46,6 +46,12 @@ class ThreadPool {
   /// static stripe. The calling thread participates, which both caps the
   /// helper count at `num_threads - 1` and guarantees progress even when
   /// the shared pool is busy.
+  ///
+  /// Re-entrant: a nested call from inside `fn` runs its range inline on
+  /// the calling executor instead of submitting helpers. Submitting from
+  /// within a pool task and then blocking would deadlock once every
+  /// worker is parked in an outer wait — the outermost call already owns
+  /// the available parallelism, so the inner level has nothing to gain.
   static void ParallelFor(std::size_t n, std::size_t num_threads,
                           const std::function<void(std::size_t)>& fn);
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "cluster/hierarchical_tree.h"
 #include "cluster/kmeans.h"
 #include "math/matrix.h"
@@ -37,7 +39,7 @@ std::vector<std::size_t> AllIndices(std::size_t n) {
 }
 
 TEST(KMeansTest, RecoversSeparatedBlobs) {
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const math::Matrix points = MakeGaussianBlobs(30, rng);
   const auto result = KMeans(points, AllIndices(90), 3, rng);
   // All points of a blob should share one cluster.
@@ -51,16 +53,16 @@ TEST(KMeansTest, RecoversSeparatedBlobs) {
 }
 
 TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const math::Matrix points = MakeGaussianBlobs(30, rng);
-  util::Rng r1(1), r2(1);
+  util::Rng r1(testhelpers::TestSeed(1)), r2(testhelpers::TestSeed(1));
   const double inertia1 = KMeans(points, AllIndices(90), 1, r1).inertia;
   const double inertia3 = KMeans(points, AllIndices(90), 3, r2).inertia;
   EXPECT_LT(inertia3, inertia1 * 0.5);
 }
 
 TEST(KMeansTest, WorksOnSubset) {
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const math::Matrix points = MakeGaussianBlobs(30, rng);
   const std::vector<std::size_t> subset = {0, 1, 2, 30, 31, 32};
   const auto result = KMeans(points, subset, 2, rng);
@@ -72,13 +74,13 @@ TEST(KMeansTest, WorksOnSubset) {
 
 TEST(KMeansTest, HandlesDuplicatePoints) {
   math::Matrix points(6, 2, 1.0f);  // all identical
-  util::Rng rng(7);
+  util::Rng rng(testhelpers::TestSeed(7));
   const auto result = KMeans(points, AllIndices(6), 3, rng);
   EXPECT_EQ(result.assignment.size(), 6U);
 }
 
 TEST(BalancedAssignTest, SizesDifferByAtMostOne) {
-  util::Rng rng(9);
+  util::Rng rng(testhelpers::TestSeed(9));
   math::Matrix points(50, 3);
   points.FillNormal(rng, 0.0f, 1.0f);
   const auto km = KMeans(points, AllIndices(50), 4, rng);
@@ -96,7 +98,7 @@ TEST(BalancedAssignTest, SizesDifferByAtMostOne) {
 }
 
 TEST(BalancedAssignTest, ExactDivisionGivesEqualSizes) {
-  util::Rng rng(11);
+  util::Rng rng(testhelpers::TestSeed(11));
   math::Matrix points(40, 2);
   points.FillNormal(rng, 0.0f, 1.0f);
   const auto assignment =
@@ -112,7 +114,7 @@ TEST(BalancedAssignTest, ExactDivisionGivesEqualSizes) {
 TEST(BalancedAssignTest, PrefersNearCentroids) {
   // Two clear blobs of equal size: balancing should not need to move
   // anything, so the balanced assignment must equal the natural one.
-  util::Rng rng(13);
+  util::Rng rng(testhelpers::TestSeed(13));
   math::Matrix points(20, 2);
   for (std::size_t i = 0; i < 10; ++i) {
     points(i, 0) = static_cast<float>(rng.Normal(0.0, 0.1));
@@ -138,7 +140,7 @@ TEST(TreeTest, BranchingForDepth) {
 }
 
 TEST(TreeTest, EveryUserIsExactlyOneLeaf) {
-  util::Rng rng(17);
+  util::Rng rng(testhelpers::TestSeed(17));
   math::Matrix embeddings(37, 4);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, 3, rng);
@@ -157,7 +159,7 @@ TEST(TreeTest, EveryUserIsExactlyOneLeaf) {
 }
 
 TEST(TreeTest, DepthMatchesPaperBound) {
-  util::Rng rng(19);
+  util::Rng rng(testhelpers::TestSeed(19));
   math::Matrix embeddings(100, 4);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, 5, rng);
@@ -166,7 +168,7 @@ TEST(TreeTest, DepthMatchesPaperBound) {
 }
 
 TEST(TreeTest, BuildWithDepthHonorsRequestedDepth) {
-  util::Rng rng(19);
+  util::Rng rng(testhelpers::TestSeed(19));
   math::Matrix embeddings(64, 4);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   for (const std::size_t depth : {2U, 3U, 6U}) {
@@ -178,7 +180,7 @@ TEST(TreeTest, BuildWithDepthHonorsRequestedDepth) {
 }
 
 TEST(TreeTest, ParentChildConsistency) {
-  util::Rng rng(23);
+  util::Rng rng(testhelpers::TestSeed(23));
   math::Matrix embeddings(29, 3);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, 4, rng);
@@ -192,7 +194,7 @@ TEST(TreeTest, ParentChildConsistency) {
 }
 
 TEST(TreeTest, InternalNodesHaveBetweenTwoAndBranchingChildren) {
-  util::Rng rng(29);
+  util::Rng rng(testhelpers::TestSeed(29));
   math::Matrix embeddings(50, 3);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, 4, rng);
@@ -206,7 +208,7 @@ TEST(TreeTest, InternalNodesHaveBetweenTwoAndBranchingChildren) {
 }
 
 TEST(TreeTest, MaskPropagatesUpward) {
-  util::Rng rng(31);
+  util::Rng rng(testhelpers::TestSeed(31));
   math::Matrix embeddings(16, 3);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, 2, rng);
@@ -240,7 +242,7 @@ TEST(TreeTest, MaskPropagatesUpward) {
 }
 
 TEST(TreeTest, MaskAllowAllAndAllowNone) {
-  util::Rng rng(37);
+  util::Rng rng(testhelpers::TestSeed(37));
   math::Matrix embeddings(10, 2);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, 3, rng);
@@ -254,7 +256,7 @@ TEST(TreeTest, MaskAllowAllAndAllowNone) {
 
 TEST(TreeTest, SingleUserTree) {
   math::Matrix embeddings(1, 2, 0.5f);
-  util::Rng rng(41);
+  util::Rng rng(testhelpers::TestSeed(41));
   const auto tree = HierarchicalTree::Build(embeddings, 2, rng);
   EXPECT_EQ(tree.num_leaves(), 1U);
   EXPECT_EQ(tree.depth(), 0U);
@@ -269,7 +271,7 @@ class TreeShapeProperty
 
 TEST_P(TreeShapeProperty, StructureInvariants) {
   const auto [n, branching] = GetParam();
-  util::Rng rng(1000 + n * 7 + branching);
+  util::Rng rng(testhelpers::TestSeed(1000 + n * 7 + branching));
   math::Matrix embeddings(n, 4);
   embeddings.FillNormal(rng, 0.0f, 1.0f);
   const auto tree = HierarchicalTree::Build(embeddings, branching, rng);

@@ -1,0 +1,275 @@
+// TSan-targeted stress suite for the concurrent episode hot path: shared
+// ThreadPool initialization, nested/re-entrant ParallelFor, RunCampaign's
+// distinct-slot outcome writes, and the Dataset single-writer contract.
+// These tests are labeled `stress` and sized so ThreadSanitizer (which
+// serializes heavily) still finishes well inside the ctest timeout;
+// tools/check_all.sh runs them under the tsan preset.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/runner.h"
+#include "data/dataset.h"
+#include "test_helpers.h"
+#include "test_seed.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace copyattack {
+namespace {
+
+using testhelpers::SharedTinyWorld;
+using testhelpers::TestSeed;
+using util::ThreadPool;
+
+// --- ThreadPool::Shared() initialization -----------------------------------
+
+// Many external threads race to be the first user of the shared pool; the
+// magic-static construction plus concurrent Submit/ParallelFor traffic must
+// be race-free and every task must run exactly once.
+TEST(ThreadPoolStressTest, SharedPoolInitAndSubmitFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kTasksPerThread = 64;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&executed] {
+      for (int i = 0; i < kTasksPerThread; ++i) {
+        ThreadPool::Shared().Submit(
+            [&executed] { executed.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ThreadPool::Shared().Wait();
+  EXPECT_EQ(executed.load(), kThreads * kTasksPerThread);
+}
+
+// Concurrent top-level ParallelFor calls from distinct external threads
+// share the pool; each call must see exactly its own range.
+TEST(ThreadPoolStressTest, ConcurrentTopLevelParallelForCalls) {
+  constexpr int kCallers = 6;
+  constexpr std::size_t kRange = 512;
+  std::vector<std::atomic<std::uint64_t>> sums(kCallers);
+  for (auto& sum : sums) sum.store(0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&sums, c] {
+      ThreadPool::ParallelFor(kRange, 4, [&sums, c](std::size_t i) {
+        sums[c].fetch_add(i + 1);
+      });
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), kRange * (kRange + 1) / 2) << "caller " << c;
+  }
+}
+
+// --- Nested / re-entrant ParallelFor ---------------------------------------
+
+// A nested call from inside a ParallelFor body used to submit helper tasks
+// to the same pool and block on them — a deadlock once every worker was
+// parked in an outer wait. The fix runs nested ranges inline; this test
+// both regression-checks the hang (via the ctest timeout) and verifies
+// every (outer, inner) pair executes exactly once under TSan.
+TEST(ThreadPoolStressTest, NestedParallelForRunsEveryPairOnce) {
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::atomic<int>> cells(kOuter * kInner);
+  for (auto& cell : cells) cell.store(0);
+  ThreadPool::ParallelFor(kOuter, 8, [&cells](std::size_t outer) {
+    ThreadPool::ParallelFor(kInner, 8, [&cells, outer](std::size_t inner) {
+      cells[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].load(), 1) << "cell " << i;
+  }
+}
+
+// Three levels deep, repeated — exercises the thread-local re-entrancy
+// flag's set/restore across many pool tasks.
+TEST(ThreadPoolStressTest, DeeplyNestedParallelForConverges) {
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> count{0};
+    ThreadPool::ParallelFor(4, 4, [&count](std::size_t) {
+      ThreadPool::ParallelFor(4, 4, [&count](std::size_t) {
+        ThreadPool::ParallelFor(4, 4,
+                                [&count](std::size_t) { count.fetch_add(1); });
+      });
+    });
+    ASSERT_EQ(count.load(), 4 * 4 * 4) << "round " << round;
+  }
+}
+
+// --- RunCampaign distinct-slot writes --------------------------------------
+
+// Campaign workers write disjoint outcome slots without locks; under TSan
+// this validates the claim, and comparing against the sequential run pins
+// the paper-protocol guarantee that threading never changes the metrics.
+TEST(CampaignStressTest, ParallelCampaignMatchesSequentialBitExact) {
+  const auto& tw = SharedTinyWorld();
+  util::Rng rng(TestSeed(71));
+  const auto targets =
+      data::SampleColdTargetItems(tw.world.dataset, 6, 10, rng);
+  ASSERT_GE(targets.size(), 2U);
+
+  core::CampaignConfig config;
+  config.env.budget = 6;
+  config.env.query_interval = 3;
+  config.env.num_pretend_users = 8;
+  config.env.query_candidates = 40;
+  config.episodes = 2;
+  config.eval_users = 40;
+  config.eval_negatives = 30;
+  auto factory = [&](std::uint64_t) {
+    return std::make_unique<core::TargetAttack>(tw.world.dataset, 0.7);
+  };
+
+  config.num_threads = 1;
+  const auto sequential =
+      core::RunCampaign(tw.world.dataset, tw.split.train, tw.ModelFactory(),
+                        factory, targets, config);
+  for (int round = 0; round < 3; ++round) {
+    config.num_threads = 8;
+    const auto threaded =
+        core::RunCampaign(tw.world.dataset, tw.split.train,
+                          tw.ModelFactory(), factory, targets, config);
+    ASSERT_EQ(threaded.method, sequential.method);
+    for (const std::size_t k : config.eval_ks) {
+      ASSERT_EQ(threaded.metrics.at(k).hr, sequential.metrics.at(k).hr)
+          << "HR@" << k << " diverged in round " << round;
+      ASSERT_EQ(threaded.metrics.at(k).ndcg, sequential.metrics.at(k).ndcg)
+          << "NDCG@" << k << " diverged in round " << round;
+    }
+    ASSERT_EQ(threaded.avg_items_per_profile,
+              sequential.avg_items_per_profile);
+    ASSERT_EQ(threaded.avg_final_reward, sequential.avg_final_reward);
+  }
+}
+
+// --- Dataset checkpoint/rollback under concurrency -------------------------
+
+data::Dataset BuildSmallDataset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset dataset(64);
+  for (int u = 0; u < 40; ++u) {
+    data::Profile profile;
+    const auto picks = rng.SampleWithoutReplacement(64, 6);
+    for (const std::size_t item : picks) {
+      profile.push_back(static_cast<data::ItemId>(item));
+    }
+    dataset.AddUser(std::move(profile));
+  }
+  return dataset;
+}
+
+// The supported concurrent pattern: each thread owns its dataset and runs
+// the checkpoint → mutate → rollback episode loop. TSan proves there is no
+// hidden shared state between instances; the final state must equal the
+// checkpointed one.
+TEST(DatasetStressTest, PerThreadCheckpointRollbackIsIndependent) {
+  constexpr int kThreads = 8;
+  constexpr int kEpisodes = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      data::Dataset dataset = BuildSmallDataset(TestSeed(100 + t));
+      const std::size_t base_users = dataset.num_users();
+      const std::size_t base_interactions = dataset.num_interactions();
+      util::Rng rng(TestSeed(500 + t));
+      const data::DatasetCheckpoint checkpoint = dataset.Checkpoint();
+      for (int episode = 0; episode < kEpisodes; ++episode) {
+        for (int u = 0; u < 5; ++u) {
+          data::Profile profile;
+          profile.push_back(static_cast<data::ItemId>(
+              rng.UniformUint64(dataset.num_items())));
+          dataset.AddUser(std::move(profile));
+        }
+        dataset.RollbackTo(checkpoint);
+        if (dataset.num_users() != base_users ||
+            dataset.num_interactions() != base_interactions) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Misuse: two threads mutating ONE dataset violates the single-writer
+// contract. The mutation sentinel must abort with a diagnostic before the
+// overlapping writer corrupts the vectors — deterministically, because
+// every mutating entry point checks the flag before touching data.
+TEST(DatasetStressTest, ConcurrentMutationOfOneDatasetIsFatal) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        data::Dataset dataset = BuildSmallDataset(7);
+        std::atomic<bool> start{false};
+        std::vector<std::thread> writers;
+        for (int t = 0; t < 4; ++t) {
+          writers.emplace_back([&dataset, &start, t] {
+            while (!start.load()) {
+            }
+            util::Rng rng(1000 + t);
+            for (int i = 0; i < 200000; ++i) {
+              const auto checkpoint = dataset.Checkpoint();
+              data::Profile profile;
+              profile.push_back(static_cast<data::ItemId>(
+                  rng.UniformUint64(dataset.num_items())));
+              dataset.AddUser(std::move(profile));
+              dataset.RollbackTo(checkpoint);
+            }
+          });
+        }
+        start.store(true);
+        for (auto& writer : writers) writer.join();
+      },
+      "concurrent Dataset mutation");
+}
+
+// Misuse: rolling back with a checkpoint that does not describe a prefix of
+// the dataset (here: taken from a different dataset with another item
+// universe) must abort, not silently mis-truncate.
+TEST(DatasetStressTest, ForeignCheckpointIsFatal) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        data::Dataset a = BuildSmallDataset(7);
+        data::Dataset b(a.num_items() + 1);
+        const auto checkpoint = b.Checkpoint();
+        a.Checkpoint();  // enable journaling on `a`
+        a.RollbackTo(checkpoint);
+      },
+      "");
+}
+
+TEST(DatasetStressTest, RollbackWithoutCheckpointIsFatal) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        data::Dataset dataset = BuildSmallDataset(7);
+        data::DatasetCheckpoint forged;
+        forged.item_profile_sizes.assign(dataset.num_items(), 0);
+        dataset.RollbackTo(forged);
+      },
+      "RollbackTo without a prior Checkpoint");
+}
+
+}  // namespace
+}  // namespace copyattack

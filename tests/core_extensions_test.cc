@@ -7,6 +7,7 @@
 #include "core/proxy.h"
 #include "rec/pinsage_lite.h"
 #include "test_helpers.h"
+#include "test_seed.h"
 
 namespace copyattack::core {
 namespace {
@@ -93,7 +94,7 @@ TEST(ProxyTest, CopyAttackUsesProxyForNonSourceItem) {
   AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
                         env_config);
   env.Reset(orphan);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   attack.RunEpisode(env, rng);
 
   const data::Dataset& polluted = env.black_box().polluted();
@@ -133,6 +134,11 @@ TEST(DemotionTest, RewardIsComplementOfHitRatio) {
 }
 
 TEST(DemotionTest, DemotingAPopularItemIsObservable) {
+  // Statistical effect claim (dilution lowers a popular item's HR) —
+  // only guaranteed on the controlled default world.
+  if (testhelpers::SeedOverrideActive()) {
+    GTEST_SKIP() << "effect size not guaranteed under COPYATTACK_TEST_SEED";
+  }
   const auto& tw = SharedTinyWorld();
   // Pick the most popular overlapping item with holders.
   data::ItemId popular = data::kNoItem;
@@ -159,7 +165,7 @@ TEST(DemotionTest, DemotingAPopularItemIsObservable) {
   const double hr_before = env.RawHitRatio();
   // Inject long raw profiles of users NOT holding the popular item: their
   // representations dilute the item's neighborhood.
-  util::Rng rng(17);
+  util::Rng rng(testhelpers::TestSeed(17));
   while (!env.done()) {
     const data::UserId u = static_cast<data::UserId>(
         rng.UniformUint64(tw.world.dataset.source.num_users()));

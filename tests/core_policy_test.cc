@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "cluster/hierarchical_tree.h"
 #include "core/crafting_policy.h"
 #include "core/selection_policy.h"
@@ -17,20 +19,20 @@ namespace {
 class PolicyFixture : public ::testing::Test {
  protected:
   PolicyFixture()
-      : rng_(5),
+      : rng_(testhelpers::TestSeed(5)),
         users_(MakeUsers()),
         items_(MakeItems()),
         tree_(cluster::HierarchicalTree::Build(users_, 2, rng_)) {}
 
   static math::Matrix MakeUsers() {
-    util::Rng rng(1);
+    util::Rng rng(testhelpers::TestSeed(1));
     math::Matrix m(16, 4);
     m.FillNormal(rng, 0.0f, 1.0f);
     return m;
   }
 
   static math::Matrix MakeItems() {
-    util::Rng rng(2);
+    util::Rng rng(testhelpers::TestSeed(2));
     math::Matrix m(4, 4);
     m.FillNormal(rng, 0.0f, 1.0f);
     return m;
@@ -42,7 +44,7 @@ class PolicyFixture : public ::testing::Test {
   }
 
   HierarchicalSelectionPolicy MakePolicy() {
-    util::Rng init_rng(9);
+    util::Rng init_rng(testhelpers::TestSeed(9));
     return HierarchicalSelectionPolicy(&tree_, &users_, &items_,
                                        HierarchicalSelectionPolicy::Config{},
                                        init_rng);
@@ -58,7 +60,7 @@ TEST_F(PolicyFixture, SampleRespectsMask) {
   auto policy = MakePolicy();
   const data::ItemId item = 2;
   policy.SetTargetItem(item, MaskForItem(item));
-  util::Rng rng(11);
+  util::Rng rng(testhelpers::TestSeed(11));
   for (int i = 0; i < 50; ++i) {
     SelectionStepRecord record;
     const data::UserId user = policy.SampleUser({}, rng, &record);
@@ -78,7 +80,7 @@ TEST_F(PolicyFixture, AvailableCountMatchesMask) {
 TEST_F(PolicyFixture, MarkUserSelectedShrinksPool) {
   auto policy = MakePolicy();
   policy.SetTargetItem(1, MaskForItem(1));
-  util::Rng rng(13);
+  util::Rng rng(testhelpers::TestSeed(13));
   std::set<data::UserId> seen;
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(policy.AnyAvailable());
@@ -94,7 +96,7 @@ TEST_F(PolicyFixture, MarkUserSelectedShrinksPool) {
 TEST_F(PolicyFixture, ResetEpisodeMaskRestoresPool) {
   auto policy = MakePolicy();
   policy.SetTargetItem(1, MaskForItem(1));
-  util::Rng rng(13);
+  util::Rng rng(testhelpers::TestSeed(13));
   SelectionStepRecord record;
   const data::UserId user = policy.SampleUser({}, rng, &record);
   policy.MarkUserSelected(user);
@@ -106,7 +108,7 @@ TEST_F(PolicyFixture, ResetEpisodeMaskRestoresPool) {
 TEST_F(PolicyFixture, PathsFollowTreeEdges) {
   auto policy = MakePolicy();
   policy.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng(17);
+  util::Rng rng(testhelpers::TestSeed(17));
   SelectionStepRecord record;
   policy.SampleUser({}, rng, &record);
   std::size_t node = tree_.root();
@@ -122,7 +124,7 @@ TEST_F(PolicyFixture, PathsFollowTreeEdges) {
 TEST_F(PolicyFixture, GradientUpdateIncreasesChosenPathProbability) {
   auto policy = MakePolicy();
   policy.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng(19);
+  util::Rng rng(testhelpers::TestSeed(19));
   SelectionStepRecord record;
   const data::UserId user = policy.SampleUser({}, rng, &record);
 
@@ -135,7 +137,7 @@ TEST_F(PolicyFixture, GradientUpdateIncreasesChosenPathProbability) {
     }
     return hits / 400.0;
   };
-  util::Rng freq_rng_a(23);
+  util::Rng freq_rng_a(testhelpers::TestSeed(23));
   const double before = frequency(freq_rng_a);
 
   // Reinforce the recorded choice several times with positive advantage.
@@ -144,7 +146,7 @@ TEST_F(PolicyFixture, GradientUpdateIncreasesChosenPathProbability) {
     policy.ApplyUpdates(0.2f, 0.0f);
   }
 
-  util::Rng freq_rng_b(23);
+  util::Rng freq_rng_b(testhelpers::TestSeed(23));
   const double after = frequency(freq_rng_b);
   EXPECT_GT(after, before + 0.05)
       << "positive advantage must increase the chosen user's probability";
@@ -153,7 +155,7 @@ TEST_F(PolicyFixture, GradientUpdateIncreasesChosenPathProbability) {
 TEST_F(PolicyFixture, NegativeAdvantageDecreasesProbability) {
   auto policy = MakePolicy();
   policy.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng(29);
+  util::Rng rng(testhelpers::TestSeed(29));
   SelectionStepRecord record;
   const data::UserId user = policy.SampleUser({}, rng, &record);
 
@@ -165,13 +167,13 @@ TEST_F(PolicyFixture, NegativeAdvantageDecreasesProbability) {
     }
     return hits / 400.0;
   };
-  util::Rng freq_rng_a(31);
+  util::Rng freq_rng_a(testhelpers::TestSeed(31));
   const double before = frequency(freq_rng_a);
   for (int i = 0; i < 10; ++i) {
     policy.AccumulateGradients(record, -1.0);
     policy.ApplyUpdates(0.2f, 0.0f);
   }
-  util::Rng freq_rng_b(31);
+  util::Rng freq_rng_b(testhelpers::TestSeed(31));
   const double after = frequency(freq_rng_b);
   EXPECT_LT(after, before + 0.02);
 }
@@ -184,7 +186,7 @@ TEST_F(PolicyFixture, RnnStateChangesDistribution) {
   // one conditioned on B.
   auto policy = MakePolicy();
   policy.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng(37);
+  util::Rng rng(testhelpers::TestSeed(37));
 
   SelectionStepRecord record;
   policy.SampleUser({1, 2}, rng, &record);
@@ -195,7 +197,7 @@ TEST_F(PolicyFixture, RnnStateChangesDistribution) {
 
   auto frequency = [&](const std::vector<data::UserId>& history,
                        std::uint64_t seed) {
-    util::Rng sample_rng(seed);
+    util::Rng sample_rng(testhelpers::TestSeed(seed));
     int hits = 0;
     for (int i = 0; i < 500; ++i) {
       SelectionStepRecord r;
@@ -219,11 +221,11 @@ TEST_F(PolicyFixture, TotalParameterCountPositive) {
 }
 
 TEST_F(PolicyFixture, CraftingPolicySamplesValidLevels) {
-  util::Rng init_rng(43);
+  util::Rng init_rng(testhelpers::TestSeed(43));
   CraftingPolicy policy(&users_, &items_, CraftingPolicy::Config{},
                         init_rng);
   policy.SetTargetItem(1);
-  util::Rng rng(47);
+  util::Rng rng(testhelpers::TestSeed(47));
   for (int i = 0; i < 100; ++i) {
     CraftStepRecord record;
     const std::size_t level = policy.SampleLevel(3, rng, &record);
@@ -234,11 +236,11 @@ TEST_F(PolicyFixture, CraftingPolicySamplesValidLevels) {
 }
 
 TEST_F(PolicyFixture, CraftingPolicyLearnsPreferredLevel) {
-  util::Rng init_rng(53);
+  util::Rng init_rng(testhelpers::TestSeed(53));
   CraftingPolicy policy(&users_, &items_, CraftingPolicy::Config{},
                         init_rng);
   policy.SetTargetItem(2);
-  util::Rng rng(59);
+  util::Rng rng(testhelpers::TestSeed(59));
 
   // Reward only level 4: it should dominate after training.
   for (int episode = 0; episode < 300; ++episode) {
@@ -261,7 +263,7 @@ TEST_F(PolicyFixture, DeterministicGivenSameSeeds) {
   auto policy_b = MakePolicy();
   policy_a.SetTargetItem(0, MaskForItem(0));
   policy_b.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng_a(61), rng_b(61);
+  util::Rng rng_a(testhelpers::TestSeed(61)), rng_b(testhelpers::TestSeed(61));
   for (int i = 0; i < 10; ++i) {
     SelectionStepRecord ra, rb;
     EXPECT_EQ(policy_a.SampleUser({}, rng_a, &ra),
@@ -275,7 +277,7 @@ TEST_F(PolicyFixture, SampleAfterFullMaskAborts) {
   // is masked and sampling must abort.
   policy.SetTargetItem(0,
                        std::vector<bool>(tree_.num_nodes(), false));
-  util::Rng rng(67);
+  util::Rng rng(testhelpers::TestSeed(67));
   SelectionStepRecord record;
   EXPECT_DEATH(policy.SampleUser({}, rng, &record), "no selectable user");
 }
@@ -289,7 +291,7 @@ namespace {
 TEST_F(PolicyFixture, GreedySamplingIsDeterministic) {
   auto policy = MakePolicy();
   policy.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng_a(71), rng_b(99);  // different RNGs — greedy must ignore
+  util::Rng rng_a(testhelpers::TestSeed(71)), rng_b(testhelpers::TestSeed(99));  // different RNGs — greedy must ignore
   SelectionStepRecord ra, rb;
   const data::UserId a =
       policy.SampleUser({}, rng_a, &ra, /*greedy=*/true);
@@ -301,7 +303,7 @@ TEST_F(PolicyFixture, GreedySamplingIsDeterministic) {
 TEST_F(PolicyFixture, GreedyRespectsMask) {
   auto policy = MakePolicy();
   policy.SetTargetItem(3, MaskForItem(3));
-  util::Rng rng(71);
+  util::Rng rng(testhelpers::TestSeed(71));
   SelectionStepRecord record;
   const data::UserId user =
       policy.SampleUser({}, rng, &record, /*greedy=*/true);
@@ -309,11 +311,11 @@ TEST_F(PolicyFixture, GreedyRespectsMask) {
 }
 
 TEST_F(PolicyFixture, CraftingGreedyPicksArgmax) {
-  util::Rng init_rng(43);
+  util::Rng init_rng(testhelpers::TestSeed(43));
   CraftingPolicy policy(&users_, &items_, CraftingPolicy::Config{},
                         init_rng);
   policy.SetTargetItem(1);
-  util::Rng rng_a(1), rng_b(2);
+  util::Rng rng_a(testhelpers::TestSeed(1)), rng_b(testhelpers::TestSeed(2));
   CraftStepRecord ra, rb;
   EXPECT_EQ(policy.SampleLevel(3, rng_a, &ra, /*greedy=*/true),
             policy.SampleLevel(3, rng_b, &rb, /*greedy=*/true));
@@ -326,13 +328,13 @@ namespace copyattack::core {
 namespace {
 
 TEST_F(PolicyFixture, GruEncoderVariantWorksEndToEnd) {
-  util::Rng init_rng(9);
+  util::Rng init_rng(testhelpers::TestSeed(9));
   HierarchicalSelectionPolicy::Config config;
   config.encoder = SequenceEncoderType::kGru;
   HierarchicalSelectionPolicy policy(&tree_, &users_, &items_, config,
                                      init_rng);
   policy.SetTargetItem(0, MaskForItem(0));
-  util::Rng rng(19);
+  util::Rng rng(testhelpers::TestSeed(19));
   SelectionStepRecord record;
   const data::UserId user = policy.SampleUser({1, 5}, rng, &record);
   EXPECT_EQ(user % 4, 0U);
@@ -347,13 +349,13 @@ TEST_F(PolicyFixture, GruEncoderVariantWorksEndToEnd) {
     }
     return hits / 300.0;
   };
-  util::Rng freq_a(23);
+  util::Rng freq_a(testhelpers::TestSeed(23));
   const double before = frequency(freq_a);
   for (int i = 0; i < 10; ++i) {
     policy.AccumulateGradients(record, 1.0);
     policy.ApplyUpdates(0.2f, 0.0f);
   }
-  util::Rng freq_b(23);
+  util::Rng freq_b(testhelpers::TestSeed(23));
   const double after = frequency(freq_b);
   EXPECT_GT(after, before - 0.02);
 }

@@ -13,6 +13,7 @@
 #include "rec/matrix_factorization.h"
 #include "rec/pinsage_lite.h"
 #include "test_helpers.h"
+#include "test_seed.h"
 
 namespace copyattack::core {
 namespace {
@@ -115,14 +116,14 @@ TEST(RollbackEquivalenceTest, PinSageEpisodesMatchFreshEnvironment) {
 
 TEST(RollbackEquivalenceTest, MatrixFactorizationEpisodesMatchFresh) {
   rec::MatrixFactorization prototype;
-  util::Rng rng(29);
+  util::Rng rng(testhelpers::TestSeed(29));
   prototype.Fit(SharedTinyWorld().split.train, 6, rng);
   CheckRollbackEquivalence(prototype, 4);
 }
 
 TEST(RollbackEquivalenceTest, ItemKnnEpisodesMatchFresh) {
   rec::ItemKnn prototype;
-  util::Rng rng(29);
+  util::Rng rng(testhelpers::TestSeed(29));
   prototype.Fit(SharedTinyWorld().split.train, 1, rng);
   CheckRollbackEquivalence(prototype, 3);
 }
@@ -131,7 +132,7 @@ TEST(RollbackEquivalenceTest, TargetSwitchRebuildsAndStaysConsistent) {
   // Alternating target items forces the slow path on every switch and the
   // fast path on repeats; both must keep matching fresh environments.
   const auto& tw = SharedTinyWorld();
-  util::Rng rng(17);
+  util::Rng rng(testhelpers::TestSeed(17));
   const auto targets = data::SampleColdTargetItems(tw.world.dataset, 2, 10, rng);
   ASSERT_GE(targets.size(), 2U);
 
@@ -161,7 +162,7 @@ TEST(RollbackEquivalenceTest, RefitOnQueryFallsBackToRebuild) {
   // the model keeps evolving across episodes, every reset rebuilds.
   const auto& tw = SharedTinyWorld();
   rec::MatrixFactorization model;
-  util::Rng rng(29);
+  util::Rng rng(testhelpers::TestSeed(29));
   model.Fit(tw.split.train, 6, rng);
 
   EnvConfig config = RollbackEnvConfig();

@@ -8,6 +8,7 @@
 #include "core/flat_policy.h"
 #include "rec/pinsage_lite.h"
 #include "test_helpers.h"
+#include "test_seed.h"
 
 namespace copyattack::core {
 namespace {
@@ -39,7 +40,7 @@ TEST(RandomAttackTest, InjectsFullBudget) {
   RandomAttack attack(tw.world.dataset);
   attack.BeginTargetItem(tw.cold_target);
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   const double reward = attack.RunEpisode(env, rng);
   EXPECT_TRUE(env.done());
   EXPECT_EQ(env.black_box().injected_profiles(), 9U);
@@ -55,7 +56,7 @@ TEST(TargetAttackTest, OnlyCopiesHolders) {
   TargetAttack attack(tw.world.dataset, 1.0);
   attack.BeginTargetItem(tw.cold_target);
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   attack.RunEpisode(env, rng);
 
   // Every injected profile must contain the target item (keep = 100% and
@@ -84,7 +85,7 @@ TEST(TargetAttackTest, CraftingShortensProfiles) {
   attack_100.BeginTargetItem(tw.cold_target);
   env_40.Reset(tw.cold_target);
   env_100.Reset(tw.cold_target);
-  util::Rng rng_a(3), rng_b(3);
+  util::Rng rng_a(testhelpers::TestSeed(3)), rng_b(testhelpers::TestSeed(3));
   attack_40.RunEpisode(env_40, rng_a);
   attack_100.RunEpisode(env_100, rng_b);
 
@@ -138,7 +139,7 @@ TEST(CopyAttackTest, EpisodeRunsAndInjects) {
                     1);
   attack.BeginTargetItem(tw.cold_target);
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   const double reward = attack.RunEpisode(env, rng);
   EXPECT_GE(reward, 0.0);
   EXPECT_LE(reward, 1.0);
@@ -161,7 +162,7 @@ TEST(CopyAttackTest, MaskedAgentOnlyInjectsHolderProfiles) {
   EXPECT_EQ(attack.candidates().size(), holders.size());
 
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   attack.RunEpisode(env, rng);
 
   // Every injected profile contains the target item (mask + craft window).
@@ -188,7 +189,7 @@ TEST(CopyAttackTest, ExcludeSelectedNeverRepeatsUsers) {
                     1);
   attack.BeginTargetItem(tw.cold_target);
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   attack.RunEpisode(env, rng);
   // With exclusion, the number of injections can't exceed the holders.
   EXPECT_LE(env.black_box().injected_profiles(),
@@ -198,7 +199,12 @@ TEST(CopyAttackTest, ExcludeSelectedNeverRepeatsUsers) {
 TEST(CopyAttackTest, LearningImprovesPretendReward) {
   // Across episodes the final reward should not collapse; and the last
   // episode should do at least as well as the first on average. This is a
-  // smoke-level learning test (tight guarantees are in the bench).
+  // smoke-level learning test (tight guarantees are in the bench) and a
+  // statistical claim about a 6-episode trajectory — only guaranteed on
+  // the controlled default world.
+  if (testhelpers::SeedOverrideActive()) {
+    GTEST_SKIP() << "trajectory not guaranteed under COPYATTACK_TEST_SEED";
+  }
   const auto& tw = SharedTinyWorld();
   rec::PinSageLite model = tw.model;
   EnvConfig env_config = SmallEnvConfig();
@@ -210,7 +216,7 @@ TEST(CopyAttackTest, LearningImprovesPretendReward) {
                     &tw.artifacts.mf.item_embeddings(), SmallAgentConfig(),
                     1);
   attack.BeginTargetItem(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   double first = 0.0, last = 0.0;
   const int episodes = 6;
   for (int e = 0; e < episodes; ++e) {
@@ -234,7 +240,7 @@ TEST(FlatPolicyTest, EpisodeRunsAndRespectsHolders) {
   EXPECT_EQ(attack.name(), "PolicyNetwork");
   attack.BeginTargetItem(tw.cold_target);
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   const double reward = attack.RunEpisode(env, rng);
   EXPECT_GE(reward, 0.0);
 
@@ -279,7 +285,7 @@ TEST(CopyAttackTest, EvalModeFreezesBehavior) {
   // Two greedy episodes from identical environment states must inject the
   // exact same user sequence (greedy + frozen parameters).
   env.Reset(tw.cold_target);
-  util::Rng rng_a(3);
+  util::Rng rng_a(testhelpers::TestSeed(3));
   attack.RunEpisode(env, rng_a);
   const std::size_t users_a = env.black_box().polluted().num_users();
   std::vector<data::Profile> profiles_a;
@@ -290,7 +296,7 @@ TEST(CopyAttackTest, EvalModeFreezesBehavior) {
   }
 
   env.Reset(tw.cold_target);
-  util::Rng rng_b(777);  // different RNG; greedy should not care except a_0
+  util::Rng rng_b(testhelpers::TestSeed(777));  // different RNG; greedy should not care except a_0
   attack.RunEpisode(env, rng_b);
   // The seed action a_0 is random even in eval mode, so only check that
   // the episode ran and the injected count is comparable.
@@ -309,7 +315,7 @@ TEST(CopyAttackTest, PlainHitRatioRewardModeRuns) {
                     &tw.artifacts.mf.user_embeddings(),
                     &tw.artifacts.mf.item_embeddings(), config, 1);
   attack.BeginTargetItem(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   for (int episode = 0; episode < 3; ++episode) {
     env.Reset(tw.cold_target);
     const double reward = attack.RunEpisode(env, rng);
@@ -330,7 +336,7 @@ TEST(FlatPolicyTest, EvalModeRuns) {
   attack.BeginTargetItem(tw.cold_target);
   attack.SetEvalMode(true);
   env.Reset(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   const double reward = attack.RunEpisode(env, rng);
   EXPECT_GE(reward, 0.0);
   EXPECT_GT(env.black_box().injected_profiles(), 0U);
@@ -355,7 +361,7 @@ TEST(CopyAttackTest, CheckpointRoundTripPreservesBehavior) {
     rec::PinSageLite model = tw.model;
     AttackEnvironment env(tw.world.dataset, tw.split.train, &model,
                           SmallEnvConfig());
-    util::Rng rng(3);
+    util::Rng rng(testhelpers::TestSeed(3));
     for (int e = 0; e < 2; ++e) {
       env.Reset(tw.cold_target);
       original.RunEpisode(env, rng);
@@ -384,7 +390,7 @@ TEST(CopyAttackTest, CheckpointRoundTripPreservesBehavior) {
                           SmallEnvConfig());
   env_a.Reset(tw.cold_target);
   env_b.Reset(tw.cold_target);
-  util::Rng rng_a(55), rng_b(55);  // same seed so a_0 matches
+  util::Rng rng_a(testhelpers::TestSeed(55)), rng_b(testhelpers::TestSeed(55));  // same seed so a_0 matches
   const double ra = original.RunEpisode(env_a, rng_a);
   const double rb = restored.RunEpisode(env_b, rng_b);
   EXPECT_DOUBLE_EQ(ra, rb);
@@ -402,7 +408,7 @@ TEST(CopyAttackTest, GruEncoderAgentRuns) {
                     &tw.artifacts.mf.user_embeddings(),
                     &tw.artifacts.mf.item_embeddings(), config, 1);
   attack.BeginTargetItem(tw.cold_target);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   for (int e = 0; e < 2; ++e) {
     env.Reset(tw.cold_target);
     const double reward = attack.RunEpisode(env, rng);

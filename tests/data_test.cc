@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "data/cross_domain.h"
 #include "data/dataset.h"
 #include "data/io.h"
@@ -123,7 +125,7 @@ TEST(DatasetTest, RollbackMatchesFreshCopyOnSyntheticData) {
   const Dataset reference = d;
   const DatasetCheckpoint checkpoint = d.Checkpoint();
 
-  util::Rng rng(99);
+  util::Rng rng(testhelpers::TestSeed(99));
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 20; ++i) {
       const ItemId a = static_cast<ItemId>(rng.UniformUint64(d.num_items()));
@@ -305,7 +307,7 @@ TEST(SyntheticTest, SmallCrossHasColdOverlapItems) {
 TEST(SplitTest, SplitsPreserveInteractions) {
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::Tiny());
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const TrainValidTestSplit split =
       SplitDataset(world.dataset.target, rng);
   EXPECT_EQ(split.train.num_interactions() + split.valid.size() +
@@ -317,7 +319,7 @@ TEST(SplitTest, SplitsPreserveInteractions) {
 TEST(SplitTest, EveryUserKeepsTrainingData) {
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::Tiny());
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const auto split = SplitDataset(world.dataset.target, rng);
   for (UserId u = 0; u < split.train.num_users(); ++u) {
     EXPECT_FALSE(split.train.UserProfile(u).empty());
@@ -327,7 +329,7 @@ TEST(SplitTest, EveryUserKeepsTrainingData) {
 TEST(SplitTest, HeldOutItemsComeFromUserProfiles) {
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::Tiny());
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const auto split = SplitDataset(world.dataset.target, rng);
   for (const HeldOut& pair : split.test) {
     EXPECT_TRUE(world.dataset.target.HasInteraction(pair.user, pair.item));
@@ -338,7 +340,7 @@ TEST(SplitTest, HeldOutItemsComeFromUserProfiles) {
 TEST(SplitTest, FractionsApproximatelyHonored) {
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::SmallCross());
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   const auto split = SplitDataset(world.dataset.target, rng, 0.1, 0.1);
   const double total =
       static_cast<double>(world.dataset.target.num_interactions());
@@ -361,7 +363,7 @@ TEST(StatsTest, ComputeStatsCountsMatch) {
 TEST(TargetItemsTest, ColdTargetsAreColdAndAttackable) {
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::SmallCross());
-  util::Rng rng(9);
+  util::Rng rng(testhelpers::TestSeed(9));
   const auto targets =
       SampleColdTargetItems(world.dataset, 50, 10, rng);
   EXPECT_EQ(targets.size(), 50U);
@@ -378,7 +380,7 @@ TEST(TargetItemsTest, FallbackFillsQuota) {
   // Tiny world with a huge cold threshold of 0 forces the fallback path.
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::Tiny());
-  util::Rng rng(9);
+  util::Rng rng(testhelpers::TestSeed(9));
   const auto targets = SampleColdTargetItems(world.dataset, 10, 0, rng);
   EXPECT_EQ(targets.size(), 10U);
 }
@@ -386,7 +388,7 @@ TEST(TargetItemsTest, FallbackFillsQuota) {
 TEST(TargetItemsTest, PopularityGroupsAreOrdered) {
   const SyntheticWorld world =
       GenerateSyntheticWorld(SyntheticConfig::SmallCross());
-  util::Rng rng(9);
+  util::Rng rng(testhelpers::TestSeed(9));
   const auto groups =
       SampleTargetsByPopularityGroup(world.dataset, 10, 5, rng);
   ASSERT_EQ(groups.size(), 10U);
@@ -487,13 +489,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(EvaluatorDeterminism, SameSeedSameMetrics) {
   const SyntheticWorld world = GenerateSyntheticWorld(SyntheticConfig::Tiny());
-  util::Rng split_rng(3);
+  util::Rng split_rng(testhelpers::TestSeed(3));
   const auto split = SplitDataset(world.dataset.target, split_rng);
   rec::MatrixFactorization mf;
-  util::Rng train_rng(5);
+  util::Rng train_rng(testhelpers::TestSeed(5));
   mf.Fit(split.train, 5, train_rng);
 
-  util::Rng eval_a(9), eval_b(9);
+  util::Rng eval_a(testhelpers::TestSeed(9)), eval_b(testhelpers::TestSeed(9));
   const auto a = rec::EvaluateHeldOut(mf, world.dataset.target, split.test,
                                       {10, 20}, 40, eval_a);
   const auto b = rec::EvaluateHeldOut(mf, world.dataset.target, split.test,

@@ -8,6 +8,7 @@
 #include "defense/profile_features.h"
 #include "rec/matrix_factorization.h"
 #include "test_helpers.h"
+#include "test_seed.h"
 
 namespace copyattack::defense {
 namespace {
@@ -20,7 +21,7 @@ class DefenseFixture : public ::testing::Test {
  protected:
   DefenseFixture() {
     const auto& tw = SharedTinyWorld();
-    util::Rng rng(3);
+    util::Rng rng(testhelpers::TestSeed(3));
     mf_.Fit(tw.world.dataset.target, 10, rng);
     extractor_ = std::make_unique<ProfileFeatureExtractor>(
         &tw.world.dataset.target, &mf_.item_embeddings());
@@ -28,7 +29,7 @@ class DefenseFixture : public ::testing::Test {
 
   std::vector<ProfileFeatures> RealFeatures(std::size_t count) {
     const auto& tw = SharedTinyWorld();
-    util::Rng rng(5);
+    util::Rng rng(testhelpers::TestSeed(5));
     std::vector<ProfileFeatures> features;
     for (std::size_t i = 0; i < count; ++i) {
       const data::UserId u = static_cast<data::UserId>(
@@ -42,7 +43,7 @@ class DefenseFixture : public ::testing::Test {
   /// Fabricated shilling profiles: the target plus random filler.
   std::vector<ProfileFeatures> FabricatedFeatures(std::size_t count) {
     const auto& tw = SharedTinyWorld();
-    util::Rng rng(7);
+    util::Rng rng(testhelpers::TestSeed(7));
     std::vector<ProfileFeatures> features;
     for (std::size_t i = 0; i < count; ++i) {
       data::Profile fake = {tw.cold_target};
@@ -63,7 +64,7 @@ class DefenseFixture : public ::testing::Test {
   /// CopyAttack-style profiles: crafted windows of real source holders.
   std::vector<ProfileFeatures> CopiedFeatures() {
     const auto& tw = SharedTinyWorld();
-    util::Rng rng(9);
+    util::Rng rng(testhelpers::TestSeed(9));
     std::vector<ProfileFeatures> features;
     for (const data::ItemId item : tw.world.dataset.OverlapItems()) {
       for (const data::UserId holder : tw.world.dataset.SourceHolders(item)) {
@@ -96,7 +97,7 @@ TEST_F(DefenseFixture, FeaturesAreFinite) {
 }
 
 TEST_F(DefenseFixture, SingleItemProfileFeatures) {
-  util::Rng rng(11);
+  util::Rng rng(testhelpers::TestSeed(11));
   const ProfileFeatures f = extractor_->Extract({0}, rng);
   EXPECT_DOUBLE_EQ(f[0], 0.0);  // log length of 1
   EXPECT_DOUBLE_EQ(f[3], 1.0);  // coherence of a singleton is perfect

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "math/matrix.h"
 #include "math/metrics.h"
 #include "math/sampling.h"
@@ -69,7 +71,7 @@ TEST(MatrixTest, Multiply) {
 }
 
 TEST(MatrixTest, MultiplyTransposedBMatchesMultiply) {
-  util::Rng rng(1);
+  util::Rng rng(testhelpers::TestSeed(1));
   Matrix a(3, 4);
   a.FillNormal(rng, 0.0f, 1.0f);
   Matrix b(2, 4);
@@ -151,7 +153,7 @@ TEST(MatrixTest, TruncateRowsKeepsCapacityForRegrowth) {
 TEST(VectorOpsTest, KernelsMatchDoublePrecisionReference) {
   // The unrolled kernels must agree with a double-precision reference to
   // within float rounding, across lengths covering every unroll tail.
-  util::Rng rng(314);
+  util::Rng rng(testhelpers::TestSeed(314));
   for (const std::size_t n : {1U, 2U, 3U, 4U, 5U, 7U, 8U, 15U, 64U, 257U}) {
     std::vector<float> a(n), b(n), y(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -182,7 +184,7 @@ TEST(VectorOpsTest, KernelsMatchDoublePrecisionReference) {
 }
 
 TEST(VectorOpsTest, DotIsDeterministicAcrossCalls) {
-  util::Rng rng(55);
+  util::Rng rng(testhelpers::TestSeed(55));
   std::vector<float> a(123), b(123);
   for (auto& v : a) v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
   for (auto& v : b) v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
@@ -279,7 +281,7 @@ TEST(TopKTest, TiesBreakTowardLowerIndex) {
 }
 
 TEST(TopKTest, RankOfConsistentWithArgSort) {
-  util::Rng rng(17);
+  util::Rng rng(testhelpers::TestSeed(17));
   std::vector<float> scores(50);
   for (auto& s : scores) s = static_cast<float>(rng.UniformDouble());
   const auto order = ArgSortDescending(scores);
@@ -291,7 +293,7 @@ TEST(TopKTest, RankOfConsistentWithArgSort) {
 TEST(SamplingTest, AliasTableMatchesWeights) {
   const std::vector<double> weights = {1.0, 2.0, 7.0};
   AliasTable table(weights);
-  util::Rng rng(23);
+  util::Rng rng(testhelpers::TestSeed(23));
   std::vector<int> counts(3, 0);
   const int n = 100000;
   for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
@@ -302,7 +304,7 @@ TEST(SamplingTest, AliasTableMatchesWeights) {
 
 TEST(SamplingTest, AliasTableZeroWeightNeverSampled) {
   AliasTable table({0.0, 1.0, 0.0});
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   for (int i = 0; i < 1000; ++i) {
     EXPECT_EQ(table.Sample(rng), 1U);
   }
@@ -324,7 +326,7 @@ TEST(SamplingTest, ZipfWeightsDecreasing) {
 }
 
 TEST(SamplingTest, SampleCategoricalRespectsZeros) {
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   for (int i = 0; i < 200; ++i) {
     const std::size_t s = SampleCategorical({0.0f, 0.5f, 0.0f, 0.5f}, rng);
     EXPECT_TRUE(s == 1 || s == 3);
@@ -343,7 +345,7 @@ TEST(StatsTest, RunningStatsMeanVariance) {
 }
 
 TEST(StatsTest, RunningStatsMergeEqualsSequential) {
-  util::Rng rng(31);
+  util::Rng rng(testhelpers::TestSeed(31));
   RunningStats all, a, b;
   for (int i = 0; i < 100; ++i) {
     const double v = rng.Normal();
@@ -389,7 +391,7 @@ class MaskedSoftmaxProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(MaskedSoftmaxProperty, MatchesRestrictedSoftmax) {
   const int n = GetParam();
-  util::Rng rng(100 + n);
+  util::Rng rng(testhelpers::TestSeed(100 + n));
   std::vector<float> values(n);
   std::vector<bool> mask(n);
   bool any = false;
@@ -431,7 +433,7 @@ namespace {
 class AliasTableProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(AliasTableProperty, NormalizedProbabilitiesPreserved) {
-  util::Rng rng(700 + GetParam());
+  util::Rng rng(testhelpers::TestSeed(700 + GetParam()));
   const std::size_t n = 1 + rng.UniformUint64(40);
   std::vector<double> weights(n);
   double total = 0.0;
@@ -455,7 +457,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AliasTableProperty,
 /// Property: matrix multiplication is associative on random inputs
 /// (within float tolerance) — a structural check of the kernel.
 TEST(MatrixProperty, MultiplicationAssociative) {
-  util::Rng rng(41);
+  util::Rng rng(testhelpers::TestSeed(41));
   Matrix a(3, 4), b(4, 5), c(5, 2);
   a.FillNormal(rng, 0.0f, 1.0f);
   b.FillNormal(rng, 0.0f, 1.0f);
@@ -471,7 +473,7 @@ TEST(MatrixProperty, MultiplicationAssociative) {
 
 /// Property: Merge is associative and order-insensitive for RunningStats.
 TEST(StatsProperty, MergeOrderInsensitive) {
-  util::Rng rng(43);
+  util::Rng rng(testhelpers::TestSeed(43));
   std::vector<double> values(60);
   for (auto& v : values) v = rng.Normal(2.0, 3.0);
 
@@ -496,7 +498,7 @@ TEST(StatsProperty, MergeOrderInsensitive) {
 class TopKPrefixProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(TopKPrefixProperty, PrefixOfArgsort) {
-  util::Rng rng(900 + GetParam());
+  util::Rng rng(testhelpers::TestSeed(900 + GetParam()));
   std::vector<float> scores(1 + rng.UniformUint64(60));
   for (auto& s : scores) s = static_cast<float>(rng.Normal());
   const auto full = ArgSortDescending(scores);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "math/sampling.h"
 #include "math/vector_ops.h"
 #include "nn/activations.h"
@@ -48,7 +50,7 @@ TEST(ActivationsTest, TanhGradFromOutputs) {
 }
 
 TEST(DenseTest, ForwardComputesAffineMap) {
-  util::Rng rng(1);
+  util::Rng rng(testhelpers::TestSeed(1));
   DenseLayer layer("d", 2, 2, rng, 0.0f);  // zero weights
   // Weights are zero; output must equal bias (also zero).
   std::vector<float> out;
@@ -61,7 +63,7 @@ TEST(DenseTest, ForwardComputesAffineMap) {
 /// parameter, compare numeric dL/dw against the analytic accumulation,
 /// with L = sum(out * coefficients).
 TEST(MlpTest, GradientsMatchFiniteDifferences) {
-  util::Rng rng(7);
+  util::Rng rng(testhelpers::TestSeed(7));
   Mlp mlp("m", {3, 4, 2}, rng, Activation::kTanh, 0.5f);
   const std::vector<float> input = {0.3f, -0.7f, 1.1f};
   const std::vector<float> coeff = {1.0f, -2.0f};
@@ -112,7 +114,7 @@ TEST(MlpTest, GradientsMatchFiniteDifferences) {
 }
 
 TEST(MlpTest, ReluHiddenGradientsMatchFiniteDifferences) {
-  util::Rng rng(11);
+  util::Rng rng(testhelpers::TestSeed(11));
   Mlp mlp("m", {2, 5, 3}, rng, Activation::kRelu, 0.5f);
   const std::vector<float> input = {0.9f, -0.4f};
   const std::vector<float> coeff = {0.5f, 1.5f, -1.0f};
@@ -147,7 +149,7 @@ TEST(MlpTest, ReluHiddenGradientsMatchFiniteDifferences) {
 }
 
 TEST(RnnTest, EmptySequenceEncodesToZero) {
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   RnnEncoder rnn("r", 4, 3, rng);
   RnnContext ctx;
   const auto hidden = rnn.Forward({}, &ctx);
@@ -161,7 +163,7 @@ TEST(RnnTest, EmptySequenceEncodesToZero) {
 }
 
 TEST(RnnTest, GradientsMatchFiniteDifferences) {
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   RnnEncoder rnn("r", 3, 2, rng, 0.5f);
   const std::vector<std::vector<float>> sequence = {
       {0.1f, -0.2f, 0.3f}, {0.5f, 0.4f, -0.1f}, {-0.6f, 0.2f, 0.2f}};
@@ -300,13 +302,13 @@ TEST(ReinforceTest, MovingBaselineTracksReturns) {
 }
 
 TEST(SerializeTest, SaveLoadRoundTrip) {
-  util::Rng rng(19);
+  util::Rng rng(testhelpers::TestSeed(19));
   Mlp mlp("s", {2, 3, 2}, rng, Activation::kRelu, 0.3f);
   const std::string path = testing::TempDir() + "/ca_params.bin";
   ASSERT_TRUE(SaveParameters(mlp.Parameters(), path));
 
   // Clone architecture, load, compare outputs.
-  util::Rng rng2(999);
+  util::Rng rng2(testhelpers::TestSeed(999));
   Mlp copy("s", {2, 3, 2}, rng2, Activation::kRelu, 0.3f);
   ASSERT_TRUE(LoadParameters(copy.Parameters(), path));
 
@@ -321,7 +323,7 @@ TEST(SerializeTest, SaveLoadRoundTrip) {
 }
 
 TEST(SerializeTest, LoadRejectsMismatchedArchitecture) {
-  util::Rng rng(19);
+  util::Rng rng(testhelpers::TestSeed(19));
   Mlp mlp("s", {2, 3, 2}, rng, Activation::kRelu, 0.3f);
   const std::string path = testing::TempDir() + "/ca_params2.bin";
   ASSERT_TRUE(SaveParameters(mlp.Parameters(), path));
@@ -333,7 +335,7 @@ TEST(SerializeTest, LoadRejectsMismatchedArchitecture) {
 /// REINFORCE sanity: on a 3-armed bandit with deterministic rewards, the
 /// policy should concentrate on the best arm.
 TEST(ReinforceTest, LearnsBanditWithSoftmaxPolicy) {
-  util::Rng rng(77);
+  util::Rng rng(testhelpers::TestSeed(77));
   Mlp policy("bandit", {1, 8, 3}, rng, Activation::kTanh, 0.5f);
   Sgd sgd(0.2f);
   const std::vector<float> state = {1.0f};
@@ -368,7 +370,7 @@ namespace copyattack::nn {
 namespace {
 
 TEST(GruTest, EmptySequenceEncodesToZero) {
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   GruEncoder gru("g", 4, 3, rng);
   GruContext ctx;
   const auto hidden = gru.Forward({}, &ctx);
@@ -381,7 +383,7 @@ TEST(GruTest, EmptySequenceEncodesToZero) {
 }
 
 TEST(GruTest, HiddenStaysBounded) {
-  util::Rng rng(5);
+  util::Rng rng(testhelpers::TestSeed(5));
   GruEncoder gru("g", 3, 4, rng, 0.5f);
   std::vector<std::vector<float>> sequence;
   for (int t = 0; t < 50; ++t) {
@@ -396,7 +398,7 @@ TEST(GruTest, HiddenStaysBounded) {
 }
 
 TEST(GruTest, GradientsMatchFiniteDifferences) {
-  util::Rng rng(7);
+  util::Rng rng(testhelpers::TestSeed(7));
   GruEncoder gru("g", 3, 2, rng, 0.5f);
   const std::vector<std::vector<float>> sequence = {
       {0.1f, -0.2f, 0.3f}, {0.5f, 0.4f, -0.1f}, {-0.6f, 0.2f, 0.2f}};
@@ -429,7 +431,7 @@ TEST(GruTest, GradientsMatchFiniteDifferences) {
 }
 
 TEST(GruTest, DeterministicForward) {
-  util::Rng rng_a(9), rng_b(9);
+  util::Rng rng_a(testhelpers::TestSeed(9)), rng_b(testhelpers::TestSeed(9));
   GruEncoder a("g", 2, 3, rng_a);
   GruEncoder b("g", 2, 3, rng_b);
   GruContext ctx_a, ctx_b;

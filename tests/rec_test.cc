@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "rec/black_box.h"
@@ -22,7 +24,7 @@ class RecFixture : public ::testing::Test {
  protected:
   RecFixture()
       : world_(data::GenerateSyntheticWorld(data::SyntheticConfig::Tiny())),
-        rng_(11),
+        rng_(testhelpers::TestSeed(11)),
         split_(data::SplitDataset(world_.dataset.target, rng_)) {}
 
   data::SyntheticWorld world_;
@@ -41,14 +43,14 @@ TEST(MfTest, TrainsAboveRandomRanking) {
   config.target_profile_min = 6;
   config.target_profile_max = 20;
   const auto world = data::GenerateSyntheticWorld(config);
-  util::Rng split_rng(11);
+  util::Rng split_rng(testhelpers::TestSeed(11));
   const auto split = data::SplitDataset(world.dataset.target, split_rng);
 
   MatrixFactorization mf;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   mf.Fit(split.train, 30, rng);
 
-  util::Rng eval_rng(5);
+  util::Rng eval_rng(testhelpers::TestSeed(5));
   const auto metrics = EvaluateHeldOut(mf, world.dataset.target, split.test,
                                        {10}, 50, eval_rng);
   // Random ranking over 51 candidates gives HR@10 ~= 10/51 ~= 0.196.
@@ -58,10 +60,10 @@ TEST(MfTest, TrainsAboveRandomRanking) {
 
 TEST_F(RecFixture, PinSageTrainsAboveRandomRanking) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 25, rng);
 
-  util::Rng eval_rng(5);
+  util::Rng eval_rng(testhelpers::TestSeed(5));
   const auto metrics =
       EvaluateHeldOut(model, world_.dataset.target, split_.test, {10}, 50,
                       eval_rng);
@@ -70,7 +72,7 @@ TEST_F(RecFixture, PinSageTrainsAboveRandomRanking) {
 
 TEST_F(RecFixture, EarlyStoppingTrainerRuns) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   TrainOptions options;
   options.max_epochs = 30;
   options.patience = 3;
@@ -84,7 +86,7 @@ TEST_F(RecFixture, EarlyStoppingTrainerRuns) {
 
 TEST_F(RecFixture, MfFoldInHandlesNewUsers) {
   MatrixFactorization mf;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   mf.Fit(split_.train, 10, rng);
 
   data::Dataset polluted = split_.train;
@@ -97,7 +99,7 @@ TEST_F(RecFixture, MfFoldInHandlesNewUsers) {
 
 TEST_F(RecFixture, PinSageInjectionShiftsItemRepresentation) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 15, rng);
 
   // Pick a cold overlapping item.
@@ -138,13 +140,13 @@ TEST_F(RecFixture, PinSageInjectionShiftsItemRepresentation) {
 
 TEST_F(RecFixture, PinSageIncrementalMatchesRebuild) {
   PinSageLite incremental;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   incremental.Fit(split_.train, 10, rng);
 
   PinSageLite rebuilt = incremental;  // same trained parameters
 
   data::Dataset polluted = split_.train;
-  util::Rng inject_rng(7);
+  util::Rng inject_rng(testhelpers::TestSeed(7));
   for (int i = 0; i < 3; ++i) {
     data::Profile profile;
     std::set<data::ItemId> seen;
@@ -167,7 +169,7 @@ TEST_F(RecFixture, PinSageIncrementalMatchesRebuild) {
 }
 
 TEST_F(RecFixture, SampleNegativesExcludesSeenAndHeldOut) {
-  util::Rng rng(9);
+  util::Rng rng(testhelpers::TestSeed(9));
   const data::UserId user = 0;
   const data::ItemId held = world_.dataset.target.UserProfile(user)[0];
   const auto negatives =
@@ -183,13 +185,13 @@ TEST_F(RecFixture, SampleNegativesExcludesSeenAndHeldOut) {
 
 TEST_F(RecFixture, EvaluatePromotionSkipsInteractedUsers) {
   MatrixFactorization mf;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   mf.Fit(split_.train, 5, rng);
 
   // Target = an item user 0 interacted with; evaluating only user 0 must
   // produce zero evaluation pairs.
   const data::ItemId item = world_.dataset.target.UserProfile(0)[0];
-  util::Rng eval_rng(5);
+  util::Rng eval_rng(testhelpers::TestSeed(5));
   const auto metrics = EvaluatePromotion(
       mf, world_.dataset.target, item, {0}, {10}, 20, eval_rng);
   EXPECT_EQ(metrics.at(10).count, 0U);
@@ -197,7 +199,7 @@ TEST_F(RecFixture, EvaluatePromotionSkipsInteractedUsers) {
 
 TEST_F(RecFixture, BlackBoxCountsQueriesAndInjections) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 5, rng);
 
   data::Dataset polluted = split_.train;
@@ -221,7 +223,7 @@ TEST_F(RecFixture, BlackBoxCountsQueriesAndInjections) {
 
 TEST_F(RecFixture, BlackBoxTopKOrderedByScore) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 10, rng);
   data::Dataset polluted = split_.train;
   model.BeginServing(polluted);
@@ -238,7 +240,7 @@ TEST_F(RecFixture, BlackBoxTopKOrderedByScore) {
 
 TEST_F(RecFixture, RecommenderDeterministicInSeed) {
   MatrixFactorization a, b;
-  util::Rng rng_a(3), rng_b(3);
+  util::Rng rng_a(testhelpers::TestSeed(3)), rng_b(testhelpers::TestSeed(3));
   a.Fit(split_.train, 5, rng_a);
   b.Fit(split_.train, 5, rng_b);
   for (data::UserId u = 0; u < 3; ++u) {
@@ -255,11 +257,11 @@ class MetricsMonotoneProperty : public ::testing::TestWithParam<int> {};
 TEST_P(MetricsMonotoneProperty, HrMonotoneInK) {
   const data::SyntheticWorld world =
       data::GenerateSyntheticWorld(data::SyntheticConfig::Tiny());
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  util::Rng rng(testhelpers::TestSeed(static_cast<std::uint64_t>(GetParam())));
   const auto split = data::SplitDataset(world.dataset.target, rng);
   MatrixFactorization mf;
   mf.Fit(split.train, 8, rng);
-  util::Rng eval_rng(42);
+  util::Rng eval_rng(testhelpers::TestSeed(42));
   const auto metrics = EvaluateHeldOut(
       mf, world.dataset.target, split.test, {5, 10, 20}, 50, eval_rng);
   EXPECT_LE(metrics.at(5).hr, metrics.at(10).hr);
@@ -279,7 +281,7 @@ namespace {
 
 TEST_F(RecFixture, PinSagePopularityInterceptRanksColdItemsLow) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 12, rng);
 
   // Average score of the 5 most vs 5 least popular items across users:
@@ -297,7 +299,7 @@ TEST_F(RecFixture, PinSagePopularityInterceptRanksColdItemsLow) {
 
 TEST_F(RecFixture, PinSageInterceptFrozenUnderInjection) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 12, rng);
 
   // Pick a cold item and a neutral probe user; inject 10 users holding
@@ -330,7 +332,7 @@ TEST_F(RecFixture, PinSageCenteringMakesGenericProfilesWeak) {
   // representations more than a long generic profile built from the most
   // popular items, because centering cancels the generic direction.
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 12, rng);
 
   const auto by_pop = split_.train.ItemsByPopularity();
@@ -377,7 +379,7 @@ TEST_F(RecFixture, PinSageCenteringMakesGenericProfilesWeak) {
 
 TEST_F(RecFixture, PinSageMeanRecomputedAfterTrainEpoch) {
   PinSageLite model;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.InitTraining(split_.train, rng);
   model.TrainEpoch(split_.train, rng);
   model.BeginServing(split_.train);
@@ -393,10 +395,10 @@ TEST_F(RecFixture, PinSageCenteringCanBeDisabled) {
   PinSageConfig config;
   config.center_user_reps = false;
   PinSageLite model(config);
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   model.Fit(split_.train, 8, rng);
   // Sanity: scores finite, model still ranks above random.
-  util::Rng eval_rng(5);
+  util::Rng eval_rng(testhelpers::TestSeed(5));
   const auto metrics = EvaluateHeldOut(model, world_.dataset.target,
                                        split_.test, {10}, 50, eval_rng);
   EXPECT_GT(metrics.at(10).hr, 0.25);
@@ -412,7 +414,7 @@ namespace {
 
 TEST_F(RecFixture, ItemKnnBuildsSimilarityLists) {
   ItemKnn knn;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   knn.Fit(split_.train, 1, rng);
   // Some item must have neighbors, ordered by descending similarity.
   bool any = false;
@@ -428,9 +430,9 @@ TEST_F(RecFixture, ItemKnnBuildsSimilarityLists) {
 
 TEST_F(RecFixture, ItemKnnRanksAboveRandom) {
   ItemKnn knn;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   knn.Fit(split_.train, 1, rng);
-  util::Rng eval_rng(5);
+  util::Rng eval_rng(testhelpers::TestSeed(5));
   const auto metrics = EvaluateHeldOut(knn, world_.dataset.target,
                                        split_.test, {10}, 50, eval_rng);
   EXPECT_GT(metrics.at(10).hr, 0.28);
@@ -438,7 +440,7 @@ TEST_F(RecFixture, ItemKnnRanksAboveRandom) {
 
 TEST_F(RecFixture, ItemKnnSimilarityListsAreFrozenUnderInjection) {
   ItemKnn knn;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   knn.Fit(split_.train, 1, rng);
   const auto before = knn.Neighbors(0);
   data::Dataset polluted = split_.train;
@@ -450,7 +452,7 @@ TEST_F(RecFixture, ItemKnnSimilarityListsAreFrozenUnderInjection) {
 
 TEST_F(RecFixture, ItemKnnRetrainIngestsInjectedCooccurrence) {
   ItemKnn knn;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   knn.Fit(split_.train, 1, rng);
 
   // Choose two items that never co-occur; inject users pairing them, then
@@ -478,7 +480,7 @@ TEST_F(RecFixture, ItemKnnRetrainIngestsInjectedCooccurrence) {
   for (int k = 0; k < 10; ++k) {
     polluted.AddUser({a, b});
   }
-  util::Rng retrain_rng(5);
+  util::Rng retrain_rng(testhelpers::TestSeed(5));
   knn.TrainEpoch(polluted, retrain_rng);
   bool found = false;
   for (const auto& [n, s] : knn.Neighbors(a)) {
@@ -490,7 +492,7 @@ TEST_F(RecFixture, ItemKnnRetrainIngestsInjectedCooccurrence) {
 
 TEST_F(RecFixture, ItemKnnScoreReflectsProfileOverlap) {
   ItemKnn knn;
-  util::Rng rng(3);
+  util::Rng rng(testhelpers::TestSeed(3));
   knn.Fit(split_.train, 1, rng);
   // A user scores an item they co-consumed neighbors of higher than a
   // random user with an empty intersection — weak but monotone sanity:

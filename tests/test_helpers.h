@@ -8,6 +8,7 @@
 #include "data/synthetic.h"
 #include "data/target_items.h"
 #include "rec/pinsage_lite.h"
+#include "test_seed.h"
 #include "util/rng.h"
 
 namespace copyattack::testhelpers {
@@ -27,7 +28,7 @@ struct TinyWorld {
         split(MakeSplit(world)),
         model(MakeModel(split)),
         artifacts(MakeArtifacts(world)) {
-    util::Rng rng(17);
+    util::Rng rng(TestSeed(17));
     const auto targets =
         data::SampleColdTargetItems(world.dataset, 1, 10, rng);
     if (!targets.empty()) cold_target = targets[0];
@@ -35,14 +36,14 @@ struct TinyWorld {
 
   static data::TrainValidTestSplit MakeSplit(
       const data::SyntheticWorld& world) {
-    util::Rng rng(23);
+    util::Rng rng(TestSeed(23));
     return data::SplitDataset(world.dataset.target, rng);
   }
 
   static rec::PinSageLite MakeModel(
       const data::TrainValidTestSplit& split) {
     rec::PinSageLite model;
-    util::Rng rng(29);
+    util::Rng rng(TestSeed(29));
     model.Fit(split.train, 12, rng);
     return model;
   }

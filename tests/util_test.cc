@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -17,14 +19,14 @@ namespace copyattack::util {
 namespace {
 
 TEST(RngTest, DeterministicForEqualSeeds) {
-  Rng a(42), b(42);
+  Rng a(testhelpers::TestSeed(42)), b(testhelpers::TestSeed(42));
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.NextUint64(), b.NextUint64());
   }
 }
 
 TEST(RngTest, DifferentSeedsDiverge) {
-  Rng a(1), b(2);
+  Rng a(testhelpers::TestSeed(1)), b(testhelpers::TestSeed(2));
   int equal = 0;
   for (int i = 0; i < 100; ++i) {
     if (a.NextUint64() == b.NextUint64()) ++equal;
@@ -33,7 +35,7 @@ TEST(RngTest, DifferentSeedsDiverge) {
 }
 
 TEST(RngTest, UniformIntRespectsBounds) {
-  Rng rng(7);
+  Rng rng(testhelpers::TestSeed(7));
   for (int i = 0; i < 1000; ++i) {
     const int v = rng.UniformInt(-3, 5);
     EXPECT_GE(v, -3);
@@ -42,7 +44,7 @@ TEST(RngTest, UniformIntRespectsBounds) {
 }
 
 TEST(RngTest, UniformDoubleInUnitInterval) {
-  Rng rng(7);
+  Rng rng(testhelpers::TestSeed(7));
   for (int i = 0; i < 1000; ++i) {
     const double v = rng.UniformDouble();
     EXPECT_GE(v, 0.0);
@@ -51,7 +53,7 @@ TEST(RngTest, UniformDoubleInUnitInterval) {
 }
 
 TEST(RngTest, UniformCoversAllBuckets) {
-  Rng rng(11);
+  Rng rng(testhelpers::TestSeed(11));
   std::vector<int> counts(10, 0);
   for (int i = 0; i < 10000; ++i) {
     ++counts[rng.UniformUint64(10)];
@@ -63,7 +65,7 @@ TEST(RngTest, UniformCoversAllBuckets) {
 }
 
 TEST(RngTest, NormalHasExpectedMoments) {
-  Rng rng(13);
+  Rng rng(testhelpers::TestSeed(13));
   double sum = 0.0, sum_sq = 0.0;
   const int n = 50000;
   for (int i = 0; i < n; ++i) {
@@ -76,7 +78,7 @@ TEST(RngTest, NormalHasExpectedMoments) {
 }
 
 TEST(RngTest, SampleWithoutReplacementIsDistinct) {
-  Rng rng(3);
+  Rng rng(testhelpers::TestSeed(3));
   const auto sample = rng.SampleWithoutReplacement(100, 30);
   EXPECT_EQ(sample.size(), 30U);
   std::set<std::size_t> unique(sample.begin(), sample.end());
@@ -85,14 +87,14 @@ TEST(RngTest, SampleWithoutReplacementIsDistinct) {
 }
 
 TEST(RngTest, SampleWithoutReplacementFullRange) {
-  Rng rng(3);
+  Rng rng(testhelpers::TestSeed(3));
   const auto sample = rng.SampleWithoutReplacement(10, 10);
   std::set<std::size_t> unique(sample.begin(), sample.end());
   EXPECT_EQ(unique.size(), 10U);
 }
 
 TEST(RngTest, ShufflePreservesElements) {
-  Rng rng(5);
+  Rng rng(testhelpers::TestSeed(5));
   std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
   auto shuffled = values;
   rng.Shuffle(shuffled);
@@ -101,7 +103,7 @@ TEST(RngTest, ShufflePreservesElements) {
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {
-  Rng a(9);
+  Rng a(testhelpers::TestSeed(9));
   Rng child = a.Fork();
   // Child stream should not replicate the parent's next outputs.
   int equal = 0;
@@ -112,7 +114,7 @@ TEST(RngTest, ForkProducesIndependentStream) {
 }
 
 TEST(RngTest, BernoulliEdgeCases) {
-  Rng rng(1);
+  Rng rng(testhelpers::TestSeed(1));
   EXPECT_FALSE(rng.Bernoulli(0.0));
   EXPECT_TRUE(rng.Bernoulli(1.0));
 }
@@ -193,6 +195,89 @@ TEST(CsvTest, ReadMissingFileFails) {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
   EXPECT_FALSE(ReadCsv("/nonexistent/path/file.csv", &header, &rows));
+}
+
+TEST(CsvTest, EmptyFieldsSurvive) {
+  const std::string path = testing::TempDir() + "/ca_csv_empty.csv";
+  {
+    CsvWriter writer(path, {"a", "b", "c"});
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"", "mid", ""});
+    writer.WriteRow({"", "", ""});
+    writer.Flush();
+  }
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path, &header, &rows));
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "mid", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedCommasAndQuotesRoundTrip) {
+  const std::string path = testing::TempDir() + "/ca_csv_quoted.csv";
+  {
+    CsvWriter writer(path, {"label", "value"});
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"a,b", "plain"});
+    writer.WriteRow({"say \"hi\"", "x,y,z"});
+    writer.Flush();
+  }
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path, &header, &rows));
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "plain"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"say \"hi\"", "x,y,z"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EscapeCsvFieldQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("3.14"), "3.14");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("he said \"x\""), "\"he said \"\"x\"\"\"");
+  EXPECT_EQ(EscapeCsvField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, ParseCsvLineMalformedRowsAreLenient) {
+  // Unterminated quote: remainder of the field is taken verbatim.
+  EXPECT_EQ(ParseCsvLine("\"unterminated,still same field"),
+            (std::vector<std::string>{"unterminated,still same field"}));
+  // Quote opening mid-field is literal, not an opener.
+  EXPECT_EQ(ParseCsvLine("ab\"cd,2"),
+            (std::vector<std::string>{"ab\"cd", "2"}));
+  // Trailing comma yields a final empty field.
+  EXPECT_EQ(ParseCsvLine("a,b,"),
+            (std::vector<std::string>{"a", "b", ""}));
+  // A lone empty line is one empty field (callers skip blank lines).
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+}
+
+TEST(CsvTest, RaggedRowsAreReturnedAsIs) {
+  // ReadCsv does not validate arity against the header — readers in
+  // bench tooling decide; this pins the lenient contract.
+  const std::string path = testing::TempDir() + "/ca_csv_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1\nx,y,z\n";
+  }
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path, &header, &rows));
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0].size(), 1U);
+  EXPECT_EQ(rows[1].size(), 3U);
+  std::remove(path.c_str());
+}
+
+TEST(CsvDeathTest, WrongArityRowAborts) {
+  const std::string path = testing::TempDir() + "/ca_csv_arity.csv";
+  CsvWriter writer(path, {"a", "b"});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_DEATH(writer.WriteRow({"only-one"}), "lhs=1 rhs=2");
+  std::remove(path.c_str());
 }
 
 TEST(StopwatchTest, ElapsedIsMonotonic) {
@@ -329,6 +414,50 @@ TEST(FlagParserDeathTest, BadIntegerAborts) {
   const char* argv[] = {"run", "--count=xyz"};
   ASSERT_TRUE(parser.Parse(2, argv));
   EXPECT_DEATH(parser.GetSizeT("count"), "not an unsigned integer");
+}
+
+TEST(FlagParserTest, EmptyValueViaEqualsIsKept) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--name="};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_TRUE(parser.WasSupplied("name"));
+  EXPECT_EQ(parser.GetString("name"), "");
+}
+
+TEST(FlagParserTest, DuplicateSupplyLastOneWins) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--name=first", "--name=second"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_EQ(parser.GetString("name"), "second");
+}
+
+TEST(FlagParserTest, ValueContainingEqualsSplitsOnce) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--name=k=v"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_EQ(parser.GetString("name"), "k=v");
+}
+
+TEST(FlagParserTest, TrailingValuelessFlagBecomesTrue) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_EQ(parser.GetString("verbose"), "true");
+}
+
+TEST(FlagParserTest, BadBooleanAbortsOnAccessNotParse) {
+  FlagParser parser = MakeTestParser();
+  const char* argv[] = {"run", "--verbose=maybe"};
+  // Parsing succeeds (values are strings); the typed accessor enforces.
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_DEATH(parser.GetBool("verbose"), "not a boolean");
+}
+
+TEST(FlagParserDeathTest, DuplicateDefineAborts) {
+  FlagParser parser;
+  parser.Define("twice", "1", "first declaration");
+  EXPECT_DEATH(parser.Define("twice", "2", "second declaration"),
+               "declared twice");
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end correctness gate: "clean under check_all" is this repo's
+# definition of green. Runs, in order:
+#
+#   1. the repo-invariant linter (fast fail before any long build)
+#   2. release preset  — -Werror wall, unit + lint suites
+#   3. asan-ubsan preset — full build, unit + lint suites under ASan/UBSan
+#   4. tsan preset     — full build, unit suite AND the `stress` label
+#                        (the stress suite runs ONLY here: TSan is the
+#                        tool those tests are written for, and they cost
+#                        the most wall clock under it)
+#
+# Usage: tools/check_all.sh [--quick]
+#   --quick  skip the sanitizer presets (release + lint only)
+#
+# Environment: COPYATTACK_TEST_SEED=<n> reseeds every stochastic test so
+# sanitizer sweeps can fuzz seed-dependent paths (see tests/test_seed.h).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--quick]" >&2
+  exit 2
+fi
+
+step() { printf '\n== check_all: %s ==\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  local ctest_args=("${@:2}")
+  step "configure+build [${preset}]"
+  cmake --preset "${preset}" >/dev/null
+  cmake --build --preset "${preset}" --parallel "${jobs}"
+  step "test [${preset}] ${ctest_args[*]}"
+  ctest --preset "${preset}" -j "${jobs}" "${ctest_args[@]}"
+}
+
+# 1. Lint first: build just the linter in the release tree and run it on
+# src/ so contract violations fail in seconds, not after three builds.
+step "lint"
+cmake --preset release >/dev/null
+cmake --build --preset release --parallel "${jobs}" --target lint_copyattack
+./build/tools/lint_copyattack src
+
+# 2. Release wall: everything except the stress label (stress is TSan's
+# job; see below).
+run_preset release -LE stress
+
+if [[ "${quick}" == "1" ]]; then
+  step "OK (quick: sanitizer presets skipped)"
+  exit 0
+fi
+
+# 3. ASan+UBSan: memory errors and UB across the unit + lint suites.
+run_preset asan-ubsan -LE stress
+
+# 4. TSan: unit suite for coverage, then the concurrency stress suite —
+# the only preset that runs the `stress` label.
+run_preset tsan -LE stress
+step "test [tsan] stress label"
+ctest --preset tsan-stress -j "${jobs}"
+
+step "OK (lint + release + asan-ubsan + tsan all green)"

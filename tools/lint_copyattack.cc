@@ -1,0 +1,329 @@
+// Repo-invariant linter for the copyattack tree, registered as a ctest
+// (label `lint`). Scans the directories given on the command line for C++
+// sources and enforces the project contracts that neither the compiler nor
+// clang-tidy check:
+//
+//   std-rand      std::rand/srand — all randomness must flow through
+//                 util/rng so experiments replay from one seed.
+//   time-seed     time(...)/std::random_device seeding outside util/rng —
+//                 wall-clock entropy breaks bit-identical reruns.
+//   raw-new       raw new/delete — ownership is vector/unique_ptr based;
+//                 the only exception is the intentionally-leaked
+//                 process-lifetime singleton, annotated inline.
+//   printf-family printf/fprintf/... outside util/logging, util/check and
+//                 util/string_utils — output goes through CA_LOG so the
+//                 log level filter actually filters.
+//   header-guard  headers must open with `#pragma once` or a
+//                 COPYATTACK_*_H_ include guard.
+//   float-eq      ==/!= against floating-point literals — exact compares
+//                 are only meaningful in documented sparsity/sentinel
+//                 guards, annotated inline.
+//
+// A line is exempted by `lint:allow(<rule-id>)` in a trailing comment;
+// whole files are exempted per rule in `kApprovedFiles`. Diagnostics are
+// `file:line: [rule] message`, exit status 1 on any violation — the same
+// contract as a compiler, so it slots into ctest/check_all unchanged.
+//
+// Self-test: tools/lint_selftest/ seeds one violation per rule; ctest runs
+// the linter over it with WILL_FAIL so a rule that stops firing turns the
+// build red.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Per-rule lists of path suffixes where the pattern is the implementation
+/// of the invariant itself (the RNG may read entropy, the logger may call
+/// fprintf) rather than a violation of it.
+struct ApprovedFiles {
+  std::string_view rule;
+  std::vector<std::string_view> suffixes;
+};
+
+const std::vector<ApprovedFiles>& ApprovedFileTable() {
+  static const std::vector<ApprovedFiles> table = {
+      {"time-seed", {"util/rng.cc", "util/rng.h"}},
+      {"printf-family",
+       {"util/logging.cc", "util/logging.h", "util/check.h",
+        "util/string_utils.cc"}},
+  };
+  return table;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+bool IsApproved(std::string_view rule, std::string_view path) {
+  for (const ApprovedFiles& entry : ApprovedFileTable()) {
+    if (entry.rule != rule) continue;
+    for (const std::string_view suffix : entry.suffixes) {
+      if (EndsWith(path, suffix)) return true;
+    }
+  }
+  return false;
+}
+
+bool HasAllowance(std::string_view raw_line, std::string_view rule) {
+  const std::string needle = "lint:allow(" + std::string(rule) + ")";
+  return raw_line.find(needle) != std::string_view::npos;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `code[pos]` starts `word` as a whole identifier: not a substring
+/// of a longer identifier and not a member access like `foo.word`.
+/// Namespace qualification (`std::word`) still matches — `std::rand` is
+/// exactly what the std-rand rule exists to catch.
+bool MatchesWordAt(std::string_view code, std::size_t pos,
+                   std::string_view word) {
+  if (code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && (IsIdentChar(code[pos - 1]) || code[pos - 1] == '.'))
+    return false;
+  const std::size_t end = pos + word.size();
+  return end >= code.size() || !IsIdentChar(code[end]);
+}
+
+bool ContainsWord(std::string_view code, std::string_view word) {
+  for (std::size_t pos = code.find(word); pos != std::string_view::npos;
+       pos = code.find(word, pos + 1)) {
+    if (MatchesWordAt(code, pos, word)) return true;
+  }
+  return false;
+}
+
+/// Strips comments and string/char literal contents from one line so the
+/// rules match code only. `in_block_comment` carries /* ... */ state across
+/// lines. Literal bodies are blanked (not removed) to keep columns stable.
+std::string StripNonCode(const std::string& line, bool* in_block_comment) {
+  std::string code;
+  code.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (*in_block_comment) {
+      const std::size_t close = line.find("*/", i);
+      if (close == std::string::npos) return code;
+      *in_block_comment = false;
+      i = close + 2;
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      code.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        code.push_back(' ');
+        ++i;
+      }
+      if (i < line.size()) {
+        code.push_back(quote);
+        ++i;
+      }
+      continue;
+    }
+    code.push_back(c);
+    ++i;
+  }
+  return code;
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Detects `== <float-literal>` / `!= <float-literal>` (either order).
+bool HasFloatLiteralCompare(std::string_view code) {
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if ((code[i] != '=' && code[i] != '!') || code[i + 1] != '=') continue;
+    if (i > 0 && (code[i - 1] == '=' || code[i - 1] == '!' ||
+                  code[i - 1] == '<' || code[i - 1] == '>'))
+      continue;
+    if (i + 2 < code.size() && code[i + 2] == '=') continue;
+    // Right operand: skip spaces and an optional sign, then look for
+    // `digits '.'`.
+    std::size_t r = i + 2;
+    while (r < code.size() && code[r] == ' ') ++r;
+    if (r < code.size() && (code[r] == '-' || code[r] == '+')) ++r;
+    std::size_t digits = r;
+    while (digits < code.size() && IsDigit(code[digits])) ++digits;
+    if (digits > r && digits < code.size() && code[digits] == '.')
+      return true;
+    // Left operand: scan back over spaces, then over `f`/digits/'.' — a
+    // float literal directly before the operator.
+    std::size_t l = i;
+    while (l > 0 && code[l - 1] == ' ') --l;
+    if (l > 0 && (code[l - 1] == 'f' || code[l - 1] == 'F')) --l;
+    bool saw_dot = false;
+    bool saw_digit = false;
+    while (l > 0 && (IsDigit(code[l - 1]) || code[l - 1] == '.')) {
+      if (code[l - 1] == '.') saw_dot = true;
+      if (IsDigit(code[l - 1])) saw_digit = true;
+      --l;
+    }
+    if (saw_dot && saw_digit) return true;
+  }
+  return false;
+}
+
+bool IsHeaderPath(const fs::path& path) {
+  return path.extension() == ".h" || path.extension() == ".hpp";
+}
+
+void CheckHeaderGuard(const fs::path& path,
+                      const std::vector<std::string>& lines,
+                      std::vector<Violation>* violations) {
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripNonCode(lines[i], &in_block_comment);
+    std::string_view trimmed(code);
+    while (!trimmed.empty() && (trimmed.front() == ' ' ||
+                                trimmed.front() == '\t')) {
+      trimmed.remove_prefix(1);
+    }
+    if (trimmed.empty()) continue;
+    if (trimmed.rfind("#pragma once", 0) == 0) return;
+    if (trimmed.rfind("#ifndef COPYATTACK_", 0) == 0) return;
+    violations->push_back(
+        {path.string(), i + 1, "header-guard",
+         "header must open with `#pragma once` or a COPYATTACK_*_H_ "
+         "include guard"});
+    return;
+  }
+}
+
+void CheckFile(const fs::path& path, std::vector<Violation>* violations) {
+  std::ifstream in(path);
+  if (!in) {
+    violations->push_back({path.string(), 0, "io", "cannot open file"});
+    return;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  if (IsHeaderPath(path)) CheckHeaderGuard(path, lines, violations);
+
+  const std::string path_str = path.generic_string();
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    const std::string code = StripNonCode(raw, &in_block_comment);
+    const auto report = [&](std::string_view rule, std::string message) {
+      if (IsApproved(rule, path_str) || HasAllowance(raw, rule)) return;
+      violations->push_back(
+          {path_str, i + 1, std::string(rule), std::move(message)});
+    };
+
+    if (ContainsWord(code, "rand") || ContainsWord(code, "srand") ||
+        ContainsWord(code, "rand_r")) {
+      report("std-rand", "use util::Rng instead of the C rand family");
+    }
+    if (ContainsWord(code, "time") &&
+        (code.find("time(nullptr)") != std::string::npos ||
+         code.find("time(NULL)") != std::string::npos ||
+         code.find("time(0)") != std::string::npos)) {
+      report("time-seed",
+             "wall-clock seeding breaks reproducibility; derive seeds "
+             "through util::Rng");
+    }
+    if (ContainsWord(code, "random_device")) {
+      report("time-seed",
+             "std::random_device is nondeterministic; derive seeds through "
+             "util::Rng");
+    }
+    if (ContainsWord(code, "new")) {
+      report("raw-new",
+             "raw `new` — use std::make_unique / containers (annotate "
+             "intentional process-lifetime singletons)");
+    }
+    if (ContainsWord(code, "delete") &&
+        code.find("= delete") == std::string::npos) {
+      report("raw-new", "raw `delete` — use owning types instead");
+    }
+    for (const std::string_view fn :
+         {"printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+          "vsnprintf", "puts", "fputs", "putchar"}) {
+      if (ContainsWord(code, fn)) {
+        report("printf-family",
+               "direct stdio output — route through CA_LOG / util::check");
+        break;
+      }
+    }
+    if (HasFloatLiteralCompare(code)) {
+      report("float-eq",
+             "exact floating-point compare — use a tolerance, or annotate "
+             "a deliberate sparsity/sentinel guard");
+    }
+  }
+}
+
+bool ShouldScan(const fs::path& path) {
+  const auto ext = path.extension();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+  for (int a = 1; a < argc; ++a) {
+    const fs::path root(argv[a]);
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      ++files_scanned;
+      CheckFile(root, &violations);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "lint_copyattack: no such path: %s\n", argv[a]);
+      return 2;
+    }
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file() || !ShouldScan(it->path())) continue;
+      ++files_scanned;
+      CheckFile(it->path(), &violations);
+    }
+  }
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  std::fprintf(stderr, "lint_copyattack: %zu file(s), %zu violation(s)\n",
+               files_scanned, violations.size());
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Conforming counterpart in the self-test fixture: patterns that look close
+// to the banned ones but must NOT fire. If the linter starts flagging any
+// of these, its matching got too greedy (the WILL_FAIL test still fails
+// "correctly" because seeded_violations.h fires, so this file is defense in
+// depth for reviewing linter changes by hand:
+// `lint_copyattack tools/lint_selftest/clean_example.cc` must exit 0).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace lint_selftest {
+
+// "rand" / "new" / "delete" inside identifiers, comments, and strings are
+// not violations.
+inline std::size_t operand_count = 0;
+inline const char* kBanner = "brand new time(nullptr) printf == 1.0";
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;  // deleted function, not raw delete
+  Widget& operator=(const Widget&) = delete;
+};
+
+inline std::unique_ptr<int> MakeOwned() {
+  return std::make_unique<int>(7);  // owning allocation, not raw new
+}
+
+inline bool NearOne(double value) {
+  const double tolerance = 1e-9;
+  return value > 1.0 - tolerance && value < 1.0 + tolerance;
+}
+
+inline bool ExactZeroGradientSkip(float gradient) {
+  return gradient == 0.0f;  // lint:allow(float-eq): sparsity guard example
+}
+
+}  // namespace lint_selftest
