@@ -1,9 +1,12 @@
 #include "bench_common.h"
 #include <cstdio>
+#include <cstdlib>
 
 #include <sys/stat.h>
 
 #include "data/target_items.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -116,6 +119,31 @@ std::string ResultPath(const std::string& name) {
 }
 
 std::string F4(double value) { return util::FormatDouble(value, 4); }
+
+TelemetryScope::TelemetryScope(int argc, const char* const* argv) {
+  const std::string flag_prefix = "--telemetry_out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::StartsWith(arg, flag_prefix)) {
+      dir_ = arg.substr(flag_prefix.size());
+    }
+  }
+  if (dir_.empty()) {
+    const char* env = std::getenv("COPYATTACK_TELEMETRY_OUT");
+    if (env != nullptr) dir_ = env;
+  }
+  if (!dir_.empty()) obs::SetEnabled(true);
+}
+
+TelemetryScope::~TelemetryScope() {
+  if (dir_.empty()) return;
+  obs::SetEnabled(false);
+  if (obs::ExportAll(dir_)) {
+    CA_LOG(Info) << "telemetry written to " << dir_;
+  } else {
+    CA_LOG(Warning) << "could not write telemetry to " << dir_;
+  }
+}
 
 void RunBudgetSweep(const data::SyntheticConfig& config,
                     std::size_t tree_depth,

@@ -80,6 +80,25 @@ void RunBudgetSweep(const data::SyntheticConfig& config,
 /// Formats a double with 4 decimals (Table-2 style).
 std::string F4(double value);
 
+/// Opt-in campaign telemetry for experiment binaries. Construct first thing
+/// in main(); when `--telemetry_out=DIR` is on the command line (or the
+/// COPYATTACK_TELEMETRY_OUT environment variable is set) it enables the
+/// obs subsystem for the binary's lifetime and exports metrics.csv,
+/// summary.json and trace.json into DIR on destruction. Without either,
+/// it is a no-op and the instrumentation stays at its disabled cost.
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, const char* const* argv);
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+  ~TelemetryScope();
+
+  bool active() const { return !dir_.empty(); }
+
+ private:
+  std::string dir_;
+};
+
 }  // namespace copyattack::bench
 
 #endif  // COPYATTACK_BENCH_BENCH_COMMON_H_

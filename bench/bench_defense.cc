@@ -17,9 +17,9 @@
 #include "data/target_items.h"
 #include "defense/detectors.h"
 #include "defense/profile_features.h"
+#include "obs/time.h"
 #include "rec/matrix_factorization.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
@@ -40,8 +40,9 @@ std::vector<defense::ProfileFeatures> ExtractAll(
 
 }  // namespace
 
-int main() {
-  util::Stopwatch watch;
+int main(int argc, char** argv) {
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Defense: detectability of attack profile populations ===\n");
   std::printf("(AUC 0.5 = indistinguishable from genuine users)\n\n");
 

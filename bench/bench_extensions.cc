@@ -11,8 +11,8 @@
 
 #include "core/proxy.h"
 #include "data/target_items.h"
+#include "obs/time.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
@@ -95,8 +95,9 @@ void RunDemotionExperiment(const bench::BenchWorld& bw,
 
 }  // namespace
 
-int main() {
-  util::Stopwatch watch;
+int main(int argc, char** argv) {
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Extensions: proxy targeting and demotion (paper §6) ===\n");
 
   const bench::BenchWorld bw =

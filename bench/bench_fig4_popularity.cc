@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "data/target_items.h"
+#include "obs/time.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
@@ -57,9 +57,10 @@ void RunDataset(const copyattack::data::SyntheticConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Figure 4: Effect of item popularity ===\n");
 
   util::CsvWriter csv(bench::ResultPath("fig4_popularity.csv"),

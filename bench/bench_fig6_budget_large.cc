@@ -6,13 +6,14 @@
 
 #include <cstdio>
 
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
+#include "obs/time.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Figure 6: Effect of budget (large pair) ===\n");
   bench::RunBudgetSweep(
       data::SyntheticConfig::LargeCross(), 6,

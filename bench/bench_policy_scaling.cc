@@ -18,8 +18,8 @@
 #include "core/selection_policy.h"
 #include "data/cross_domain.h"
 #include "math/matrix.h"
+#include "obs/time.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
@@ -62,7 +62,7 @@ double MeasureTreeDecision(const cluster::HierarchicalTree& tree,
     return true;
   }));
   util::Rng rng(7);
-  util::Stopwatch watch;
+  obs::Stopwatch watch;
   for (std::size_t i = 0; i < rounds; ++i) {
     core::SelectionStepRecord record;
     policy.SampleUser({}, rng, &record);
@@ -84,7 +84,7 @@ double MeasureFlatDecision(const data::CrossDomainDataset& dataset,
   nn::Mlp mlp("probe",
               {items.cols() + 8, 16, dataset.source.num_users()}, init_rng);
   std::vector<float> state(items.cols() + 8, 0.1f);
-  util::Stopwatch watch;
+  obs::Stopwatch watch;
   float sink = 0.0f;
   for (std::size_t i = 0; i < rounds; ++i) {
     nn::MlpContext ctx;
@@ -98,8 +98,9 @@ double MeasureFlatDecision(const data::CrossDomainDataset& dataset,
 
 }  // namespace
 
-int main() {
-  util::Stopwatch watch;
+int main(int argc, char** argv) {
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Policy scaling: flat PolicyNetwork vs hierarchical "
               "tree ===\n");
   std::printf("(paper: flat policy produced no results on Netflix within "

@@ -9,14 +9,15 @@
 #include <cstdio>
 
 #include "data/target_items.h"
+#include "obs/time.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Query budget: CopyAttack under capped query rounds ===\n");
 
   const bench::BenchWorld bw =

@@ -10,14 +10,15 @@
 
 #include "data/stats.h"
 #include "data/synthetic.h"
+#include "obs/time.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
 
   std::printf("=== Table 1: Statistics of Two (Synthetic) Datasets ===\n\n");
   util::CsvWriter csv(bench::ResultPath("table1_datasets.csv"),

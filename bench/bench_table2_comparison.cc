@@ -15,8 +15,8 @@
 #include <vector>
 
 #include "data/target_items.h"
+#include "obs/time.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
@@ -68,9 +68,10 @@ void RunDataset(const copyattack::data::SyntheticConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Table 2: Performance comparison of attacking methods ===\n");
 
   util::CsvWriter csv(bench::ResultPath("table2_comparison.csv"),

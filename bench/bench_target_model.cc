@@ -8,15 +8,16 @@
 
 #include <cstdio>
 
+#include "obs/time.h"
 #include "rec/evaluator.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
 
   std::printf("=== Pre-attack target model quality (paper §5.1.3) ===\n\n");
   std::printf("paper: HR@10 = 0.549 (ML10M), 0.5474 (ML20M)\n\n");

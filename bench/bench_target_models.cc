@@ -17,17 +17,18 @@
 #include <memory>
 
 #include "data/target_items.h"
+#include "obs/time.h"
 #include "rec/item_knn.h"
 #include "rec/matrix_factorization.h"
 #include "rec/trainer.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copyattack;
-  util::Stopwatch watch;
+  const bench::TelemetryScope telemetry(argc, argv);
+  obs::Stopwatch watch;
   std::printf("=== Ablation: inductive vs transductive target model ===\n");
 
   const data::SyntheticConfig config = data::SyntheticConfig::SmallCross();

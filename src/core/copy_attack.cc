@@ -5,6 +5,7 @@
 #include "core/crafting.h"
 #include "core/proxy.h"
 #include "nn/serialize.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::core {
@@ -91,6 +92,8 @@ void CopyAttack::BeginTargetItem(data::ItemId target_item) {
 }
 
 double CopyAttack::RunEpisode(AttackEnvironment& env, util::Rng& rng) {
+  OBS_SPAN("attack.episode");
+  OBS_COUNTER_INC("attack.episodes");
   CA_CHECK_NE(target_item_, data::kNoItem);
   CA_CHECK_EQ(env.target_item(), target_item_)
       << "environment was reset for a different target item";
@@ -147,6 +150,7 @@ double CopyAttack::RunEpisode(AttackEnvironment& env, util::Rng& rng) {
   if (!eval_mode_) {
     UpdatePolicies(trajectory);
   }
+  OBS_UNIT_HIST_OBSERVE("attack.episode_reward", last_reward);
   return last_reward;
 }
 
@@ -179,6 +183,7 @@ data::Profile CopyAttack::BuildProfile(data::UserId user, util::Rng& rng,
     const std::size_t level =
         crafting_->SampleLevel(user, rng, &record, eval_mode_);
     step->crafting = record;
+    OBS_UNIT_HIST_OBSERVE("attack.clip_ratio", kCraftLevels[level]);
     profile =
         ClipProfileAroundTarget(raw, anchor_item_, kCraftLevels[level]);
   }
@@ -225,6 +230,7 @@ void CopyAttack::UpdatePolicies(
       crafting_->AccumulateGradients(*trajectory[t].crafting, advantage);
     }
   }
+  OBS_SPAN("attack.policy_update");
   selection_->ApplyUpdates(config_.learning_rate, config_.clip_norm);
   crafting_->ApplyUpdates(config_.learning_rate, config_.clip_norm);
 }

@@ -4,6 +4,7 @@
 #include "math/vector_ops.h"
 #include "nn/optimizer.h"
 #include "nn/reinforce.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::core {
@@ -41,6 +42,7 @@ std::size_t CraftingPolicy::SampleLevel(data::UserId user, util::Rng& rng,
                                         CraftStepRecord* record,
                                         bool greedy) {
   CA_CHECK(record != nullptr);
+  OBS_COUNTER_INC("crafting.samples");
   nn::MlpContext ctx;
   std::vector<float> probs = mlp_->Forward(StateVector(user), &ctx);
   math::SoftmaxInPlace(probs);

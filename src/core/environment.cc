@@ -4,6 +4,7 @@
 
 #include "math/metrics.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::core {
@@ -55,7 +56,10 @@ void AttackEnvironment::GeneratePretendProfiles() {
 }
 
 void AttackEnvironment::Reset(data::ItemId target_item) {
+  OBS_SPAN("env.reset");
+  OBS_SCOPED_TIMER_US("env.reset_us");
   CA_CHECK_LT(target_item, target_train_.num_items());
+  OBS_COUNTER_INC("env.episodes");
   target_item_ = target_item;
   steps_ = 0;
   episode_query_rounds_ = 0;
@@ -70,7 +74,9 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
   if (target_item == checkpointed_target_ && model_->RollbackServing()) {
     polluted_->RollbackTo(episode_checkpoint_);
     ++fast_resets_;
+    OBS_COUNTER_INC("env.reset_fast");
   } else {
+    OBS_COUNTER_INC("env.reset_full");
     checkpointed_target_ = data::kNoItem;
     polluted_->RollbackTo(base_checkpoint_);
     pretend_user_ids_.clear();
@@ -110,7 +116,10 @@ double AttackEnvironment::QueryReward() {
 }
 
 double AttackEnvironment::RawHitRatio() {
+  OBS_SPAN("env.query_round");
+  OBS_SCOPED_TIMER_US("env.query_round_us");
   CA_CHECK(black_box_ != nullptr) << "Reset must be called first";
+  OBS_COUNTER_INC("env.query_rounds");
   if (config_.refit_on_query) {
     for (std::size_t e = 0; e < config_.refit_epochs; ++e) {
       model_->TrainEpoch(*polluted_, refit_rng_);
@@ -142,11 +151,17 @@ double AttackEnvironment::RawHitRatio() {
 
 AttackEnvironment::StepResult AttackEnvironment::Step(
     data::Profile crafted_profile) {
+  OBS_SPAN("env.step");
   CA_CHECK(!done_) << "Step on a finished episode";
   CA_CHECK(black_box_ != nullptr) << "Reset must be called first";
   CA_CHECK(!crafted_profile.empty());
+  OBS_COUNTER_INC("env.steps");
 
-  black_box_->InjectUser(std::move(crafted_profile));
+  {
+    OBS_SPAN("env.inject");
+    OBS_SCOPED_TIMER_US("env.inject_us");
+    black_box_->InjectUser(std::move(crafted_profile));
+  }
   ++steps_;
 
   StepResult result;
@@ -154,6 +169,7 @@ AttackEnvironment::StepResult AttackEnvironment::Step(
   if (steps_ % config_.query_interval == 0 || budget_exhausted) {
     result.queried = true;
     result.reward = QueryReward();
+    OBS_UNIT_HIST_OBSERVE("env.step_reward", result.reward);
     ++episode_query_rounds_;
     if (result.reward >= config_.success_reward) {
       done_ = true;

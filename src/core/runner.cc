@@ -3,9 +3,10 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/obs.h"
+#include "obs/time.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 
@@ -83,7 +84,8 @@ CampaignResult EvaluateWithoutAttack(
     const data::Dataset& target_train, const ModelFactory& model_factory,
     const std::vector<data::ItemId>& targets,
     const CampaignConfig& config) {
-  util::Stopwatch watch;
+  OBS_SPAN("campaign.baseline_eval");
+  obs::Stopwatch watch;
   CampaignResult result;
   result.method = "WithoutAttack";
 
@@ -116,7 +118,9 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
                            const std::vector<data::ItemId>& targets,
                            const CampaignConfig& config) {
   CA_CHECK_GT(config.episodes, 0U);
-  util::Stopwatch watch;
+  OBS_SPAN("campaign.run");
+  OBS_COUNTER_INC("campaign.runs");
+  obs::Stopwatch watch;
   CampaignResult result;
 
   std::vector<ItemOutcome> outcomes(targets.size());
@@ -125,6 +129,8 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
 
   util::ThreadPool::ParallelFor(
       targets.size(), config.num_threads, [&](std::size_t index) {
+        OBS_SPAN("campaign.target_item");
+        OBS_COUNTER_INC("campaign.target_items");
         const data::ItemId item = targets[index];
         const std::uint64_t item_seed = config.seed + 1000003ULL * index;
         std::unique_ptr<rec::Recommender> model = model_factory();

@@ -6,6 +6,7 @@
 #include "math/vector_ops.h"
 #include "nn/optimizer.h"
 #include "nn/reinforce.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::core {
@@ -160,12 +161,16 @@ data::UserId HierarchicalSelectionPolicy::SampleUser(
   EncoderRun run;
   const std::vector<float> state = StateVector(selected_so_far, &run);
 
+  OBS_SPAN("selection.sample_user");
+  OBS_COUNTER_INC("selection.samples");
+  std::size_t pruned_children = 0;
   std::size_t node = tree_->root();
   while (!tree_->IsLeaf(node)) {
     const auto& children = tree_->node(node).children;
     std::vector<bool> child_mask(children.size());
     for (std::size_t slot = 0; slot < children.size(); ++slot) {
       child_mask[slot] = mask_[children[slot]];
+      if (!child_mask[slot]) ++pruned_children;
     }
 
     nn::MlpContext ctx;
@@ -181,6 +186,10 @@ data::UserId HierarchicalSelectionPolicy::SampleUser(
   }
   record->chosen_user =
       static_cast<data::UserId>(tree_->node(node).leaf_user);
+  // Walk cost telemetry: tree depth actually traversed plus how many child
+  // slots the masking mechanism pruned from the walk's softmaxes.
+  OBS_HIST_OBSERVE("selection.walk_depth", record->path.size());
+  OBS_COUNTER_ADD("selection.mask_pruned_children", pruned_children);
   return record->chosen_user;
 }
 

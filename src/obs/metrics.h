@@ -1,0 +1,189 @@
+#ifndef COPYATTACK_OBS_METRICS_H_
+#define COPYATTACK_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace copyattack::obs {
+
+/// Index of the calling thread into the fixed shard arrays below. Assigned
+/// once per thread from a process-global counter, so threads spread across
+/// shards instead of hashing onto the same slot.
+std::size_t ThreadShardIndex();
+
+/// Number of shards per metric. Increments from up to this many threads
+/// proceed without cache-line contention; more threads share slots (still
+/// correct, just occasionally bouncing a line).
+inline constexpr std::size_t kMetricShards = 16;
+
+/// One cache-line-padded atomic cell so neighbouring shards never share a
+/// line (the whole point of sharding).
+struct alignas(64) MetricShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Monotonic event counter. The hot-path `Add` is a single relaxed
+/// fetch-add on the calling thread's shard; `Value` merges shards on read.
+/// All accesses are atomic, so concurrent increments are TSan-clean and
+/// sum exactly.
+class Counter {
+ public:
+  void Add(std::uint64_t amount = 1) {
+    shards_[ThreadShardIndex() % kMetricShards].value.fetch_add(
+        amount, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const MetricShard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard (snapshot epochs in tests/benches).
+  void Reset() {
+    for (MetricShard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  MetricShard shards_[kMetricShards];
+};
+
+/// Last-writer-wins instantaneous value (queue depths, pool sizes).
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Read-side view of a histogram: cumulative-style fixed buckets plus
+/// sum/count, with interpolated percentile estimation. `counts[i]` holds
+/// observations `v <= bounds[i]`; the final entry (`counts[bounds.size()]`)
+/// is the overflow bucket.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Estimated quantile for `q` in (0, 1], linearly interpolated inside the
+  /// containing bucket (lower edge 0 for the first bucket — observations
+  /// are assumed non-negative). Overflow-bucket hits clamp to the last
+  /// finite bound. Returns 0 when empty.
+  double Percentile(double q) const;
+};
+
+/// Fixed-bucket histogram with sharded atomic bucket counters: `Observe`
+/// costs one branchless bucket search plus three relaxed atomic adds on the
+/// calling thread's shard. Bucket bounds are fixed at construction.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Zeroes every bucket (snapshot epochs in tests/benches).
+  void Reset();
+
+ private:
+  /// Per-shard payload: one atomic per bucket plus sum/count. The shard
+  /// struct is padded so two shards never share a cache line.
+  struct alignas(64) HistShard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    /// Stored as a CAS loop over the bit pattern (portable pre-C++20
+    /// floating fetch_add behaviour across toolchains).
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<HistShard> shards_;
+};
+
+/// Default latency buckets in microseconds: roughly logarithmic from
+/// sub-microsecond kernels to second-scale campaign stages.
+const std::vector<double>& DefaultLatencyBucketsUs();
+
+/// Buckets for unit-interval quantities (rewards, clip ratios).
+const std::vector<double>& UnitIntervalBuckets();
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owner of all named metrics. Registration (first `Get*` for a name)
+/// takes a mutex; returned references are stable for the registry's
+/// lifetime, so instrumented call sites cache them in function-local
+/// statics and never touch the lock again. Instantiable for tests;
+/// production code uses the process-wide `Global()` instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it with
+  /// `bucket_bounds` on first use. Later callers get the existing
+  /// instance regardless of the bounds they pass.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bucket_bounds);
+
+  /// Histogram with `DefaultLatencyBucketsUs()` bounds.
+  Histogram& GetLatencyHistogram(const std::string& name);
+
+  /// Histogram with `UnitIntervalBuckets()` bounds.
+  Histogram& GetUnitHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (names and handles stay valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map keeps snapshot/export ordering deterministic by name.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace copyattack::obs
+
+#endif  // COPYATTACK_OBS_METRICS_H_

@@ -1,0 +1,119 @@
+#ifndef COPYATTACK_OBS_TRACE_H_
+#define COPYATTACK_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/time.h"
+
+namespace copyattack::obs {
+
+/// Whether telemetry is currently being recorded. Off by default: with the
+/// flag down a span costs one relaxed load and a branch, so instrumented
+/// hot paths keep their PR-1 numbers. Enabled by `--telemetry_out`, bench
+/// telemetry scopes, and tests.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// One completed span. `name` must be a string with static storage
+/// duration (the OBS_SPAN macro passes literals), so recording never
+/// copies or allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  std::uint32_t thread_index = 0;  ///< recorder-assigned, stable per thread
+  std::uint32_t depth = 0;         ///< span nesting depth at entry (1-based)
+};
+
+/// Collects spans into fixed-capacity per-thread ring buffers. The owning
+/// thread appends under an uncontended per-buffer mutex (no allocation,
+/// no global lock); when a ring wraps, the oldest events are overwritten
+/// and counted in `overwritten()`. `Collect` merges every thread's ring
+/// into one start-ordered vector for export.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  /// Must outlive every thread that recorded into it (trivially true for
+  /// the Global() instance; test-local recorders are used single-threaded).
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  /// Appends one event to the calling thread's ring.
+  void Record(const TraceEvent& event);
+
+  /// Merged copy of all rings, ordered by start time.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Events lost to ring wrap-around across all threads.
+  std::uint64_t overwritten() const;
+
+  /// Empties every ring and the overwrite counters (buffers stay
+  /// registered, so thread-index assignments are stable).
+  void Clear();
+
+  /// Ring capacity, in events, for threads that register after this call.
+  void SetRingCapacity(std::size_t capacity);
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> ring;
+    std::size_t capacity = 0;   ///< fixed at registration
+    std::size_t next = 0;       ///< ring write position
+    std::uint64_t total = 0;    ///< events ever recorded
+    std::uint32_t index = 0;    ///< thread_index stamped into events
+  };
+
+  ThreadBuffer& BufferForThisThread();
+
+  mutable std::mutex mutex_;  ///< guards `buffers_` and `ring_capacity_`
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::size_t ring_capacity_ = 8192;
+};
+
+/// Current span nesting depth of the calling thread (for tests).
+std::uint32_t CurrentSpanDepth();
+
+/// RAII span: records a TraceEvent covering its lifetime into the global
+/// recorder. When telemetry is disabled at construction the destructor is
+/// a branch on a bool — no clocks, no recording.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+  std::uint32_t depth_;
+  bool active_;
+};
+
+/// RAII histogram timer: observes its lifetime in microseconds into
+/// `histogram`. Pass nullptr (the macros do, when telemetry is disabled)
+/// for a no-op.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(class Histogram* histogram)
+      : histogram_(histogram),
+        start_ns_(histogram ? MonotonicNanos() : 0) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer();
+
+ private:
+  class Histogram* histogram_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace copyattack::obs
+
+#endif  // COPYATTACK_OBS_TRACE_H_

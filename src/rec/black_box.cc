@@ -1,6 +1,7 @@
 #include "rec/black_box.h"
 
 #include "math/top_k.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::rec {
@@ -13,6 +14,8 @@ BlackBoxRecommender::BlackBoxRecommender(Recommender* model,
 }
 
 data::UserId BlackBoxRecommender::InjectUser(data::Profile profile) {
+  OBS_COUNTER_INC("blackbox.injected_profiles");
+  OBS_COUNTER_ADD("blackbox.injected_interactions", profile.size());
   injected_interactions_ += profile.size();
   ++injected_profiles_;
   const data::UserId user = polluted_->AddUser(std::move(profile));
@@ -23,6 +26,8 @@ data::UserId BlackBoxRecommender::InjectUser(data::Profile profile) {
 std::vector<data::ItemId> BlackBoxRecommender::QueryTopK(
     data::UserId user, const std::vector<data::ItemId>& candidates,
     std::size_t k) {
+  OBS_SCOPED_TIMER_US("blackbox.query_topk_us");
+  OBS_COUNTER_INC("blackbox.queries");
   ++query_count_;
   const std::vector<float> scores =
       model_->ScoreCandidates(user, candidates);

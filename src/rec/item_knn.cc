@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::rec {
@@ -60,6 +61,7 @@ void ItemKnn::TrainEpoch(const data::Dataset& train, util::Rng& rng) {
 }
 
 void ItemKnn::BeginServing(const data::Dataset& current) {
+  OBS_COUNTER_INC("rec.begin_serving");
   CA_CHECK_EQ(neighbors_.size(), current.num_items());
   serving_ = &current;
 }
@@ -75,10 +77,14 @@ bool ItemKnn::CheckpointServing() {
   // the frozen similarity lists, so the checkpoint is just "similarities
   // unchanged since". A retraining pass invalidates it.
   serving_checkpoint_valid_ = serving_ != nullptr;
+  if (serving_checkpoint_valid_) OBS_COUNTER_INC("rec.serving_checkpoints");
   return serving_checkpoint_valid_;
 }
 
-bool ItemKnn::RollbackServing() { return serving_checkpoint_valid_; }
+bool ItemKnn::RollbackServing() {
+  if (serving_checkpoint_valid_) OBS_COUNTER_INC("rec.serving_rollbacks");
+  return serving_checkpoint_valid_;
+}
 
 float ItemKnn::Score(data::UserId user, data::ItemId item) const {
   CA_CHECK(serving_ != nullptr) << "BeginServing must be called first";

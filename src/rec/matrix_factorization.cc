@@ -2,6 +2,7 @@
 
 #include "math/vector_ops.h"
 #include "nn/activations.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::rec {
@@ -70,6 +71,8 @@ void MatrixFactorization::TrainEpoch(const data::Dataset& train,
 }
 
 void MatrixFactorization::BeginServing(const data::Dataset& current) {
+  OBS_SPAN("rec.begin_serving");
+  OBS_COUNTER_INC("rec.begin_serving");
   CA_CHECK_GE(current.num_users(), trained_users_);
   users_.EnsureRows(current.num_users());
   for (data::UserId u = static_cast<data::UserId>(trained_users_);
@@ -90,6 +93,7 @@ bool MatrixFactorization::CheckpointServing() {
   // each user's profile, so the checkpoint only needs the row count: rows
   // kept through a rollback are already correct, rows past the mark are
   // dropped in O(1).
+  OBS_COUNTER_INC("rec.serving_checkpoints");
   serving_checkpoint_rows_ = users_.rows();
   serving_checkpoint_valid_ = true;
   return true;
@@ -97,6 +101,7 @@ bool MatrixFactorization::CheckpointServing() {
 
 bool MatrixFactorization::RollbackServing() {
   if (!serving_checkpoint_valid_) return false;
+  OBS_COUNTER_INC("rec.serving_rollbacks");
   users_.TruncateRows(serving_checkpoint_rows_);
   return true;
 }

@@ -4,6 +4,7 @@
 
 #include "math/vector_ops.h"
 #include "nn/activations.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::rec {
@@ -122,6 +123,8 @@ void PinSageLite::ComputeUserRepresentation(const data::Dataset& current,
 }
 
 void PinSageLite::BeginServing(const data::Dataset& current) {
+  OBS_SPAN("rec.begin_serving");
+  OBS_COUNTER_INC("rec.begin_serving");
   CA_CHECK_EQ(items_.rows(), current.num_items());
   const std::size_t dim = config_.embedding_dim;
   // The centering mean is a model constant: computed once, over the first
@@ -170,6 +173,7 @@ void PinSageLite::ObserveNewUser(const data::Dataset& current,
 
 bool PinSageLite::CheckpointServing() {
   if (!mean_frozen_) return false;  // nothing served yet
+  OBS_COUNTER_INC("rec.serving_checkpoints");
   checkpoint_user_rows_ = user_reps_.rows();
   checkpoint_item_user_sum_ = item_user_sum_;
   checkpoint_item_user_count_ = item_user_count_;
@@ -180,6 +184,7 @@ bool PinSageLite::CheckpointServing() {
 
 bool PinSageLite::RollbackServing() {
   if (!serving_checkpoint_valid_) return false;
+  OBS_COUNTER_INC("rec.serving_rollbacks");
   // Restore only the neighborhood accumulators that injections touched —
   // O(injected interactions), with bit-exact rows memcpy'd back from the
   // snapshot (float accumulation is not reversible by subtraction).

@@ -1,5 +1,6 @@
 #include "rec/trainer.h"
 
+#include "obs/obs.h"
 #include "rec/evaluator.h"
 #include "util/logging.h"
 
@@ -15,7 +16,12 @@ TrainReport TrainWithEarlyStopping(Recommender& model,
 
   std::size_t epochs_since_best = 0;
   for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
-    model.TrainEpoch(split.train, rng);
+    {
+      OBS_SPAN("rec.train_epoch");
+      OBS_SCOPED_TIMER_US("rec.train_epoch_us");
+      model.TrainEpoch(split.train, rng);
+    }
+    OBS_COUNTER_INC("rec.train_epochs");
     report.epochs_run = epoch + 1;
 
     model.BeginServing(split.train);

@@ -1,30 +1,15 @@
 #ifndef COPYATTACK_UTIL_STOPWATCH_H_
 #define COPYATTACK_UTIL_STOPWATCH_H_
 
-#include <chrono>
+#include "obs/time.h"
 
 namespace copyattack::util {
 
-/// Simple monotonic-clock stopwatch used for experiment wall-clock reporting.
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  /// Restarts the stopwatch from zero.
-  void Reset() { start_ = Clock::now(); }
-
-  /// Returns the elapsed time since construction or the last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Returns the elapsed time in milliseconds.
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+/// Compatibility shim: the stopwatch implementation moved into the
+/// observability subsystem (obs/time.h) so the repository has exactly one
+/// timing facility. New code should include obs/time.h (or use OBS_SPAN /
+/// OBS_SCOPED_TIMER_US from obs/obs.h) directly.
+using Stopwatch = obs::Stopwatch;
 
 }  // namespace copyattack::util
 

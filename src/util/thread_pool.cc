@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace copyattack::util {
@@ -47,13 +48,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   CA_CHECK(task != nullptr);
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CA_CHECK(!shutting_down_) << "Submit after shutdown";
     tasks_.push(std::move(task));
     ++in_flight_;
+    depth = tasks_.size();
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNTER_INC("pool.tasks_submitted");
+  OBS_GAUGE_SET("pool.queue_depth", depth);
   task_available_.notify_one();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::Wait() {
@@ -76,6 +87,8 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER_INC("pool.tasks_executed");
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -95,10 +108,12 @@ ThreadPool& ThreadPool::Shared() {
 void ThreadPool::ParallelFor(std::size_t n, std::size_t num_threads,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  OBS_COUNTER_INC("pool.parallel_for_calls");
   if (num_threads <= 1 || n == 1 || t_inside_parallel_for) {
     // Serial path. The re-entrant case lands here too: the outermost call
     // already fanned out across the pool, so a nested call runs its range
     // inline on this executor instead of deadlocking on busy workers.
+    if (t_inside_parallel_for) OBS_COUNTER_INC("pool.parallel_for_inline_nested");
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

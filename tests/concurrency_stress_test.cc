@@ -16,6 +16,8 @@
 #include "core/baselines.h"
 #include "core/runner.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "test_helpers.h"
 #include "test_seed.h"
 #include "util/rng.h"
@@ -110,6 +112,49 @@ TEST(ThreadPoolStressTest, DeeplyNestedParallelForConverges) {
     });
     ASSERT_EQ(count.load(), 4 * 4 * 4) << "round " << round;
   }
+}
+
+// --- Observability under concurrency ---------------------------------------
+
+// The metrics hot path (sharded relaxed atomics) and the span recorder
+// (per-thread rings) must be TSan-clean and lose no increments while many
+// external threads record simultaneously with telemetry enabled.
+TEST(ObsStressTest, CountersHistogramsAndSpansFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 512;
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("stress.ops");
+  obs::Histogram& histogram =
+      registry.GetHistogram("stress.value", {64.0, 256.0, 448.0});
+  obs::TraceRecorder::Global().Clear();
+  obs::SetEnabled(true);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        obs::ScopedSpan span("stress.op");
+        counter.Add(1);
+        histogram.Observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  obs::SetEnabled(false);
+
+  EXPECT_EQ(counter.Value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  // Each thread observes 0..511 once: sum = threads * 511*512/2.
+  EXPECT_DOUBLE_EQ(snapshot.sum, kThreads * (511.0 * 512.0 / 2.0));
+  // Spans recorded concurrently: every event must be accounted for, either
+  // still in a ring or counted as overwritten.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  EXPECT_EQ(recorder.Collect().size() + recorder.overwritten(),
+            static_cast<std::size_t>(kThreads) * kOpsPerThread);
+  recorder.Clear();
 }
 
 // --- RunCampaign distinct-slot writes --------------------------------------

@@ -53,6 +53,26 @@ cmake --build --preset release --parallel "${jobs}" --target lint_copyattack
 # job; see below).
 run_preset release -LE stress
 
+# 2b. Telemetry-export smoke: a tiny end-to-end attack with
+# --telemetry_out must produce non-empty metrics.csv, summary.json and
+# trace.json (the Chrome-trace file). Exercises the whole obs subsystem —
+# registry, spans, exporters — through the real CLI.
+step "telemetry export smoke"
+telemetry_tmp="$(mktemp -d)"
+trap 'rm -rf "${telemetry_tmp}"' EXIT
+./build/tools/copyattack generate --config tiny \
+  --out "${telemetry_tmp}/world" >/dev/null
+./build/tools/copyattack attack --data "${telemetry_tmp}/world" \
+  --method=TargetAttack40 --targets=2 --budget=6 \
+  --telemetry_out="${telemetry_tmp}/telemetry" >/dev/null
+for f in metrics.csv summary.json trace.json; do
+  if [[ ! -s "${telemetry_tmp}/telemetry/${f}" ]]; then
+    echo "check_all: telemetry smoke FAILED: missing or empty ${f}" >&2
+    exit 1
+  fi
+done
+echo "telemetry smoke OK (metrics.csv, summary.json, trace.json written)"
+
 if [[ "${quick}" == "1" ]]; then
   step "OK (quick: sanitizer presets skipped)"
   exit 0

@@ -12,10 +12,12 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "data/target_items.h"
+#include "obs/export.h"
+#include "obs/time.h"
+#include "obs/trace.h"
 #include "rec/pinsage_lite.h"
 #include "rec/trainer.h"
 #include "util/flags.h"
-#include "util/stopwatch.h"
 
 namespace copyattack::tools {
 namespace {
@@ -33,7 +35,10 @@ util::FlagParser MakeParser() {
       .Define("budget", "30", "attack: profile budget per episode")
       .Define("episodes", "15", "attack: training episodes (learning methods)")
       .Define("depth", "3", "attack: clustering tree depth")
-      .Define("threads", "1", "attack: worker threads over target items");
+      .Define("threads", "1", "attack: worker threads over target items")
+      .Define("telemetry_out", "",
+              "any command: enable telemetry and export metrics.csv, "
+              "summary.json and trace.json into this directory");
   return parser;
 }
 
@@ -102,7 +107,7 @@ int CmdTrain(const util::FlagParser& parser, std::ostream& out) {
   options.max_epochs = parser.GetSizeT("max-epochs");
   options.patience = parser.GetSizeT("patience");
   util::Rng train_rng(13);
-  util::Stopwatch watch;
+  obs::Stopwatch watch;
   const rec::TrainReport report = rec::TrainWithEarlyStopping(
       model, split, dataset.target, options, train_rng);
   out << "epochs:        " << report.epochs_run << '\n'
@@ -201,13 +206,7 @@ int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
 
 }  // namespace
 
-int RunCli(int argc, const char* const* argv, std::ostream& out) {
-  util::FlagParser parser = MakeParser();
-  if (!parser.Parse(argc - 1, argv + 1)) {
-    out << "error: " << parser.error() << '\n';
-    PrintHelp(parser, out);
-    return 2;
-  }
+int DispatchCommand(const util::FlagParser& parser, std::ostream& out) {
   const std::string& command = parser.command();
   if (command == "generate") return CmdGenerate(parser, out);
   if (command == "stats") return CmdStats(parser, out);
@@ -219,6 +218,28 @@ int RunCli(int argc, const char* const* argv, std::ostream& out) {
   out << "error: unknown command '" << command << "'\n";
   PrintHelp(parser, out);
   return 2;
+}
+
+int RunCli(int argc, const char* const* argv, std::ostream& out) {
+  util::FlagParser parser = MakeParser();
+  if (!parser.Parse(argc - 1, argv + 1)) {
+    out << "error: " << parser.error() << '\n';
+    PrintHelp(parser, out);
+    return 2;
+  }
+  const std::string telemetry_dir = parser.GetString("telemetry_out");
+  if (!telemetry_dir.empty()) obs::SetEnabled(true);
+  const int status = DispatchCommand(parser, out);
+  if (!telemetry_dir.empty()) {
+    obs::SetEnabled(false);
+    if (obs::ExportAll(telemetry_dir)) {
+      out << "telemetry written to " << telemetry_dir << '\n';
+    } else {
+      out << "error: could not write telemetry to " << telemetry_dir << '\n';
+      return status != 0 ? status : 1;
+    }
+  }
+  return status;
 }
 
 }  // namespace copyattack::tools

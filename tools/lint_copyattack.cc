@@ -18,6 +18,10 @@
 //   float-eq      ==/!= against floating-point literals — exact compares
 //                 are only meaningful in documented sparsity/sentinel
 //                 guards, annotated inline.
+//   raw-clock     std::chrono clock reads inside core/ or rec/ — timing in
+//                 the instrumented layers must flow through src/obs
+//                 (obs::MonotonicNanos, OBS_SPAN, OBS_SCOPED_TIMER_US) so
+//                 the telemetry exporters see every measurement.
 //
 // A line is exempted by `lint:allow(<rule-id>)` in a trailing comment;
 // whole files are exempted per rule in `kApprovedFiles`. Diagnostics are
@@ -282,6 +286,19 @@ void CheckFile(const fs::path& path, std::vector<Violation>* violations) {
       report("float-eq",
              "exact floating-point compare — use a tolerance, or annotate "
              "a deliberate sparsity/sentinel guard");
+    }
+    if (path_str.find("core/") != std::string::npos ||
+        path_str.find("rec/") != std::string::npos) {
+      for (const std::string_view clock :
+           {"steady_clock", "system_clock", "high_resolution_clock"}) {
+        if (ContainsWord(code, clock)) {
+          report("raw-clock",
+                 "raw std::chrono clock read in core/rec — time through "
+                 "obs::MonotonicNanos / OBS_SPAN / OBS_SCOPED_TIMER_US so "
+                 "the telemetry exporters see it");
+          break;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,17 @@
+#ifndef COPYATTACK_TOOLS_LINT_SELFTEST_CORE_RAW_CLOCK_VIOLATION_H_
+#define COPYATTACK_TOOLS_LINT_SELFTEST_CORE_RAW_CLOCK_VIOLATION_H_
+
+// Deliberately non-conforming fixture for the raw-clock rule: this file
+// lives under a `core/` path, where std::chrono clock reads are banned in
+// favor of the obs timing facility. NOT compiled into any target; the
+// lint_copyattack_selftest ctest (WILL_FAIL) asserts the rule fires here.
+
+#include <chrono>
+
+inline long SeededRawClock() {
+  return std::chrono::steady_clock::now()  // raw-clock: bypasses src/obs
+      .time_since_epoch()
+      .count();
+}
+
+#endif  // COPYATTACK_TOOLS_LINT_SELFTEST_CORE_RAW_CLOCK_VIOLATION_H_
