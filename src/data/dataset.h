@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/types.h"
+#include "util/annotations.h"
 
 namespace copyattack::data {
 
@@ -25,7 +26,7 @@ struct MutationSentinel {
   MutationSentinel& operator=(const MutationSentinel&) noexcept {
     return *this;
   }
-  std::atomic<bool> busy{false};
+  std::atomic<bool> busy CA_ATOMIC_ONLY{false};
 };
 
 }  // namespace internal_dataset

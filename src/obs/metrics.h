@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace copyattack::obs {
 
 /// Index of the calling thread into the fixed shard arrays below. Assigned
@@ -25,7 +27,7 @@ inline constexpr std::size_t kMetricShards = 16;
 /// One cache-line-padded atomic cell so neighbouring shards never share a
 /// line (the whole point of sharding).
 struct alignas(64) MetricShard {
-  std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint64_t> value CA_ATOMIC_ONLY{0};
 };
 
 /// Monotonic event counter. The hot-path `Add` is a single relaxed
@@ -73,7 +75,7 @@ class Gauge {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> value_ CA_ATOMIC_ONLY{0};
 };
 
 /// Read-side view of a histogram: cumulative-style fixed buckets plus
@@ -118,11 +120,11 @@ class Histogram {
   /// Per-shard payload: one atomic per bucket plus sum/count. The shard
   /// struct is padded so two shards never share a cache line.
   struct alignas(64) HistShard {
-    std::vector<std::atomic<std::uint64_t>> buckets;
-    std::atomic<std::uint64_t> count{0};
+    std::vector<std::atomic<std::uint64_t>> buckets CA_ATOMIC_ONLY;
+    std::atomic<std::uint64_t> count CA_ATOMIC_ONLY{0};
     /// Stored as a CAS loop over the bit pattern (portable pre-C++20
     /// floating fetch_add behaviour across toolchains).
-    std::atomic<double> sum{0.0};
+    std::atomic<double> sum CA_ATOMIC_ONLY{0.0};
   };
 
   std::vector<double> bounds_;  ///< ascending upper bounds
@@ -179,9 +181,14 @@ class MetricsRegistry {
  private:
   mutable std::mutex mutex_;
   // std::map keeps snapshot/export ordering deterministic by name.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Registration is guarded; the returned Counter/Gauge/Histogram handles
+  // are themselves lock-free (sharded atomics) and outlive the lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CA_GUARDED_BY(mutex_);
 };
 
 }  // namespace copyattack::obs

@@ -54,6 +54,9 @@ TraceRecorder::ThreadBuffer& TraceRecorder::BufferForThisThread() {
   std::lock_guard<std::mutex> lock(mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->capacity = ring_capacity_;
+  // Pre-publication init: the buffer is not yet in buffers_, so no other
+  // thread can reach it, and the registry lock held here orders the write
+  // before any reader. analyze:allow(ts-unlocked-field)
   buffer->ring.reserve(ring_capacity_);
   buffer->index = static_cast<std::uint32_t>(buffers_.size());
   buffers_.push_back(std::move(buffer));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/time.h"
+#include "util/annotations.h"
 
 namespace copyattack::obs {
 
@@ -63,18 +64,18 @@ class TraceRecorder {
  private:
   struct ThreadBuffer {
     mutable std::mutex mutex;
-    std::vector<TraceEvent> ring;
-    std::size_t capacity = 0;   ///< fixed at registration
-    std::size_t next = 0;       ///< ring write position
-    std::uint64_t total = 0;    ///< events ever recorded
+    std::vector<TraceEvent> ring CA_GUARDED_BY(mutex);
+    std::size_t capacity = 0;   ///< fixed at registration (pre-publication)
+    std::size_t next CA_GUARDED_BY(mutex) = 0;   ///< ring write position
+    std::uint64_t total CA_GUARDED_BY(mutex) = 0; ///< events ever recorded
     std::uint32_t index = 0;    ///< thread_index stamped into events
   };
 
   ThreadBuffer& BufferForThisThread();
 
   mutable std::mutex mutex_;  ///< guards `buffers_` and `ring_capacity_`
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::size_t ring_capacity_ = 8192;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ CA_GUARDED_BY(mutex_);
+  std::size_t ring_capacity_ CA_GUARDED_BY(mutex_) = 8192;
 };
 
 /// Current span nesting depth of the calling thread (for tests).

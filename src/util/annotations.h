@@ -1,0 +1,57 @@
+#ifndef COPYATTACK_UTIL_ANNOTATIONS_H_
+#define COPYATTACK_UTIL_ANNOTATIONS_H_
+
+/// Thread-safety annotation macros for the concurrency contracts that PR 1's
+/// parallelism introduced (shared ThreadPool, sharded MetricsRegistry,
+/// per-thread TraceRecorder rings, single-writer Dataset).
+///
+/// The annotations are checked twice:
+///
+///  1. Always, by `copyattack-analyze --pass=thread` (tools/analyze/): a
+///     tokenizer-level pass that flags reads/writes of a `CA_GUARDED_BY(m)`
+///     field from any method body that neither locks `m` (std::lock_guard /
+///     unique_lock / scoped_lock / shared_lock / m.lock()) nor carries
+///     `CA_REQUIRES(m)`, and verifies `CA_ATOMIC_ONLY` fields are declared
+///     with a std::atomic type. Runs under `ctest -L lint` on every preset.
+///  2. Under Clang with COPYATTACK_THREAD_SAFETY=ON (the default when the
+///     compiler supports it), where the macros expand to the real Clang
+///     thread-safety attributes and `-Wthread-safety` re-derives the same
+///     contracts from the compiler's own semantic analysis. Full-precision
+///     checking needs a standard library whose mutex types carry capability
+///     annotations (libc++ with _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS);
+///     with libstdc++ the attributes are accepted but only partially
+///     enforced. GCC ignores the attributes entirely — pass 1 is the
+///     compiler-independent backstop.
+///
+/// This header is deliberately include-free so every module (including the
+/// leaf `obs` layer, which otherwise depends only on the standard library)
+/// can use it without creating a dependency edge; it is declared as a
+/// `pure_header` in tools/analyze/layers.toml for exactly that reason.
+///
+/// Usage:
+///
+///   std::queue<Task> tasks_ CA_GUARDED_BY(mutex_);   // lock mutex_ first
+///   void DrainLocked() CA_REQUIRES(mutex_);          // caller holds mutex_
+///   std::atomic<bool> busy CA_ATOMIC_ONLY{false};    // lock-free by design
+
+#if defined(__clang__) && defined(COPYATTACK_THREAD_SAFETY_ANALYSIS) && \
+    defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CA_THREAD_ANNOTATION
+#define CA_THREAD_ANNOTATION(x)  // no-op: contracts checked by copyattack-analyze
+#endif
+
+/// Field may only be read or written while holding mutex `m`.
+#define CA_GUARDED_BY(m) CA_THREAD_ANNOTATION(guarded_by(m))
+
+/// Function may only be called while holding mutex `m` (the caller locks).
+#define CA_REQUIRES(m) CA_THREAD_ANNOTATION(requires_capability(m))
+
+/// Field is accessed lock-free and must therefore be a std::atomic type.
+/// Carries no Clang equivalent; enforced by copyattack-analyze alone.
+#define CA_ATOMIC_ONLY
+
+#endif  // COPYATTACK_UTIL_ANNOTATIONS_H_

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace copyattack::util {
 
 /// Fixed-size worker pool used to parallelize independent attack campaigns
@@ -77,14 +79,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::atomic<std::uint64_t> tasks_executed_{0};
-  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::queue<std::function<void()>> tasks_ CA_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> tasks_executed_ CA_ATOMIC_ONLY{0};
+  std::atomic<std::uint64_t> tasks_submitted_ CA_ATOMIC_ONLY{0};
   mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::size_t in_flight_ CA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ CA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace copyattack::util

@@ -1,0 +1,279 @@
+// Unit tests for the copyattack-analyze C++ tokenizer
+// (tools/analyze/tokenizer.h): the translation-phase cases that the
+// regex-era linter misread — raw strings, line splices, CRLF files, block
+// comments spanning would-be rule matches — plus the blanked per-line view
+// the migrated linter matches against, the scope scanner, and the
+// layers.toml parser.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/layers.h"
+#include "analyze/structure.h"
+#include "analyze/tokenizer.h"
+#include "gtest/gtest.h"
+
+namespace copyattack::analyze {
+namespace {
+
+std::vector<std::string> IdentifierTexts(const LexedFile& lexed) {
+  std::vector<std::string> out;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kIdentifier) out.push_back(token.text);
+  }
+  return out;
+}
+
+bool HasIdentifier(const LexedFile& lexed, const std::string& text) {
+  const std::vector<std::string> idents = IdentifierTexts(lexed);
+  return std::find(idents.begin(), idents.end(), text) != idents.end();
+}
+
+TEST(TokenizerTest, RawStringBodyIsOpaque) {
+  const LexedFile lexed = LexString(
+      "raw.cc",
+      "const char* s = R\"(std::rand() time(nullptr) \"quoted\")\";\n"
+      "int after = 1;\n");
+  ASSERT_TRUE(lexed.errors.empty());
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  EXPECT_FALSE(HasIdentifier(lexed, "time"));
+  EXPECT_TRUE(HasIdentifier(lexed, "after"));
+  // The blanked view keeps only the delimiting quotes of the literal.
+  EXPECT_EQ(lexed.code_lines[0].find("rand"), std::string::npos);
+  EXPECT_NE(lexed.code_lines[0].find("const char* s = R\""),
+            std::string::npos);
+}
+
+TEST(TokenizerTest, RawStringCustomDelimiterSurvivesQuoteParen) {
+  // `")` inside the body must not terminate a d-char-seq raw string.
+  const LexedFile lexed = LexString(
+      "raw.cc",
+      "const char* s = R\"doc(embedded \") quote-paren new delete)doc\";\n"
+      "int tail = 2;\n");
+  ASSERT_TRUE(lexed.errors.empty());
+  EXPECT_FALSE(HasIdentifier(lexed, "new"));
+  EXPECT_TRUE(HasIdentifier(lexed, "tail"));
+}
+
+TEST(TokenizerTest, MultiLineRawStringKeepsLineNumbers) {
+  const LexedFile lexed = LexString("raw.cc",
+                                    "auto s = R\"(line one\n"
+                                    "line two\n"
+                                    "line three)\";\n"
+                                    "int marker = 3;\n");
+  ASSERT_TRUE(lexed.errors.empty());
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kIdentifier && token.text == "marker") {
+      EXPECT_EQ(token.line, 4u);
+    }
+    if (token.kind == TokenKind::kString) {
+      EXPECT_EQ(token.line, 1u);  // reported at its opening quote
+    }
+  }
+}
+
+TEST(TokenizerTest, UnterminatedRawStringIsAnError) {
+  const LexedFile lexed =
+      LexString("raw.cc", "auto s = R\"(never closed\nmore\n");
+  ASSERT_FALSE(lexed.errors.empty());
+}
+
+TEST(TokenizerTest, LineSpliceJoinsLogicalLine) {
+  // The identifier is split across physical lines by a backslash-newline;
+  // phase-2 splicing must reassemble it.
+  const LexedFile lexed = LexString("splice.cc", "int spli\\\nced = 0;\n");
+  EXPECT_TRUE(HasIdentifier(lexed, "spliced"));
+  EXPECT_FALSE(HasIdentifier(lexed, "spli"));
+}
+
+TEST(TokenizerTest, SplicedLineCommentSwallowsContinuation) {
+  const LexedFile lexed = LexString("splice.cc",
+                                    "// comment continues \\\n"
+                                    "std::rand() on this line too\n"
+                                    "int live = 1;\n");
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  EXPECT_TRUE(HasIdentifier(lexed, "live"));
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].line_begin, 1u);
+  EXPECT_EQ(lexed.comments[0].line_end, 2u);
+}
+
+TEST(TokenizerTest, CrlfIsNormalized) {
+  const LexedFile lexed =
+      LexString("crlf.cc", "int a = 1;\r\nint b = 2;\r\nint c = 3;\r\n");
+  ASSERT_EQ(lexed.code_lines.size(), 4u);  // 3 lines + empty tail
+  EXPECT_EQ(lexed.code_lines[1], "int b = 2;");
+  for (const Token& token : lexed.tokens) {
+    if (token.text == "c") {
+      EXPECT_EQ(token.line, 3u);
+    }
+  }
+}
+
+TEST(TokenizerTest, BlockCommentSpanningRuleMatchIsBlanked) {
+  const LexedFile lexed = LexString("block.cc",
+                                    "int before = 0; /* std::rand()\n"
+                                    "time(nullptr) still commented\n"
+                                    "*/ int after = 1;\n");
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  EXPECT_FALSE(HasIdentifier(lexed, "time"));
+  EXPECT_TRUE(HasIdentifier(lexed, "before"));
+  EXPECT_TRUE(HasIdentifier(lexed, "after"));
+  // Middle line of the blanked view is all comment, hence all spaces.
+  EXPECT_EQ(lexed.code_lines[1].find_first_not_of(' '), std::string::npos);
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].line_begin, 1u);
+  EXPECT_EQ(lexed.comments[0].line_end, 3u);
+}
+
+TEST(TokenizerTest, DigitSeparatorsStayNumeric) {
+  // The regex-era stripper treated `'` as a char-literal quote and blanked
+  // the rest of the line after 1'000'000.
+  const LexedFile lexed =
+      LexString("num.cc", "long n = 1'000'000; int visible = 9;\n");
+  EXPECT_TRUE(HasIdentifier(lexed, "visible"));
+  bool found_number = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kNumber && token.text == "1'000'000") {
+      found_number = true;
+    }
+  }
+  EXPECT_TRUE(found_number);
+  EXPECT_NE(lexed.code_lines[0].find("visible"), std::string::npos);
+}
+
+TEST(TokenizerTest, EncodingPrefixedLiteralsAreStrings) {
+  const LexedFile lexed = LexString(
+      "pfx.cc", "auto a = u8\"x new y\"; auto b = L\"delete\"; auto c = "
+                "u'q'; auto d = U\"rand\";\n");
+  EXPECT_FALSE(HasIdentifier(lexed, "new"));
+  EXPECT_FALSE(HasIdentifier(lexed, "delete"));
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  // u8/L/U must not survive as identifiers glued to the literal.
+  EXPECT_FALSE(HasIdentifier(lexed, "u8"));
+}
+
+TEST(TokenizerTest, IncludePathsBecomeDedicatedTokens) {
+  const LexedFile lexed = LexString("inc.cc",
+                                    "#include \"util/rng.h\"\n"
+                                    "#include <vector>\n");
+  std::vector<const Token*> paths;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kIncludePath) paths.push_back(&token);
+  }
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0]->text, "util/rng.h");
+  EXPECT_FALSE(paths[0]->angled);
+  EXPECT_EQ(paths[1]->text, "vector");
+  EXPECT_TRUE(paths[1]->angled);
+  // Quoted path bodies are blanked like strings; the directive skeleton
+  // stays for the header-guard rule.
+  EXPECT_EQ(lexed.code_lines[0].find("util"), std::string::npos);
+  EXPECT_NE(lexed.code_lines[0].find("#include"), std::string::npos);
+}
+
+TEST(TokenizerTest, DirectiveTokensAreMarked) {
+  const LexedFile lexed = LexString("def.cc",
+                                    "#define HELPER(x) do { (x); } while (0)\n"
+                                    "int normal = 0;\n");
+  for (const Token& token : lexed.tokens) {
+    if (token.line == 1) {
+      EXPECT_TRUE(token.in_directive) << token.text;
+    }
+    if (token.text == "normal") {
+      EXPECT_FALSE(token.in_directive);
+    }
+  }
+}
+
+TEST(TokenizerTest, AllowanceAppliesToSpannedAndNextLine) {
+  const LexedFile lexed = LexString("allow.cc",
+                                    "int a = 1;\n"
+                                    "// analyze:allow(some-rule) reason\n"
+                                    "int b = 2;\n"
+                                    "int c = 3;\n");
+  EXPECT_TRUE(lexed.Allows(2, "analyze:allow", "some-rule"));
+  EXPECT_TRUE(lexed.Allows(3, "analyze:allow", "some-rule"));
+  EXPECT_FALSE(lexed.Allows(4, "analyze:allow", "some-rule"));
+  EXPECT_FALSE(lexed.Allows(2, "lint:allow", "some-rule"));
+}
+
+TEST(ScannerTest, FindsOutOfClassMethodAndGuardedField) {
+  const LexedFile lexed = LexString(
+      "worker.cc",
+      "class Worker {\n"
+      " public:\n"
+      "  void Tick();\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int count_ CA_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "void Worker::Tick() { std::lock_guard<std::mutex> l(mu_); ++count_; "
+      "}\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.fields.size(), 1u);
+  EXPECT_EQ(structure.fields[0].class_name, "Worker");
+  EXPECT_EQ(structure.fields[0].field_name, "count_");
+  EXPECT_EQ(structure.fields[0].mutex_name, "mu_");
+  ASSERT_EQ(structure.functions.size(), 1u);
+  EXPECT_EQ(structure.functions[0].class_name, "Worker");
+  EXPECT_EQ(structure.functions[0].name, "Tick");
+  EXPECT_FALSE(structure.functions[0].is_ctor);
+}
+
+TEST(ScannerTest, ConstructorInitializerListIsNotABody) {
+  const LexedFile lexed = LexString(
+      "ctor.cc",
+      "Histogram::Histogram(std::vector<double> bounds)\n"
+      "    : bounds_(std::move(bounds)), shards_(16) {\n"
+      "  total_ = 0;\n"
+      "}\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.functions.size(), 1u);
+  EXPECT_TRUE(structure.functions[0].is_ctor);
+  EXPECT_EQ(structure.functions[0].class_name, "Histogram");
+}
+
+TEST(ScannerTest, ExportsTypesAliasesEnumeratorsAndMacros) {
+  const LexedFile lexed = LexString("exports.h",
+                                    "#define MY_MACRO(x) (x)\n"
+                                    "struct Tensor { int rank; };\n"
+                                    "enum class Mode { kFast, kSafe };\n"
+                                    "using Row = int;\n"
+                                    "typedef double Scalar;\n"
+                                    "inline int Clamp(int v) { return v; }\n");
+  const FileStructure structure = ScanStructure(lexed);
+  for (const char* name :
+       {"MY_MACRO", "Tensor", "Mode", "kFast", "kSafe", "Row", "Scalar",
+        "Clamp"}) {
+    EXPECT_EQ(structure.exported.count(name), 1u) << name;
+  }
+}
+
+TEST(LayersTest, ParsesContractAndValidatesEdges) {
+  LayerContract contract;
+  std::string error;
+  ASSERT_TRUE(ParseLayerContract("# comment\n"
+                                 "[modules]\n"
+                                 "obs = []\n"
+                                 "util = [\"obs\"]  # trailing comment\n"
+                                 "[top]\n"
+                                 "modules = [\"tools\"]\n"
+                                 "[pure]\n"
+                                 "headers = [\"util/annotations.h\"]\n",
+                                 &contract, &error))
+      << error;
+  EXPECT_TRUE(contract.AllowsEdge("util", "obs"));
+  EXPECT_FALSE(contract.AllowsEdge("obs", "util"));
+  EXPECT_TRUE(contract.AllowsEdge("tools", "util"));
+  EXPECT_TRUE(contract.IsPureHeader("util/annotations.h"));
+
+  LayerContract bad;
+  EXPECT_FALSE(ParseLayerContract("[modules]\nutil = [\"typo\"]\n", &bad,
+                                  &error));
+  EXPECT_NE(error.find("typo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copyattack::analyze

@@ -1,0 +1,189 @@
+// copyattack-analyze: semantic static analysis for the copyattack tree.
+//
+//   copyattack-analyze --root=<repo> [--layers=<toml>] [--pass=a,b,...]
+//                      [--format=text|json] [--exclude=<substr>]...
+//                      [--list-rules] [target dirs...]
+//
+// Passes: include (module layering + cycles + IWYU-lite), thread
+// (CA_GUARDED_BY / CA_REQUIRES / CA_ATOMIC_ONLY discipline), determinism
+// (seed and RNG discipline). Default targets: src tools bench tests
+// examples (whichever exist under the root). Exit codes: 0 clean,
+// 1 violations, 2 usage/configuration error.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+#include "analyze/layers.h"
+#include "analyze/passes.h"
+#include "analyze/structure.h"
+
+namespace {
+
+using namespace copyattack::analyze;  // tool entry point, not library code
+
+struct Options {
+  std::string root = ".";
+  std::string layers_path;  // default: <root>/tools/analyze/layers.toml
+  std::string format = "text";
+  std::vector<std::string> passes;  // empty = all
+  std::vector<std::string> excludes = {"tools/analyze/fixtures/",
+                                       "tools/lint_selftest/"};
+  std::vector<std::string> targets;
+  bool list_rules = false;
+};
+
+bool TakeFlag(const std::string& arg, const std::string& name,
+              std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (TakeFlag(arg, "root", &options->root)) continue;
+    if (TakeFlag(arg, "layers", &options->layers_path)) continue;
+    if (TakeFlag(arg, "format", &options->format)) continue;
+    if (TakeFlag(arg, "pass", &value)) {
+      options->passes = SplitCsv(value);
+      continue;
+    }
+    if (TakeFlag(arg, "exclude", &value)) {
+      options->excludes.push_back(value);
+      continue;
+    }
+    if (arg == "--list-rules") {
+      options->list_rules = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      *error = "unknown flag: " + arg;
+      return false;
+    }
+    options->targets.push_back(arg);
+  }
+  if (options->format != "text" && options->format != "json") {
+    *error = "--format must be text or json";
+    return false;
+  }
+  for (const std::string& pass : options->passes) {
+    if (pass != "include" && pass != "thread" && pass != "determinism") {
+      *error = "unknown pass: " + pass +
+               " (expected include, thread, determinism)";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PassEnabled(const Options& options, const std::string& pass) {
+  if (options.passes.empty()) return true;
+  for (const std::string& enabled : options.passes) {
+    if (enabled == pass) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::cerr << "copyattack-analyze: " << error << "\n";
+    return 2;
+  }
+
+  if (options.list_rules) {
+    for (const RuleInfo& rule : RuleCatalogue()) {
+      std::cout << rule.id << " (" << rule.pass << "): " << rule.summary
+                << "\n";
+    }
+    return 0;
+  }
+
+  if (options.targets.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+      std::error_code ec;
+      if (std::filesystem::is_directory(
+              std::filesystem::path(options.root) / dir, ec)) {
+        options.targets.push_back(dir);
+      }
+    }
+  }
+  if (options.layers_path.empty()) {
+    options.layers_path = options.root + "/tools/analyze/layers.toml";
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(options.layers_path, ec)) {
+      // Fixture trees keep their manifest at the root.
+      const std::string at_root = options.root + "/layers.toml";
+      if (std::filesystem::is_regular_file(at_root, ec)) {
+        options.layers_path = at_root;
+      }
+    }
+  }
+
+  LayerContract contract;
+  if (!LoadLayerContract(options.layers_path, &contract, &error)) {
+    std::cerr << "copyattack-analyze: " << error << "\n";
+    return 2;
+  }
+
+  ScanOptions scan;
+  scan.root = options.root;
+  scan.targets = options.targets;
+  scan.excludes = options.excludes;
+  SourceTree tree;
+  std::vector<Violation> violations;
+  if (!ScanTree(scan, &tree, &violations, &error)) {
+    std::cerr << "copyattack-analyze: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<FileStructure> structures;
+  structures.reserve(tree.files.size());
+  for (const ScannedFile& file : tree.files) {
+    structures.push_back(ScanStructure(file.lexed));
+  }
+
+  std::vector<std::string> ran;
+  if (PassEnabled(options, "include")) {
+    RunIncludeGraphPass(tree, contract, structures, &violations);
+    ran.push_back("include");
+  }
+  if (PassEnabled(options, "thread")) {
+    RunThreadSafetyPass(tree, structures, &violations);
+    ran.push_back("thread");
+  }
+  if (PassEnabled(options, "determinism")) {
+    RunDeterminismPass(tree, structures, &violations);
+    ran.push_back("determinism");
+  }
+
+  std::size_t count = 0;
+  if (options.format == "json") {
+    count = ReportJson(violations, ran, tree.files.size(), std::cout);
+  } else {
+    count = ReportText(violations, tree.files.size(), std::cout);
+  }
+  return count == 0 ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+#include <set>
+#include <string>
+
+#include "analyze/passes.h"
+
+namespace copyattack::analyze {
+
+namespace {
+
+bool IsStdRandomName(const std::string& text) {
+  static const std::set<std::string> kNames = {
+      "mt19937",
+      "mt19937_64",
+      "minstd_rand",
+      "minstd_rand0",
+      "default_random_engine",
+      "ranlux24",
+      "ranlux48",
+      "ranlux24_base",
+      "ranlux48_base",
+      "knuth_b",
+      "uniform_int_distribution",
+      "uniform_real_distribution",
+      "normal_distribution",
+      "bernoulli_distribution",
+      "binomial_distribution",
+      "geometric_distribution",
+      "poisson_distribution",
+      "exponential_distribution",
+      "gamma_distribution",
+      "discrete_distribution",
+      "piecewise_constant_distribution",
+      "piecewise_linear_distribution",
+  };
+  return kNames.count(text) != 0;
+}
+
+/// util/rng owns the repo's only engine; its implementation is exempt from
+/// every determinism rule (it is the sanctioned wrapper the rules steer
+/// everyone else toward).
+bool IsRngImplementation(const std::string& rel_path) {
+  return rel_path == "src/util/rng.h" || rel_path == "src/util/rng.cc";
+}
+
+bool InAnyFunctionBody(const FileStructure& structure, std::size_t index) {
+  for (const FunctionDef& def : structure.functions) {
+    if (index > def.body_begin && index < def.body_end) return true;
+  }
+  return false;
+}
+
+/// True if any scanned file constructor-initializes member `name`
+/// (`name(expr...)` or `name{expr...}` with a non-empty argument list) —
+/// the evidence that a `util::Rng name;` member declaration is seeded.
+bool MemberIsCtorInitialized(const SourceTree& tree,
+                             const std::string& name) {
+  for (const ScannedFile& file : tree.files) {
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier ||
+          tokens[i].text != name) {
+        continue;
+      }
+      const std::string& open = tokens[i + 1].text;
+      const std::string& next = tokens[i + 2].text;
+      if ((open == "(" && next != ")") || (open == "{" && next != "}")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunDeterminismPass(const SourceTree& tree,
+                        const std::vector<FileStructure>& structures,
+                        std::vector<Violation>* violations) {
+  for (std::size_t f = 0; f < tree.files.size(); ++f) {
+    const ScannedFile& file = tree.files[f];
+    if (IsRngImplementation(file.rel_path)) continue;
+    const bool entropy_exempt = file.rel_path == "tests/test_seed.h";
+    const bool in_src = file.rel_path.rfind("src/", 0) == 0;
+    const std::vector<Token>& tokens = file.lexed.tokens;
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      if (t.text == "random_device" && !entropy_exempt) {
+        AddViolation(file, t.line, "det-raw-entropy",
+                     "std::random_device is nondeterministic; seed from "
+                     "config / tests::SeedForTest() instead",
+                     violations);
+        continue;
+      }
+      if (t.text == "time" && !entropy_exempt && i + 3 < tokens.size() &&
+          tokens[i + 1].text == "(" && tokens[i + 3].text == ")" &&
+          (tokens[i + 2].text == "nullptr" || tokens[i + 2].text == "NULL" ||
+           tokens[i + 2].text == "0")) {
+        AddViolation(file, t.line, "det-raw-entropy",
+                     "wall-clock seeding (time(" + tokens[i + 2].text +
+                         ")) is nondeterministic; use an explicit seed",
+                     violations);
+        continue;
+      }
+      if (IsStdRandomName(t.text)) {
+        AddViolation(file, t.line, "det-std-engine",
+                     "std::" + t.text +
+                         " used directly; distribution results vary across "
+                         "standard libraries — go through util::Rng",
+                     violations);
+        continue;
+      }
+
+      // util::Rng construction/parameter discipline, src/ only (tests may
+      // build fixtures however they like).
+      if (t.text != "Rng" || !in_src) continue;
+      if (i >= 1 && tokens[i - 1].text == "::" && i >= 2 &&
+          tokens[i - 2].text == "Rng") {
+        continue;  // the Rng:: qualifier of an out-of-class definition
+      }
+      const bool in_body = InAnyFunctionBody(structures[f], i);
+      if (i + 1 >= tokens.size()) continue;
+      const Token& after = tokens[i + 1];
+
+      if (after.kind == TokenKind::kIdentifier) {
+        // `Rng name ...` — a declaration.
+        if (i + 2 >= tokens.size()) continue;
+        const std::string& tail = tokens[i + 2].text;
+        if (tail == ";") {
+          if (in_body) {
+            AddViolation(file, t.line, "det-unseeded-rng",
+                         "'" + after.text +
+                             "' is default-constructed; every default Rng "
+                             "shares one stream — pass an explicit seed",
+                         violations);
+          } else if (!MemberIsCtorInitialized(tree, after.text)) {
+            AddViolation(file, t.line, "det-unseeded-rng",
+                         "member '" + after.text +
+                             "' is never constructor-initialized with a "
+                             "seed",
+                         violations);
+          }
+        } else if (tail == "{" && i + 3 < tokens.size() &&
+                   tokens[i + 3].text == "}") {
+          AddViolation(file, t.line, "det-unseeded-rng",
+                       "'" + after.text +
+                           "' is default-constructed ({}); pass an explicit "
+                           "seed",
+                       violations);
+        } else if ((tail == "," || tail == ")") && !in_body) {
+          AddViolation(file, t.line, "det-rng-by-value",
+                       "parameter '" + after.text +
+                           "' takes Rng by value, copying the stream; pass "
+                           "Rng&",
+                       violations);
+        }
+        continue;
+      }
+      if (in_body && after.text == "(" && i + 2 < tokens.size() &&
+          tokens[i + 2].text == ")") {
+        AddViolation(file, t.line, "det-unseeded-rng",
+                     "temporary Rng() is default-constructed; pass an "
+                     "explicit seed",
+                     violations);
+        continue;
+      }
+      if (in_body && after.text == "{" && i + 2 < tokens.size() &&
+          tokens[i + 2].text == "}") {
+        AddViolation(file, t.line, "det-unseeded-rng",
+                     "temporary Rng{} is default-constructed; pass an "
+                     "explicit seed",
+                     violations);
+      }
+    }
+  }
+}
+
+}  // namespace copyattack::analyze

@@ -1,0 +1,27 @@
+#include <ctime>
+#include <random>
+
+namespace util {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed = 0);
+  double UniformDouble(double lo, double hi);
+};
+}  // namespace util
+
+namespace fixture::core {
+
+// Seeded violation: Rng taken by value copies the stream, so the caller's
+// generator never advances -> det-rng-by-value.
+double Play(util::Rng rng) { return rng.UniformDouble(0.0, 1.0); }
+
+double RunEpisode() {
+  std::random_device rd;          // seeded: det-raw-entropy
+  std::mt19937 gen(rd());         // seeded: det-std-engine
+  const unsigned wall =
+      static_cast<unsigned>(time(nullptr));  // seeded: det-raw-entropy
+  util::Rng rng;                  // seeded: det-unseeded-rng
+  return Play(rng) + static_cast<double>(gen() % (wall | 1u));
+}
+
+}  // namespace fixture::core

@@ -1,0 +1,11 @@
+#include "data/loader.h"
+
+// Seeded violation: nothing below references Tensor, TensorBytes, or any
+// other name math/tensor.h provides -> iwyu-unused-include.
+#include "math/tensor.h"
+
+namespace fixture::data {
+
+int LoadRows() { return 42; }
+
+}  // namespace fixture::data

@@ -1,0 +1,5 @@
+namespace fixture::data {
+
+int LoadRows();
+
+}  // namespace fixture::data

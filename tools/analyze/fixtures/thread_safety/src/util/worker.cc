@@ -1,0 +1,22 @@
+#include "util/worker.h"
+
+namespace fixture::util {
+
+// Seeded violation: pending_ is CA_GUARDED_BY(mutex_) and nothing here
+// locks it -> ts-unlocked-field.
+void Worker::Increment() { pending_ += 1; }
+
+// Clean: the RAII guard names the right mutex.
+void Worker::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_ = 0;
+}
+
+// Clean: the header declares CA_REQUIRES(mutex_), so the caller holds it.
+std::size_t Worker::Flush() {
+  const std::size_t drained = static_cast<std::size_t>(pending_);
+  pending_ = 0;
+  return drained;
+}
+
+}  // namespace fixture::util

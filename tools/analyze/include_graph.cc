@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyze/passes.h"
+
+namespace copyattack::analyze {
+
+namespace {
+
+struct IncludeEdge {
+  std::size_t from = 0;  ///< index into tree.files
+  std::size_t to = 0;
+  std::size_t line = 0;
+};
+
+std::string DirOf(const std::string& rel_path) {
+  const std::size_t slash = rel_path.rfind('/');
+  return slash == std::string::npos ? "" : rel_path.substr(0, slash);
+}
+
+std::string StripExtension(const std::string& rel_path) {
+  const std::size_t dot = rel_path.rfind('.');
+  return dot == std::string::npos ? rel_path : rel_path.substr(0, dot);
+}
+
+/// Resolves a quoted include spelling against the tree: project headers are
+/// spelled src-relative ("util/rng.h"); includer-relative and root-relative
+/// spellings are accepted as fallbacks.
+std::size_t Resolve(const std::map<std::string, std::size_t>& by_rel_path,
+                    const std::string& includer_dir,
+                    const std::string& spelling) {
+  const std::string candidates[] = {
+      "src/" + spelling,
+      includer_dir.empty() ? spelling : includer_dir + "/" + spelling,
+      spelling,
+  };
+  for (const std::string& candidate : candidates) {
+    const auto it = by_rel_path.find(candidate);
+    if (it != by_rel_path.end()) return it->second;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Exported names provided transitively by file `index` (its own exports
+/// plus everything reachable through its project includes). Memoized;
+/// `visiting` guards against include cycles (reported separately).
+const std::set<std::string>& ProvidedNames(
+    std::size_t index, const std::vector<std::vector<std::size_t>>& adjacency,
+    const std::vector<FileStructure>& structures,
+    std::vector<std::set<std::string>>* memo, std::vector<int>* state) {
+  std::set<std::string>& provided = (*memo)[index];
+  if ((*state)[index] != 0) return provided;  // done or on the current path
+  (*state)[index] = 1;
+  provided = structures[index].exported;
+  for (const std::size_t next : adjacency[index]) {
+    const std::set<std::string>& below =
+        ProvidedNames(next, adjacency, structures, memo, state);
+    provided.insert(below.begin(), below.end());
+  }
+  (*state)[index] = 2;
+  return provided;
+}
+
+void FindCycles(const SourceTree& tree,
+                const std::vector<std::vector<IncludeEdge>>& out_edges,
+                std::vector<Violation>* violations) {
+  // Iterative DFS with a path stack; each back edge closes one cycle,
+  // reported at the back edge's include line and deduplicated by the
+  // canonical (rotation-normalized) member list.
+  const std::size_t n = tree.files.size();
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on path, 2 done
+  std::vector<std::size_t> path;
+  std::set<std::string> reported;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<Frame> stack{{root, 0}};
+    state[root] = 1;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& edges = out_edges[frame.node];
+      if (frame.next_edge >= edges.size()) {
+        state[frame.node] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const IncludeEdge edge = edges[frame.next_edge++];
+      if (state[edge.to] == 1) {
+        // Reconstruct the cycle from the path suffix starting at edge.to.
+        const auto begin =
+            std::find(path.begin(), path.end(), edge.to);
+        std::vector<std::size_t> cycle(begin, path.end());
+        std::string canonical;
+        {
+          // Rotate so the lexicographically smallest member leads.
+          std::size_t pivot = 0;
+          for (std::size_t k = 1; k < cycle.size(); ++k) {
+            if (tree.files[cycle[k]].rel_path <
+                tree.files[cycle[pivot]].rel_path) {
+              pivot = k;
+            }
+          }
+          std::rotate(cycle.begin(), cycle.begin() + pivot, cycle.end());
+          for (const std::size_t member : cycle) {
+            canonical += tree.files[member].rel_path + ";";
+          }
+        }
+        if (reported.insert(canonical).second) {
+          std::string message = "include cycle: ";
+          for (const std::size_t member : cycle) {
+            message += tree.files[member].rel_path + " -> ";
+          }
+          message += tree.files[cycle.front()].rel_path;
+          AddViolation(tree.files[edge.from], edge.line, "layer-cycle",
+                       std::move(message), violations);
+        }
+        continue;
+      }
+      if (state[edge.to] == 0) {
+        state[edge.to] = 1;
+        path.push_back(edge.to);
+        stack.push_back(Frame{edge.to, 0});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunIncludeGraphPass(const SourceTree& tree,
+                         const LayerContract& contract,
+                         const std::vector<FileStructure>& structures,
+                         std::vector<Violation>* violations) {
+  const std::size_t n = tree.files.size();
+  std::map<std::string, std::size_t> by_rel_path;
+  for (std::size_t i = 0; i < n; ++i) by_rel_path[tree.files[i].rel_path] = i;
+
+  std::vector<std::vector<IncludeEdge>> out_edges(n);
+  std::vector<std::vector<std::size_t>> adjacency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScannedFile& file = tree.files[i];
+    const std::string dir = DirOf(file.rel_path);
+    for (const Token& token : file.lexed.tokens) {
+      if (token.kind != TokenKind::kIncludePath || token.angled) continue;
+      const std::size_t target = Resolve(by_rel_path, dir, token.text);
+      if (target == static_cast<std::size_t>(-1)) continue;  // external
+      out_edges[i].push_back(IncludeEdge{i, target, token.line});
+      adjacency[i].push_back(target);
+    }
+  }
+
+  // Layering contract.
+  std::set<std::string> unknown_reported;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScannedFile& from = tree.files[i];
+    const std::string from_module = ModuleOf(from.rel_path);
+    const bool from_known = from_module.empty() ||
+                            contract.modules.count(from_module) != 0 ||
+                            contract.IsTopModule(from_module);
+    if (!from_known && unknown_reported.insert(from_module).second) {
+      AddViolation(from, 1, "layer-unknown-module",
+                   "module '" + from_module +
+                       "' is not declared in layers.toml ([modules] or "
+                       "[top]); the layering contract must be total",
+                   violations);
+    }
+    for (const IncludeEdge& edge : out_edges[i]) {
+      const ScannedFile& to = tree.files[edge.to];
+      if (contract.IsPureHeader(SrcRelative(to.rel_path))) continue;
+      const std::string to_module = ModuleOf(to.rel_path);
+      if (!from_known || from_module.empty() || to_module.empty()) continue;
+      if (!contract.AllowsEdge(from_module, to_module)) {
+        AddViolation(from, edge.line, "layer-undeclared-edge",
+                     "module '" + from_module + "' may not include '" +
+                         to.rel_path + "' (" + from_module + " -> " +
+                         to_module + " is not declared in layers.toml)",
+                     violations);
+      }
+    }
+  }
+
+  // Pure headers must be include-free — that is what makes them safe to
+  // exempt from layering.
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScannedFile& file = tree.files[i];
+    if (!contract.IsPureHeader(SrcRelative(file.rel_path))) continue;
+    for (const Token& token : file.lexed.tokens) {
+      if (token.kind != TokenKind::kIncludePath) continue;
+      AddViolation(file, token.line, "layer-impure-header",
+                   "pure header includes '" + token.text +
+                       "'; pure_headers entries must be include-free",
+                   violations);
+    }
+  }
+
+  FindCycles(tree, out_edges, violations);
+
+  // IWYU-lite over src/: a quoted project include none of whose provided
+  // names appear in the includer is dead weight. The provided set is
+  // transitive and the export extraction generous, so this under-reports
+  // rather than flags legitimate includes.
+  std::vector<std::set<std::string>> memo(n);
+  std::vector<int> memo_state(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScannedFile& file = tree.files[i];
+    if (file.rel_path.rfind("src/", 0) != 0) continue;
+    std::set<std::string> used;
+    for (const Token& token : file.lexed.tokens) {
+      if (token.kind == TokenKind::kIdentifier) used.insert(token.text);
+    }
+    const std::string own_stem = StripExtension(file.rel_path);
+    for (const IncludeEdge& edge : out_edges[i]) {
+      const ScannedFile& to = tree.files[edge.to];
+      if (StripExtension(to.rel_path) == own_stem) continue;  // x.cc -> x.h
+      const std::set<std::string>& provided = ProvidedNames(
+          edge.to, adjacency, structures, &memo, &memo_state);
+      const bool referenced =
+          std::any_of(provided.begin(), provided.end(),
+                      [&used](const std::string& name) {
+                        return used.count(name) != 0;
+                      });
+      if (!referenced) {
+        AddViolation(file, edge.line, "iwyu-unused-include",
+                     "'" + to.rel_path +
+                         "' is included but provides no name referenced in "
+                         "this file",
+                     violations);
+      }
+    }
+  }
+}
+
+}  // namespace copyattack::analyze

@@ -1,0 +1,161 @@
+#include "analyze/layers.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace copyattack::analyze {
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  std::size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// Strips a trailing `# comment` (the manifest has no `#` inside strings —
+/// paths and module names never contain one).
+std::string StripComment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+/// Parses `["a", "b"]` (possibly empty) into `*out`.
+bool ParseStringArray(const std::string& text, std::vector<std::string>* out,
+                      std::string* error) {
+  const std::string body = Trim(text);
+  if (body.size() < 2 || body.front() != '[' || body.back() != ']') {
+    *error = "expected a single-line string array, got: " + body;
+    return false;
+  }
+  std::size_t i = 1;
+  const std::size_t end = body.size() - 1;
+  while (true) {
+    while (i < end && (body[i] == ' ' || body[i] == '\t' || body[i] == ','))
+      ++i;
+    if (i >= end) break;
+    if (body[i] != '"') {
+      *error = "expected a quoted string in array: " + body;
+      return false;
+    }
+    const std::size_t close = body.find('"', i + 1);
+    if (close == std::string::npos || close > end) {
+      *error = "unterminated string in array: " + body;
+      return false;
+    }
+    out->push_back(body.substr(i + 1, close - i - 1));
+    i = close + 1;
+  }
+  return true;
+}
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+}  // namespace
+
+bool LayerContract::IsTopModule(const std::string& module) const {
+  return Contains(top_modules, module);
+}
+
+bool LayerContract::IsPureHeader(const std::string& src_rel_path) const {
+  return Contains(pure_headers, src_rel_path);
+}
+
+bool LayerContract::AllowsEdge(const std::string& from,
+                               const std::string& to) const {
+  if (from == to) return true;
+  if (IsTopModule(from)) return true;
+  const auto it = modules.find(from);
+  return it != modules.end() && Contains(it->second, to);
+}
+
+bool ParseLayerContract(const std::string& text, LayerContract* contract,
+                        std::string* error) {
+  std::istringstream in(text);
+  std::string raw_line;
+  std::string section;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    const std::string line = Trim(StripComment(raw_line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        *error = "line " + std::to_string(line_number) +
+                 ": malformed section header: " + line;
+        return false;
+      }
+      section = Trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      *error = "line " + std::to_string(line_number) +
+               ": expected `key = [...]`: " + line;
+      return false;
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = line.substr(eq + 1);
+    std::vector<std::string> items;
+    if (!ParseStringArray(value, &items, error)) {
+      *error = "line " + std::to_string(line_number) + ": " + *error;
+      return false;
+    }
+
+    if (section == "modules") {
+      if (contract->modules.count(key) != 0) {
+        *error = "line " + std::to_string(line_number) +
+                 ": duplicate module: " + key;
+        return false;
+      }
+      contract->modules[key] = std::move(items);
+    } else if (section == "top" && key == "modules") {
+      contract->top_modules = std::move(items);
+    } else if (section == "pure" && key == "headers") {
+      contract->pure_headers = std::move(items);
+    } else {
+      *error = "line " + std::to_string(line_number) + ": unknown entry `" +
+               key + "` in section [" + section + "]";
+      return false;
+    }
+  }
+
+  // Every declared dependency must itself be a declared module — a typo in
+  // an edge list would otherwise silently permit nothing.
+  for (const auto& [module, deps] : contract->modules) {
+    for (const std::string& dep : deps) {
+      if (contract->modules.count(dep) == 0) {
+        *error = "module `" + module + "` depends on undeclared module `" +
+                 dep + "`";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool LoadLayerContract(const std::string& path, LayerContract* contract,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open layer manifest: " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!ParseLayerContract(buffer.str(), contract, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace copyattack::analyze

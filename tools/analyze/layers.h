@@ -1,0 +1,45 @@
+#ifndef COPYATTACK_TOOLS_ANALYZE_LAYERS_H_
+#define COPYATTACK_TOOLS_ANALYZE_LAYERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// The module layering contract, declared in tools/analyze/layers.toml and
+/// enforced by the include-graph pass. The manifest is a TOML subset: `#`
+/// comments, `[section]` headers, and single-line `key = ["a", "b"]` string
+/// arrays — enough to be read by standard TOML tooling without this repo
+/// growing a dependency on a real TOML parser.
+
+namespace copyattack::analyze {
+
+struct LayerContract {
+  /// module -> modules its files may include from (directly). A module under
+  /// src/ that is absent here is a violation: the contract must be total.
+  std::map<std::string, std::vector<std::string>> modules;
+  /// Modules allowed to depend on anything (tools, bench, tests, examples).
+  std::vector<std::string> top_modules;
+  /// src-relative headers includable from any module. Restricted to
+  /// include-free headers (the include pass verifies this), so they can never
+  /// smuggle in a layering edge. Exists for util/annotations.h, which leaf
+  /// modules below util need without creating a util-cycle.
+  std::vector<std::string> pure_headers;
+
+  bool IsTopModule(const std::string& module) const;
+  bool IsPureHeader(const std::string& src_rel_path) const;
+  /// True if files in `from` may include files in `to` per the contract
+  /// (same module, top module, or a declared edge).
+  bool AllowsEdge(const std::string& from, const std::string& to) const;
+};
+
+/// Parses the manifest; returns false with `*error` set on malformed input.
+bool LoadLayerContract(const std::string& path, LayerContract* contract,
+                       std::string* error);
+
+/// Parses manifest text (exposed for the unit tests).
+bool ParseLayerContract(const std::string& text, LayerContract* contract,
+                        std::string* error);
+
+}  // namespace copyattack::analyze
+
+#endif  // COPYATTACK_TOOLS_ANALYZE_LAYERS_H_

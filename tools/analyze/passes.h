@@ -1,0 +1,48 @@
+#ifndef COPYATTACK_TOOLS_ANALYZE_PASSES_H_
+#define COPYATTACK_TOOLS_ANALYZE_PASSES_H_
+
+#include <vector>
+
+#include "analyze/analysis.h"
+#include "analyze/layers.h"
+#include "analyze/structure.h"
+
+/// The three copyattack-analyze passes. Each receives the whole scanned
+/// tree plus the per-file structures (computed once, index-aligned with
+/// `tree.files`) and appends suppression-filtered violations.
+
+namespace copyattack::analyze {
+
+/// Include-graph pass: resolves project includes, enforces the layers.toml
+/// module contract (undeclared edges, unknown modules, impure pure-headers),
+/// rejects include cycles, and runs the IWYU-lite unused-include check over
+/// files under src/.
+/// Rules: layer-undeclared-edge, layer-unknown-module, layer-cycle,
+/// layer-impure-header, iwyu-unused-include.
+void RunIncludeGraphPass(const SourceTree& tree,
+                         const LayerContract& contract,
+                         const std::vector<FileStructure>& structures,
+                         std::vector<Violation>* violations);
+
+/// Thread-safety pass: checks CA_GUARDED_BY fields are only touched by
+/// functions that lock (or CA_REQUIRES) the named mutex, and that
+/// CA_ATOMIC_ONLY fields are declared std::atomic. Constructors are exempt
+/// (no concurrent access before the object is published).
+/// Rules: ts-unlocked-field, ts-atomic-type.
+void RunThreadSafetyPass(const SourceTree& tree,
+                         const std::vector<FileStructure>& structures,
+                         std::vector<Violation>* violations);
+
+/// Determinism pass: flags raw entropy (std::random_device, wall-clock
+/// seeding), direct std <random> engines/distributions outside util/rng
+/// (their outputs differ across standard libraries), util::Rng constructed
+/// without an explicit seed, and Rng parameters taken by value.
+/// Rules: det-raw-entropy, det-std-engine, det-unseeded-rng,
+/// det-rng-by-value.
+void RunDeterminismPass(const SourceTree& tree,
+                        const std::vector<FileStructure>& structures,
+                        std::vector<Violation>* violations);
+
+}  // namespace copyattack::analyze
+
+#endif  // COPYATTACK_TOOLS_ANALYZE_PASSES_H_

@@ -1,0 +1,496 @@
+#include "analyze/structure.h"
+
+#include <cstdint>
+
+namespace copyattack::analyze {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool IsFundamentalTypeWord(const std::string& text) {
+  return text == "void" || text == "bool" || text == "char" ||
+         text == "int" || text == "short" || text == "long" ||
+         text == "signed" || text == "unsigned" || text == "float" ||
+         text == "double" || text == "auto" || text == "wchar_t" ||
+         text == "char8_t" || text == "char16_t" || text == "char32_t";
+}
+
+bool IsControlWord(const std::string& text) {
+  return text == "if" || text == "for" || text == "while" ||
+         text == "switch" || text == "do" || text == "else" ||
+         text == "try" || text == "catch" || text == "return" ||
+         text == "sizeof" || text == "alignof" || text == "alignas" ||
+         text == "decltype" || text == "noexcept" || text == "throw" ||
+         text == "static_assert" || text == "new" || text == "delete";
+}
+
+/// Walks the token stream tracking namespace/class/enum/function/block
+/// nesting. Every `{` is classified from the declaration tokens since the
+/// last `;` / `{` / `}` (the "head"); unrecognized shapes become plain
+/// blocks, so the worst failure mode is a function the passes do not see —
+/// never a misattributed one.
+class Scanner {
+ public:
+  explicit Scanner(const LexedFile& file) : tokens_(file.tokens) {}
+
+  FileStructure Run() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.in_directive) {
+        // Directive lines never open scopes; macro bodies with (balanced)
+        // braces must not pollute the next declaration's head.
+        if (t.kind == TokenKind::kDirective && t.text == "define" &&
+            i + 1 < tokens_.size() &&
+            tokens_[i + 1].kind == TokenKind::kIdentifier) {
+          result_.exported.insert(tokens_[i + 1].text);
+        }
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{") {
+          ClassifyOpenBrace(i);
+          head_start_ = i + 1;
+        } else if (t.text == "}") {
+          CloseBrace(i);
+          head_start_ = i + 1;
+        } else if (t.text == ";") {
+          head_start_ = i + 1;
+        }
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) {
+        MaybeAnnotation(i);
+        MaybeExport(i);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kEnum, kFunction, kBlock };
+    Kind kind;
+    std::string name;
+    std::size_t function_index = kNone;
+  };
+
+  Scope::Kind InnermostKind() const {
+    return scopes_.empty() ? Scope::kNamespace : scopes_.back().kind;
+  }
+
+  std::string CurrentClassName() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return "";
+  }
+
+  void Push(Scope::Kind kind, std::string name = "",
+            std::size_t function_index = kNone) {
+    scopes_.push_back(Scope{kind, std::move(name), function_index});
+  }
+
+  /// Non-directive token indices in [head_start_, brace).
+  std::vector<std::size_t> HeadIndices(std::size_t brace) const {
+    std::vector<std::size_t> head;
+    for (std::size_t i = head_start_; i < brace; ++i) {
+      if (!tokens_[i].in_directive) head.push_back(i);
+    }
+    return head;
+  }
+
+  void ClassifyOpenBrace(std::size_t i) {
+    const Scope::Kind outer = InnermostKind();
+    if (outer == Scope::kFunction || outer == Scope::kBlock ||
+        outer == Scope::kEnum) {
+      Push(Scope::kBlock);
+      return;
+    }
+    const std::vector<std::size_t> head = HeadIndices(i);
+    if (head.empty()) {
+      Push(Scope::kBlock);
+      return;
+    }
+
+    const Token& first = tokens_[head.front()];
+    const bool inline_ns = first.text == "inline" && head.size() >= 2 &&
+                           tokens_[head[1]].text == "namespace";
+    if (first.text == "namespace" || inline_ns) {
+      std::string name;
+      for (std::size_t h = inline_ns ? 2 : 1; h < head.size(); ++h) {
+        if (tokens_[head[h]].kind != TokenKind::kIdentifier) continue;
+        if (!name.empty()) name += "::";
+        name += tokens_[head[h]].text;
+      }
+      Push(Scope::kNamespace, std::move(name));
+      return;
+    }
+    if (first.text == "extern" && head.size() <= 2) {
+      Push(Scope::kNamespace);  // extern "C" linkage block
+      return;
+    }
+
+    // class/struct/union/enum keyword at template-bracket depth 0 (so
+    // `template <class T>` parameters do not count).
+    std::size_t class_kw = kNone;
+    bool is_enum = false;
+    {
+      std::int64_t angle = 0;
+      for (std::size_t h = 0; h < head.size(); ++h) {
+        const Token& t = tokens_[head[h]];
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "<") ++angle;
+          if (t.text == ">" && angle > 0) --angle;
+          continue;
+        }
+        if (t.kind != TokenKind::kIdentifier || angle != 0) continue;
+        if (t.text == "enum") {
+          is_enum = true;
+          break;
+        }
+        if (class_kw == kNone &&
+            (t.text == "class" || t.text == "struct" || t.text == "union")) {
+          class_kw = h;
+        }
+      }
+    }
+    if (is_enum) {
+      Push(Scope::kEnum);
+      return;
+    }
+    if (class_kw != kNone) {
+      Push(Scope::kClass, ClassNameFromHead(head, class_kw));
+      return;
+    }
+
+    // Brace initializers: `x = {...}`, `f({...})`, `arr[{...}]`, and
+    // constructor-init-list members `: member_{...}` / `, member_{...}`.
+    const Token& last = tokens_[head.back()];
+    if (last.kind == TokenKind::kPunct &&
+        (last.text == "=" || last.text == "," || last.text == "(" ||
+         last.text == "[" || last.text == "<")) {
+      Push(Scope::kBlock);
+      return;
+    }
+    if (last.kind == TokenKind::kIdentifier && head.size() >= 2) {
+      const Token& prev = tokens_[head[head.size() - 2]];
+      if (prev.kind == TokenKind::kPunct &&
+          (prev.text == ":" || prev.text == ",")) {
+        Push(Scope::kBlock);
+        return;
+      }
+    }
+    if (HasTopLevelAssignment(head)) {
+      Push(Scope::kBlock);  // `auto x = <expr> {` — initializer, not a body
+      return;
+    }
+
+    FunctionDef def;
+    if (ExtractFunction(head, &def)) {
+      def.body_begin = i;
+      def.line = tokens_[i].line;
+      result_.functions.push_back(std::move(def));
+      const std::size_t index = result_.functions.size() - 1;
+      Push(Scope::kFunction, result_.functions[index].name, index);
+      return;
+    }
+    Push(Scope::kBlock);
+  }
+
+  void CloseBrace(std::size_t i) {
+    if (scopes_.empty()) return;
+    const Scope scope = scopes_.back();
+    scopes_.pop_back();
+    if (scope.kind == Scope::kFunction && scope.function_index != kNone) {
+      result_.functions[scope.function_index].body_end = i;
+    }
+  }
+
+  std::string ClassNameFromHead(const std::vector<std::size_t>& head,
+                                std::size_t class_kw) const {
+    for (std::size_t h = class_kw + 1; h < head.size(); ++h) {
+      const Token& t = tokens_[head[h]];
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "alignas") {
+          h = SkipParenGroupInHead(head, h + 1);
+          continue;
+        }
+        return t.text;
+      }
+      break;  // `{`-adjacent punctuation: anonymous
+    }
+    return "";
+  }
+
+  /// If head[h] is `(`, returns the index of its matching `)` (or the last
+  /// head index); otherwise returns h.
+  std::size_t SkipParenGroupInHead(const std::vector<std::size_t>& head,
+                                   std::size_t h) const {
+    if (h >= head.size() || tokens_[head[h]].text != "(") return h;
+    std::int64_t depth = 0;
+    for (; h < head.size(); ++h) {
+      const std::string& text = tokens_[head[h]].text;
+      if (text == "(") ++depth;
+      if (text == ")" && --depth == 0) return h;
+    }
+    return head.size() - 1;
+  }
+
+  bool HasTopLevelAssignment(const std::vector<std::size_t>& head) const {
+    std::int64_t depth = 0;
+    for (std::size_t h = 0; h < head.size(); ++h) {
+      const std::string& text = tokens_[head[h]].text;
+      if (text == "(" || text == "[") ++depth;
+      if ((text == ")" || text == "]") && depth > 0) --depth;
+      if (text == "=" && depth == 0 && h > 0) {
+        const std::string& prev = tokens_[head[h - 1]].text;
+        if (prev != "operator" && prev != "=" && prev != "!" &&
+            prev != "<" && prev != ">") {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool ExtractFunction(const std::vector<std::size_t>& head,
+                       FunctionDef* def) {
+    // The parameter-list `(` is the first one directly preceded by a
+    // plausible name: an identifier that is not a type/control keyword, or
+    // an `operator<punct>` spelling.
+    std::size_t name_pos = kNone;
+    for (std::size_t h = 1; h < head.size(); ++h) {
+      if (tokens_[head[h]].kind != TokenKind::kPunct ||
+          tokens_[head[h]].text != "(") {
+        continue;
+      }
+      const Token& prev = tokens_[head[h - 1]];
+      if (prev.kind == TokenKind::kIdentifier) {
+        if (IsFundamentalTypeWord(prev.text) || IsControlWord(prev.text)) {
+          continue;
+        }
+        name_pos = h - 1;
+        break;
+      }
+      if (prev.kind == TokenKind::kPunct && h >= 2 &&
+          tokens_[head[h - 2]].text == "operator") {
+        name_pos = h - 2;  // operator+ / operator== / ...
+        break;
+      }
+    }
+    if (name_pos == kNone) return false;
+
+    def->name = tokens_[head[name_pos]].text;
+    std::vector<std::string> qualifiers;
+    std::size_t q = name_pos;
+    while (q >= 2 && tokens_[head[q - 1]].text == "::" &&
+           tokens_[head[q - 2]].kind == TokenKind::kIdentifier) {
+      qualifiers.push_back(tokens_[head[q - 2]].text);
+      q -= 2;
+    }
+    def->is_dtor = name_pos >= 1 && tokens_[head[name_pos - 1]].text == "~";
+    def->class_name =
+        !qualifiers.empty() ? qualifiers.front() : CurrentClassName();
+    def->is_ctor = !def->is_dtor && !def->class_name.empty() &&
+                   def->name == def->class_name;
+
+    for (std::size_t h = 0; h + 1 < head.size(); ++h) {
+      if (tokens_[head[h]].text == "CA_REQUIRES") {
+        const std::string mutex = LastIdentifierInParenGroup(head, h + 1);
+        if (!mutex.empty()) def->requires_mutexes.push_back(mutex);
+      }
+    }
+    return true;
+  }
+
+  std::string LastIdentifierInParenGroup(const std::vector<std::size_t>& head,
+                                         std::size_t h) const {
+    if (h >= head.size() || tokens_[head[h]].text != "(") return "";
+    std::string last;
+    std::int64_t depth = 0;
+    for (; h < head.size(); ++h) {
+      const Token& t = tokens_[head[h]];
+      if (t.text == "(") ++depth;
+      if (t.text == ")" && --depth == 0) break;
+      if (t.kind == TokenKind::kIdentifier) last = t.text;
+    }
+    return last;
+  }
+
+  /// Same as above, but over raw token indices (annotations sit outside any
+  /// gathered head when encountered mid-walk).
+  std::string LastIdentifierInParens(std::size_t i) const {
+    if (i >= tokens_.size() || tokens_[i].text != "(") return "";
+    std::string last;
+    std::int64_t depth = 0;
+    for (; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.in_directive) continue;
+      if (t.text == "(") ++depth;
+      if (t.text == ")" && --depth == 0) break;
+      if (t.kind == TokenKind::kIdentifier) last = t.text;
+    }
+    return last;
+  }
+
+  std::size_t PrevCodeToken(std::size_t i) const {
+    while (i > 0) {
+      --i;
+      if (!tokens_[i].in_directive) return i;
+    }
+    return kNone;
+  }
+
+  std::size_t NextCodeToken(std::size_t i) const {
+    for (++i; i < tokens_.size(); ++i) {
+      if (!tokens_[i].in_directive) return i;
+    }
+    return kNone;
+  }
+
+  /// True if the declaration tokens preceding `field_pos` (back to the last
+  /// `;` / `{` / `}` / access-specifier `:`) mention `atomic`.
+  bool DeclMentionsAtomic(std::size_t field_pos) const {
+    std::size_t i = field_pos;
+    while ((i = PrevCodeToken(i)) != kNone) {
+      const Token& t = tokens_[i];
+      if (t.kind == TokenKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}" ||
+           t.text == ":")) {
+        return false;
+      }
+      if (t.kind == TokenKind::kIdentifier && t.text == "atomic") return true;
+    }
+    return false;
+  }
+
+  void MaybeAnnotation(std::size_t i) {
+    const std::string& text = tokens_[i].text;
+    const bool guarded = text == "CA_GUARDED_BY";
+    const bool atomic_only = text == "CA_ATOMIC_ONLY";
+    const bool requires_anno = text == "CA_REQUIRES";
+    if (!guarded && !atomic_only && !requires_anno) return;
+    if (InnermostKind() != Scope::kClass) return;  // heads handle the rest
+
+    if (guarded || atomic_only) {
+      const std::size_t field_pos = PrevCodeToken(i);
+      if (field_pos == kNone ||
+          tokens_[field_pos].kind != TokenKind::kIdentifier) {
+        return;
+      }
+      AnnotatedField field;
+      field.class_name = CurrentClassName();
+      field.field_name = tokens_[field_pos].text;
+      field.atomic_only = atomic_only;
+      field.type_has_atomic = DeclMentionsAtomic(field_pos);
+      field.line = tokens_[i].line;
+      if (guarded) {
+        const std::size_t paren = NextCodeToken(i);
+        field.mutex_name =
+            paren == kNone ? "" : LastIdentifierInParens(paren);
+        if (field.mutex_name.empty()) return;  // malformed; ignore
+      }
+      result_.fields.push_back(std::move(field));
+      return;
+    }
+
+    // CA_REQUIRES on an in-class method declaration:
+    //   ReturnType Name(args...) [const] CA_REQUIRES(m);
+    // Walk back over trailing qualifiers to the parameter list's `)`, match
+    // it to its `(`, and take the identifier before it as the method name.
+    std::size_t j = PrevCodeToken(i);
+    while (j != kNone && tokens_[j].kind == TokenKind::kIdentifier &&
+           (tokens_[j].text == "const" || tokens_[j].text == "noexcept" ||
+            tokens_[j].text == "override" || tokens_[j].text == "final")) {
+      j = PrevCodeToken(j);
+    }
+    if (j == kNone || tokens_[j].text != ")") return;
+    std::int64_t depth = 0;
+    while (j != kNone) {
+      if (tokens_[j].text == ")") ++depth;
+      if (tokens_[j].text == "(" && --depth == 0) break;
+      j = PrevCodeToken(j);
+    }
+    if (j == kNone) return;
+    const std::size_t name_pos = PrevCodeToken(j);
+    if (name_pos == kNone ||
+        tokens_[name_pos].kind != TokenKind::kIdentifier) {
+      return;
+    }
+    const std::size_t paren = NextCodeToken(i);
+    const std::string mutex =
+        paren == kNone ? "" : LastIdentifierInParens(paren);
+    if (mutex.empty()) return;
+    result_.declared_requires.push_back(
+        MethodRequires{CurrentClassName(), tokens_[name_pos].text, {mutex}});
+  }
+
+  void MaybeExport(std::size_t i) {
+    const Token& t = tokens_[i];
+    const Scope::Kind kind = InnermostKind();
+
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      std::size_t j = NextCodeToken(i);
+      if (j != kNone && (tokens_[j].text == "class" ||
+                         tokens_[j].text == "struct")) {
+        j = NextCodeToken(j);  // `enum class X`
+      }
+      if (j != kNone && tokens_[j].kind == TokenKind::kIdentifier &&
+          tokens_[j].text != "alignas") {
+        result_.exported.insert(tokens_[j].text);
+      }
+      return;
+    }
+    if (t.text == "using" || t.text == "typedef") {
+      std::size_t j = i;
+      std::string last_ident;
+      for (std::size_t steps = 0; steps < 48; ++steps) {
+        j = NextCodeToken(j);
+        if (j == kNone) return;
+        const Token& tj = tokens_[j];
+        if (tj.text == "namespace") return;  // using-directive: no name
+        if (tj.text == "=") break;           // alias: name precedes `=`
+        if (tj.text == ";") break;           // declaration: last identifier
+        if (tj.kind == TokenKind::kIdentifier) last_ident = tj.text;
+      }
+      if (!last_ident.empty()) result_.exported.insert(last_ident);
+      return;
+    }
+
+    if (kind == Scope::kEnum) {
+      const std::size_t j = NextCodeToken(i);
+      if (j != kNone && (tokens_[j].text == "," || tokens_[j].text == "}" ||
+                         tokens_[j].text == "=")) {
+        result_.exported.insert(t.text);
+      }
+      return;
+    }
+    if (kind == Scope::kNamespace || kind == Scope::kClass) {
+      const std::size_t j = NextCodeToken(i);
+      if (j == kNone) return;
+      const std::string& next = tokens_[j].text;
+      // Entity names: `Name(...)` declarations, `name = init`,
+      // `Type name;` members/externs, and `name{init}` / `name[rank]`.
+      if (next == "(" || next == "=" || next == ";" || next == "{" ||
+          next == "[") {
+        result_.exported.insert(t.text);
+      }
+      return;
+    }
+  }
+
+  const std::vector<Token>& tokens_;
+  std::vector<Scope> scopes_;
+  std::size_t head_start_ = 0;
+  FileStructure result_;
+};
+
+}  // namespace
+
+FileStructure ScanStructure(const LexedFile& file) {
+  return Scanner(file).Run();
+}
+
+}  // namespace copyattack::analyze

@@ -1,0 +1,67 @@
+#ifndef COPYATTACK_TOOLS_ANALYZE_STRUCTURE_H_
+#define COPYATTACK_TOOLS_ANALYZE_STRUCTURE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/tokenizer.h"
+
+/// A heuristic scope scanner over the token stream: tracks namespace /
+/// class / function / block nesting by brace matching and classifies each
+/// `{` from the declaration tokens preceding it. It deliberately errs
+/// toward missing a construct rather than misreading one — the passes
+/// built on it must not produce false positives on a clean tree, and the
+/// WILL_FAIL fixtures pin that every rule still fires.
+
+namespace copyattack::analyze {
+
+/// One function (or method) definition with its brace-delimited body.
+struct FunctionDef {
+  std::string name;        ///< unqualified name ("Submit", "ThreadPool")
+  std::string class_name;  ///< from a qualifier or enclosing class; "" free
+  bool is_ctor = false;
+  bool is_dtor = false;
+  std::size_t line = 0;        ///< line of the body's opening brace
+  std::size_t body_begin = 0;  ///< token index of `{`
+  std::size_t body_end = 0;    ///< token index of matching `}` (exclusive
+                               ///< range is [body_begin + 1, body_end))
+  /// Mutexes named in CA_REQUIRES(...) on this definition's head.
+  std::vector<std::string> requires_mutexes;
+};
+
+/// A field carrying a CA_GUARDED_BY or CA_ATOMIC_ONLY annotation.
+struct AnnotatedField {
+  std::string class_name;
+  std::string field_name;
+  std::string mutex_name;  ///< empty for CA_ATOMIC_ONLY
+  bool atomic_only = false;
+  bool type_has_atomic = false;  ///< declared type mentions `atomic`
+  std::size_t line = 0;
+};
+
+/// A CA_REQUIRES(...) on an in-class method declaration (no body here).
+struct MethodRequires {
+  std::string class_name;
+  std::string method_name;
+  std::vector<std::string> mutexes;
+};
+
+struct FileStructure {
+  std::vector<FunctionDef> functions;
+  std::vector<AnnotatedField> fields;
+  std::vector<MethodRequires> declared_requires;
+  /// Names this file makes available to includers: macro names, type names
+  /// (definitions and forward declarations), enumerators, aliases, and
+  /// namespace/class-scope entity names. Used by the IWYU-lite check; kept
+  /// deliberately generous so that check under-reports rather than flags a
+  /// header that is genuinely used.
+  std::set<std::string> exported;
+};
+
+FileStructure ScanStructure(const LexedFile& file);
+
+}  // namespace copyattack::analyze
+
+#endif  // COPYATTACK_TOOLS_ANALYZE_STRUCTURE_H_

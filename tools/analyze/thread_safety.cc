@@ -1,0 +1,144 @@
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analyze/passes.h"
+
+namespace copyattack::analyze {
+
+namespace {
+
+bool IsLockHolderType(const std::string& text) {
+  return text == "lock_guard" || text == "unique_lock" ||
+         text == "scoped_lock" || text == "shared_lock";
+}
+
+/// Mutex names a function's body demonstrably locks: identifiers passed to
+/// RAII lock holders (`std::lock_guard<std::mutex> lock(mutex_)` yields
+/// `mutex_`; `lock(buffer->mutex)` yields both `buffer` and `mutex`) plus
+/// the receivers of explicit `.lock()` / `->lock()` calls. Evidence is
+/// function-granular on purpose: a heuristic pass must not false-positive
+/// on locks taken inside loops or branches.
+std::set<std::string> LockedMutexes(const std::vector<Token>& tokens,
+                                    std::size_t body_begin,
+                                    std::size_t body_end) {
+  std::set<std::string> locked;
+  for (std::size_t i = body_begin + 1; i < body_end; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (IsLockHolderType(t.text)) {
+      std::size_t j = i + 1;
+      while (j < body_end && tokens[j].text != "(" &&
+             tokens[j].text != ";") {
+        ++j;
+      }
+      if (j >= body_end || tokens[j].text != "(") continue;
+      int depth = 0;
+      for (; j < body_end; ++j) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].text == ")" && --depth == 0) break;
+        if (tokens[j].kind == TokenKind::kIdentifier) {
+          locked.insert(tokens[j].text);
+        }
+      }
+      continue;
+    }
+    if (t.text == "lock" && i + 1 < body_end && tokens[i + 1].text == "(" &&
+        i >= 1 &&
+        (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
+        i >= 2 && tokens[i - 2].kind == TokenKind::kIdentifier) {
+      locked.insert(tokens[i - 2].text);
+    }
+  }
+  return locked;
+}
+
+}  // namespace
+
+void RunThreadSafetyPass(const SourceTree& tree,
+                         const std::vector<FileStructure>& structures,
+                         std::vector<Violation>* violations) {
+  // Guarded fields and CA_REQUIRES declarations are cross-file facts: a
+  // field is annotated in the header, its accessors live in the .cc.
+  std::map<std::string, std::vector<AnnotatedField>> guarded_by_name;
+  std::map<std::pair<std::string, std::string>, std::set<std::string>>
+      required;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const FileStructure& structure = structures[i];
+    for (const AnnotatedField& field : structure.fields) {
+      if (field.atomic_only) {
+        if (!field.type_has_atomic) {
+          AddViolation(tree.files[i], field.line, "ts-atomic-type",
+                       "field '" + field.field_name +
+                           "' is CA_ATOMIC_ONLY but its declared type is "
+                           "not std::atomic",
+                       violations);
+        }
+        continue;  // atomic fields need no lock evidence
+      }
+      guarded_by_name[field.field_name].push_back(field);
+    }
+    for (const MethodRequires& decl : structure.declared_requires) {
+      required[{decl.class_name, decl.method_name}].insert(
+          decl.mutexes.begin(), decl.mutexes.end());
+    }
+    for (const FunctionDef& def : structure.functions) {
+      required[{def.class_name, def.name}].insert(
+          def.requires_mutexes.begin(), def.requires_mutexes.end());
+    }
+  }
+  if (guarded_by_name.empty()) return;
+
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const ScannedFile& file = tree.files[i];
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (const FunctionDef& def : structures[i].functions) {
+      if (def.is_ctor || def.is_dtor) continue;  // pre/post-publication
+      if (def.body_end <= def.body_begin) continue;
+
+      std::set<std::string> evidence =
+          LockedMutexes(tokens, def.body_begin, def.body_end);
+      const auto req = required.find({def.class_name, def.name});
+      if (req != required.end()) {
+        evidence.insert(req->second.begin(), req->second.end());
+      }
+
+      std::set<std::string> flagged;  // one report per field per function
+      for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+        const Token& t = tokens[k];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        const auto found = guarded_by_name.find(t.text);
+        if (found == guarded_by_name.end()) continue;
+
+        const bool member_access =
+            k >= 1 &&
+            (tokens[k - 1].text == "." || tokens[k - 1].text == "->");
+        bool applies = member_access;
+        bool satisfied = false;
+        for (const AnnotatedField& field : found->second) {
+          // A bare identifier only refers to the field inside methods of
+          // its own class (locals of other classes' methods may share the
+          // name); `.`/`->` access can hit any object, so any candidate's
+          // mutex being held counts as evidence.
+          if (!member_access && field.class_name != def.class_name) continue;
+          applies = true;
+          if (evidence.count(field.mutex_name) != 0) satisfied = true;
+        }
+        if (!applies || satisfied) continue;
+        if (!flagged.insert(t.text).second) continue;
+        const AnnotatedField& field = found->second.front();
+        AddViolation(
+            file, t.line, "ts-unlocked-field",
+            "field '" + t.text + "' (guarded by '" + field.mutex_name +
+                "') accessed in " +
+                (def.class_name.empty() ? def.name
+                                        : def.class_name + "::" + def.name) +
+                " without locking '" + field.mutex_name + "'",
+            violations);
+      }
+    }
+  }
+}
+
+}  // namespace copyattack::analyze

@@ -1,0 +1,483 @@
+#include "analyze/tokenizer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace copyattack::analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Normalizes line endings: CRLF and lone CR both become `\n`, so line
+/// counting and per-line blanking behave identically for files edited on
+/// any platform (satisfying the CRLF cases in the tokenizer test suite).
+std::string NormalizeNewlines(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\r') {
+      out.push_back('\n');
+      if (i + 1 < raw.size() && raw[i + 1] == '\n') ++i;
+      continue;
+    }
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+/// The lexer proper. Walks `src` once, emitting tokens and comments and
+/// blanking non-code bytes in `blanked` (same length as `src`; newlines are
+/// never blanked so the per-line split stays aligned).
+class Lexer {
+ public:
+  explicit Lexer(LexedFile* out) : out_(*out), src_(out->content) {
+    blanked_ = src_;
+  }
+
+  void Run() {
+    while (!Eof()) {
+      SkipSplices();
+      if (Eof()) break;
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        in_directive_ = false;  // an unspliced newline ends the directive
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        at_line_start_ = false;
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentifierOrPrefixedLiteral();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        const std::size_t begin_line = line_;
+        LexStringBody(/*raw=*/false);
+        Emit(TokenKind::kString, "", begin_line);
+        continue;
+      }
+      if (c == '\'') {
+        const std::size_t begin_line = line_;
+        LexCharBody();
+        Emit(TokenKind::kCharLiteral, "", begin_line);
+        continue;
+      }
+      LexPunct();
+    }
+    FinalizeCodeLines();
+  }
+
+ private:
+  bool Eof() const { return i_ >= src_.size(); }
+
+  char Peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  /// Consumes backslash-newline pairs (translation phase 2). Never called
+  /// inside raw strings, which revert splicing per the standard.
+  void SkipSplices() {
+    while (i_ + 1 < src_.size() && src_[i_] == '\\' && src_[i_ + 1] == '\n') {
+      i_ += 2;
+      ++line_;
+    }
+  }
+
+  void Emit(TokenKind kind, std::string text, std::size_t line) {
+    out_.tokens.push_back(
+        Token{kind, std::move(text), line, false, in_directive_});
+  }
+
+  void BlankHere() {
+    if (src_[i_] != '\n') blanked_[i_] = ' ';
+  }
+
+  void LexLineComment() {
+    const std::size_t begin_line = line_;
+    std::string text;
+    while (!Eof()) {
+      if (src_[i_] == '\\' && Peek(1) == '\n') {
+        // Spliced line comment: continues on the next physical line.
+        BlankHere();
+        text.push_back(src_[i_]);
+        ++i_;
+        ++line_;
+        text.push_back('\n');
+        ++i_;
+        continue;
+      }
+      if (src_[i_] == '\n') break;
+      BlankHere();
+      text.push_back(src_[i_]);
+      ++i_;
+    }
+    out_.comments.push_back(Comment{begin_line, line_, std::move(text)});
+  }
+
+  void LexBlockComment() {
+    const std::size_t begin_line = line_;
+    std::string text;
+    BlankHere();
+    text.push_back(src_[i_]);
+    ++i_;  // '/'
+    BlankHere();
+    text.push_back(src_[i_]);
+    ++i_;  // '*'
+    bool terminated = false;
+    while (!Eof()) {
+      if (src_[i_] == '*' && Peek(1) == '/') {
+        BlankHere();
+        ++i_;
+        BlankHere();
+        ++i_;
+        text.append("*/");
+        terminated = true;
+        break;
+      }
+      if (src_[i_] == '\n') {
+        ++line_;
+      } else {
+        BlankHere();
+      }
+      text.push_back(src_[i_]);
+      ++i_;
+    }
+    if (!terminated) {
+      out_.errors.push_back("unterminated block comment starting on line " +
+                            std::to_string(begin_line));
+    }
+    out_.comments.push_back(Comment{begin_line, line_, std::move(text)});
+  }
+
+  void LexDirective() {
+    in_directive_ = true;
+    ++i_;  // '#'
+    SkipSplices();
+    while (!Eof() && (src_[i_] == ' ' || src_[i_] == '\t')) ++i_;
+    SkipSplices();
+    if (Eof() || !IsIdentStart(src_[i_])) return;  // null directive
+    std::string name;
+    const std::size_t name_line = line_;
+    while (!Eof() && IsIdentChar(src_[i_])) {
+      name.push_back(src_[i_]);
+      ++i_;
+      SkipSplices();
+    }
+    const bool is_include = name == "include";
+    Emit(TokenKind::kDirective, std::move(name), name_line);
+    if (!is_include) return;  // body lexed as ordinary tokens
+
+    while (!Eof() && (src_[i_] == ' ' || src_[i_] == '\t')) ++i_;
+    if (Eof()) return;
+    if (src_[i_] == '<') {
+      // Angled path: kept as code in the blanked view (the legacy linter
+      // never treated it as a string either).
+      ++i_;
+      std::string path;
+      while (!Eof() && src_[i_] != '>' && src_[i_] != '\n') {
+        path.push_back(src_[i_]);
+        ++i_;
+      }
+      if (!Eof() && src_[i_] == '>') ++i_;
+      Token token{TokenKind::kIncludePath, std::move(path), line_, true,
+                  true};
+      out_.tokens.push_back(std::move(token));
+      return;
+    }
+    if (src_[i_] == '"') {
+      ++i_;  // keep the opening quote in the blanked view
+      std::string path;
+      while (!Eof() && src_[i_] != '"' && src_[i_] != '\n') {
+        BlankHere();
+        path.push_back(src_[i_]);
+        ++i_;
+      }
+      if (!Eof() && src_[i_] == '"') ++i_;
+      Token token{TokenKind::kIncludePath, std::move(path), line_, false,
+                  true};
+      out_.tokens.push_back(std::move(token));
+    }
+  }
+
+  void LexIdentifierOrPrefixedLiteral() {
+    const std::size_t begin_line = line_;
+    std::string ident;
+    while (!Eof() && IsIdentChar(src_[i_])) {
+      ident.push_back(src_[i_]);
+      ++i_;
+      SkipSplices();
+    }
+    // Literal prefixes: R"..., u8R"..., uR"..., UR"..., LR"..., and the
+    // non-raw u8"/u"/U"/L" string and u8'/u'/U'/L' char forms.
+    if (!Eof() && src_[i_] == '"') {
+      const bool raw = !ident.empty() && ident.back() == 'R' &&
+                       (ident == "R" || ident == "u8R" || ident == "uR" ||
+                        ident == "UR" || ident == "LR");
+      const bool prefix = ident == "u8" || ident == "u" || ident == "U" ||
+                          ident == "L";
+      if (raw || prefix) {
+        LexStringBody(raw);
+        Emit(TokenKind::kString, "", begin_line);
+        return;
+      }
+    }
+    if (!Eof() && src_[i_] == '\'' &&
+        (ident == "u8" || ident == "u" || ident == "U" || ident == "L")) {
+      LexCharBody();
+      Emit(TokenKind::kCharLiteral, "", begin_line);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(ident), begin_line);
+  }
+
+  /// Consumes a string literal starting at the opening `"` (any encoding
+  /// prefix has already been consumed). Bodies are blanked; the delimiting
+  /// quotes stay so column-sensitive line rules keep their anchors.
+  void LexStringBody(bool raw) {
+    const std::size_t begin_line = line_;
+    ++i_;  // opening '"', kept as code
+    if (raw) {
+      // d-char-seq up to the opening '('.
+      std::string delim;
+      while (!Eof() && src_[i_] != '(' && src_[i_] != '\n' &&
+             delim.size() <= 16) {
+        BlankHere();
+        delim.push_back(src_[i_]);
+        ++i_;
+      }
+      if (Eof() || src_[i_] != '(') {
+        out_.errors.push_back("malformed raw string on line " +
+                              std::to_string(begin_line));
+        return;
+      }
+      BlankHere();
+      ++i_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (!Eof()) {
+        if (src_[i_] == ')' &&
+            src_.compare(i_, closer.size(), closer) == 0) {
+          // Blank `)delim`, keep the closing quote.
+          for (std::size_t k = 0; k + 1 < closer.size(); ++k) {
+            BlankHere();
+            ++i_;
+          }
+          ++i_;  // closing '"'
+          return;
+        }
+        if (src_[i_] == '\n') {
+          ++line_;
+        } else {
+          BlankHere();
+        }
+        ++i_;
+      }
+      out_.errors.push_back("unterminated raw string starting on line " +
+                            std::to_string(begin_line));
+      return;
+    }
+    while (!Eof()) {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        BlankHere();
+        ++i_;
+        if (src_[i_] == '\n') {
+          ++line_;  // escaped newline inside a literal
+        } else {
+          BlankHere();
+        }
+        ++i_;
+        continue;
+      }
+      if (src_[i_] == '"') {
+        ++i_;  // closing quote kept
+        return;
+      }
+      if (src_[i_] == '\n') return;  // unterminated: be tolerant
+      BlankHere();
+      ++i_;
+    }
+  }
+
+  void LexCharBody() {
+    ++i_;  // opening '\''
+    while (!Eof()) {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        BlankHere();
+        ++i_;
+        if (src_[i_] == '\n') {
+          ++line_;
+        } else {
+          BlankHere();
+        }
+        ++i_;
+        continue;
+      }
+      if (src_[i_] == '\'') {
+        ++i_;
+        return;
+      }
+      if (src_[i_] == '\n') return;
+      BlankHere();
+      ++i_;
+    }
+  }
+
+  /// pp-number: digits, identifier chars, dots, digit separators, and
+  /// sign characters directly after an exponent letter.
+  void LexNumber() {
+    const std::size_t begin_line = line_;
+    std::string text;
+    while (!Eof()) {
+      const char c = src_[i_];
+      if (IsIdentChar(c) || c == '.') {
+        text.push_back(c);
+        ++i_;
+        SkipSplices();
+        continue;
+      }
+      if (c == '\'' && IsIdentChar(Peek(1))) {  // digit separator
+        text.push_back(c);
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P')) {
+        text.push_back(c);
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), begin_line);
+  }
+
+  void LexPunct() {
+    if (src_[i_] == ':' && Peek(1) == ':') {
+      Emit(TokenKind::kPunct, "::", line_);
+      i_ += 2;
+      return;
+    }
+    if (src_[i_] == '-' && Peek(1) == '>') {
+      Emit(TokenKind::kPunct, "->", line_);
+      i_ += 2;
+      return;
+    }
+    Emit(TokenKind::kPunct, std::string(1, src_[i_]), line_);
+    ++i_;
+  }
+
+  void FinalizeCodeLines() {
+    out_.code_lines.clear();
+    std::string current;
+    for (const char c : blanked_) {
+      if (c == '\n') {
+        out_.code_lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    out_.code_lines.push_back(std::move(current));
+  }
+
+  LexedFile& out_;
+  const std::string& src_;
+  std::string blanked_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  bool at_line_start_ = true;
+  bool in_directive_ = false;
+};
+
+}  // namespace
+
+bool LexedFile::Allows(std::size_t line, std::string_view marker,
+                       std::string_view rule) const {
+  std::string needle;
+  needle.reserve(marker.size() + rule.size() + 2);
+  needle.append(marker).push_back('(');
+  needle.append(rule).push_back(')');
+  for (const Comment& comment : comments) {
+    // The marker suppresses on every line the comment spans and on the line
+    // directly below it (the NOLINTNEXTLINE-style placement, for code lines
+    // with no room for a trailing comment).
+    if (line < comment.line_begin || line > comment.line_end + 1) continue;
+    if (comment.text.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void LexedFile::BuildLineSpans() const {
+  if (!line_spans_.empty()) return;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= content.size(); ++i) {
+    if (i == content.size() || content[i] == '\n') {
+      line_spans_.emplace_back(begin, i - begin);
+      begin = i + 1;
+    }
+  }
+}
+
+std::string_view LexedFile::Line(std::size_t line) const {
+  BuildLineSpans();
+  if (line == 0 || line > line_spans_.size()) return {};
+  const auto [offset, length] = line_spans_[line - 1];
+  return std::string_view(content).substr(offset, length);
+}
+
+LexedFile LexString(std::string path, std::string content) {
+  LexedFile out;
+  out.path = std::move(path);
+  out.content = NormalizeNewlines(content);
+  Lexer lexer(&out);
+  lexer.Run();
+  return out;
+}
+
+bool LexFileFromDisk(const std::string& path, LexedFile* out,
+                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = LexString(path, buffer.str());
+  return true;
+}
+
+}  // namespace copyattack::analyze

@@ -2,7 +2,8 @@
 # End-to-end correctness gate: "clean under check_all" is this repo's
 # definition of green. Runs, in order:
 #
-#   1. the repo-invariant linter (fast fail before any long build)
+#   1. the repo-invariant linter + copyattack-analyze semantic passes
+#      (fast fail before any long build; JSON report → build/reports/)
 #   2. release preset  — -Werror wall, unit + lint suites
 #   3. asan-ubsan preset — full build, unit + lint suites under ASan/UBSan
 #   4. tsan preset     — full build, unit suite AND the `stress` label
@@ -42,12 +43,22 @@ run_preset() {
   ctest --preset "${preset}" -j "${jobs}" "${ctest_args[@]}"
 }
 
-# 1. Lint first: build just the linter in the release tree and run it on
-# src/ so contract violations fail in seconds, not after three builds.
-step "lint"
+# 1. Static analysis first: build just the lint tooling in the release
+# tree and run it on the tree so contract violations fail in seconds, not
+# after three builds. The semantic analyzer (layering, thread-safety
+# annotations, determinism discipline) also archives a machine-readable
+# report under build/reports/ for CI artifact upload.
+step "lint + analyze"
 cmake --preset release >/dev/null
-cmake --build --preset release --parallel "${jobs}" --target lint_copyattack
+cmake --build --preset release --parallel "${jobs}" \
+  --target lint_copyattack copyattack-analyze
 ./build/tools/lint_copyattack src
+mkdir -p build/reports
+./build/tools/analyze/copyattack-analyze --root=. --format=json \
+  > build/reports/analyze_report.json \
+  || { cat build/reports/analyze_report.json >&2; exit 1; }
+./build/tools/analyze/copyattack-analyze --root=.
+echo "analyze report archived at build/reports/analyze_report.json"
 
 # 2. Release wall: everything except the stress label (stress is TSan's
 # job; see below).
@@ -71,7 +82,12 @@ for f in metrics.csv summary.json trace.json; do
     exit 1
   fi
 done
-echo "telemetry smoke OK (metrics.csv, summary.json, trace.json written)"
+# Archive the smoke artifacts next to the static-analysis report so one
+# directory (build/reports/) holds everything CI wants to upload.
+mkdir -p build/reports/telemetry_smoke
+cp "${telemetry_tmp}/telemetry/"{metrics.csv,summary.json,trace.json} \
+  build/reports/telemetry_smoke/
+echo "telemetry smoke OK (artifacts archived at build/reports/telemetry_smoke/)"
 
 if [[ "${quick}" == "1" ]]; then
   step "OK (quick: sanitizer presets skipped)"

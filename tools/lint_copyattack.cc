@@ -28,6 +28,12 @@
 // `file:line: [rule] message`, exit status 1 on any violation — the same
 // contract as a compiler, so it slots into ctest/check_all unchanged.
 //
+// Lexing is delegated to the copyattack-analyze tokenizer
+// (tools/analyze/tokenizer.h): the rules match against its per-line
+// "blanked" view, where comments and string/char-literal interiors —
+// including raw strings and digit separators, which the regex-era stripper
+// misread — are spaces and code is byte-for-byte in place.
+//
 // Self-test: tools/lint_selftest/ seeds one violation per rule; ctest runs
 // the linter over it with WILL_FAIL so a rule that stops firing turns the
 // build red.
@@ -35,10 +41,11 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "analyze/tokenizer.h"
 
 namespace {
 
@@ -85,11 +92,6 @@ bool IsApproved(std::string_view rule, std::string_view path) {
   return false;
 }
 
-bool HasAllowance(std::string_view raw_line, std::string_view rule) {
-  const std::string needle = "lint:allow(" + std::string(rule) + ")";
-  return raw_line.find(needle) != std::string_view::npos;
-}
-
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
@@ -113,53 +115,6 @@ bool ContainsWord(std::string_view code, std::string_view word) {
     if (MatchesWordAt(code, pos, word)) return true;
   }
   return false;
-}
-
-/// Strips comments and string/char literal contents from one line so the
-/// rules match code only. `in_block_comment` carries /* ... */ state across
-/// lines. Literal bodies are blanked (not removed) to keep columns stable.
-std::string StripNonCode(const std::string& line, bool* in_block_comment) {
-  std::string code;
-  code.reserve(line.size());
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (*in_block_comment) {
-      const std::size_t close = line.find("*/", i);
-      if (close == std::string::npos) return code;
-      *in_block_comment = false;
-      i = close + 2;
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      *in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      code.push_back(quote);
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) break;
-        code.push_back(' ');
-        ++i;
-      }
-      if (i < line.size()) {
-        code.push_back(quote);
-        ++i;
-      }
-      continue;
-    }
-    code.push_back(c);
-    ++i;
-  }
-  return code;
 }
 
 bool IsDigit(char c) { return c >= '0' && c <= '9'; }
@@ -205,10 +160,8 @@ bool IsHeaderPath(const fs::path& path) {
 void CheckHeaderGuard(const fs::path& path,
                       const std::vector<std::string>& lines,
                       std::vector<Violation>* violations) {
-  bool in_block_comment = false;
   for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string code = StripNonCode(lines[i], &in_block_comment);
-    std::string_view trimmed(code);
+    std::string_view trimmed(lines[i]);
     while (!trimmed.empty() && (trimmed.front() == ' ' ||
                                 trimmed.front() == '\t')) {
       trimmed.remove_prefix(1);
@@ -225,24 +178,26 @@ void CheckHeaderGuard(const fs::path& path,
 }
 
 void CheckFile(const fs::path& path, std::vector<Violation>* violations) {
-  std::ifstream in(path);
-  if (!in) {
-    violations->push_back({path.string(), 0, "io", "cannot open file"});
+  copyattack::analyze::LexedFile lexed;
+  std::string io_error;
+  if (!copyattack::analyze::LexFileFromDisk(path.string(), &lexed,
+                                            &io_error)) {
+    violations->push_back({path.string(), 0, "io", io_error});
     return;
   }
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
 
-  if (IsHeaderPath(path)) CheckHeaderGuard(path, lines, violations);
+  if (IsHeaderPath(path)) {
+    CheckHeaderGuard(path, lexed.code_lines, violations);
+  }
 
   const std::string path_str = path.generic_string();
-  bool in_block_comment = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& raw = lines[i];
-    const std::string code = StripNonCode(raw, &in_block_comment);
+  for (std::size_t i = 0; i < lexed.code_lines.size(); ++i) {
+    const std::string& code = lexed.code_lines[i];
     const auto report = [&](std::string_view rule, std::string message) {
-      if (IsApproved(rule, path_str) || HasAllowance(raw, rule)) return;
+      if (IsApproved(rule, path_str) || lexed.Allows(i + 1, "lint:allow",
+                                                     rule)) {
+        return;
+      }
       violations->push_back(
           {path_str, i + 1, std::string(rule), std::move(message)});
     };

@@ -35,4 +35,21 @@ inline bool ExactZeroGradientSkip(float gradient) {
   return gradient == 0.0f;  // lint:allow(float-eq): sparsity guard example
 }
 
+// Raw strings are opaque to the tokenizer-backed linter: banned patterns
+// inside them — including the quote-confusing `")` sequence that broke the
+// regex-era stripper — must not fire any rule.
+inline const char* kRawBanner = R"(std::rand() time(nullptr) printf("%d"))";
+inline const char* kRawDelim = R"doc(
+  new int[3]; delete p; value == 1.0; random_device entropy;
+  an embedded quote-paren ") does not end a d-char-seq raw string
+)doc";
+
+// Digit separators are not char literals; the suffix after `'` must not be
+// blanked into invisibility (1'000'000 stays numeric code).
+inline constexpr long kBigCount = 1'000'000L;
+
+// A spliced line comment swallows its continuation line, banned words \
+   included: std::rand() printf new delete time(nullptr)
+inline int AfterSplicedComment() { return 0; }
+
 }  // namespace lint_selftest
