@@ -1,6 +1,7 @@
 #ifndef COPYATTACK_CORE_ATTACK_STRATEGY_H_
 #define COPYATTACK_CORE_ATTACK_STRATEGY_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "core/environment.h"
@@ -32,6 +33,24 @@ class AttackStrategy {
   /// parameters. The campaign runner enables this for the final episode,
   /// whose polluted state is what gets measured. Default: no-op.
   virtual void SetEvalMode(bool eval_mode) { (void)eval_mode; }
+
+  /// Serializes the strategy's cross-episode mutable state (policy
+  /// parameters, reward baseline, ...) for campaign checkpointing
+  /// (core/checkpoint.h). Restoring the blob into a freshly constructed
+  /// strategy — after `BeginTargetItem` on the same item — must resume the
+  /// exact learning trajectory. Stateless baselines keep the default
+  /// no-op. Returns false on I/O failure.
+  virtual bool SaveState(std::ostream& out) {
+    (void)out;
+    return true;
+  }
+
+  /// Restores what `SaveState` wrote. Returns false on I/O failure or an
+  /// architecture mismatch.
+  virtual bool LoadState(std::istream& in) {
+    (void)in;
+    return true;
+  }
 };
 
 }  // namespace copyattack::core

@@ -1,0 +1,293 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace copyattack::core {
+namespace {
+
+// Primitive payload codec. Everything is explicit-width little-endian on
+// the platforms this repo targets; floats/doubles are raw IEEE-754 bytes
+// (bit-exact round trips are the whole point of the checkpoint).
+
+void WriteU8(std::ostream& out, std::uint8_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU32(std::ostream& out, std::uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteDouble(std::ostream& out, double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteString(std::ostream& out, const std::string& value) {
+  WriteU64(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+bool ReadU8(std::istream& in, std::uint8_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+bool ReadU32(std::istream& in, std::uint32_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+bool ReadU64(std::istream& in, std::uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+bool ReadDouble(std::istream& in, double* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+bool ReadString(std::istream& in, std::string* value) {
+  std::uint64_t size = 0;
+  if (!ReadU64(in, &size)) return false;
+  // Bound string sizes: a corrupted length must not drive a giant
+  // allocation before the CRC would have caught it (the CRC runs first,
+  // but keep the decoder independently robust).
+  if (size > (1ULL << 32)) return false;
+  value->assign(static_cast<std::size_t>(size), '\0');
+  in.read(value->data(), static_cast<std::streamsize>(size));
+  return static_cast<bool>(in);
+}
+
+void WriteRngState(std::ostream& out, const util::RngState& state) {
+  for (const std::uint64_t word : state.words) WriteU64(out, word);
+  WriteU8(out, state.has_cached_normal ? 1 : 0);
+  WriteDouble(out, state.cached_normal);
+}
+
+bool ReadRngState(std::istream& in, util::RngState* state) {
+  for (std::uint64_t& word : state->words) {
+    if (!ReadU64(in, &word)) return false;
+  }
+  std::uint8_t cached = 0;
+  if (!ReadU8(in, &cached)) return false;
+  state->has_cached_normal = cached != 0;
+  return ReadDouble(in, &state->cached_normal);
+}
+
+void WriteMetrics(std::ostream& out, const rec::MetricsByK& metrics) {
+  WriteU64(out, metrics.size());
+  for (const auto& [k, m] : metrics) {
+    WriteU64(out, k);
+    WriteDouble(out, m.hr);
+    WriteDouble(out, m.ndcg);
+    WriteU64(out, m.count);
+  }
+}
+
+bool ReadMetrics(std::istream& in, rec::MetricsByK* metrics) {
+  std::uint64_t size = 0;
+  if (!ReadU64(in, &size)) return false;
+  metrics->clear();
+  for (std::uint64_t i = 0; i < size; ++i) {
+    std::uint64_t k = 0, count = 0;
+    rec::TopKMetrics m;
+    if (!ReadU64(in, &k) || !ReadDouble(in, &m.hr) ||
+        !ReadDouble(in, &m.ndcg) || !ReadU64(in, &count)) {
+      return false;
+    }
+    m.count = static_cast<std::size_t>(count);
+    (*metrics)[static_cast<std::size_t>(k)] = m;
+  }
+  return true;
+}
+
+void WriteOutcome(std::ostream& out, const TargetOutcomeState& outcome) {
+  WriteMetrics(out, outcome.metrics);
+  WriteDouble(out, outcome.items_per_profile);
+  WriteDouble(out, outcome.profiles_injected);
+  WriteDouble(out, outcome.query_rounds);
+  WriteDouble(out, outcome.final_reward);
+}
+
+bool ReadOutcome(std::istream& in, TargetOutcomeState* outcome) {
+  return ReadMetrics(in, &outcome->metrics) &&
+         ReadDouble(in, &outcome->items_per_profile) &&
+         ReadDouble(in, &outcome->profiles_injected) &&
+         ReadDouble(in, &outcome->query_rounds) &&
+         ReadDouble(in, &outcome->final_reward);
+}
+
+std::string SerializePayload(const CampaignCheckpoint& checkpoint) {
+  std::ostringstream out(std::ios::binary);
+  WriteString(out, checkpoint.fingerprint.method);
+  WriteU64(out, checkpoint.fingerprint.seed);
+  WriteU64(out, checkpoint.fingerprint.episodes);
+  WriteU64(out, checkpoint.fingerprint.num_targets);
+  WriteU64(out, checkpoint.fingerprint.env_budget);
+
+  WriteU64(out, checkpoint.completed.size());
+  for (const TargetOutcomeState& outcome : checkpoint.completed) {
+    WriteOutcome(out, outcome);
+  }
+
+  const InProgressTarget& progress = checkpoint.in_progress;
+  WriteU8(out, progress.active ? 1 : 0);
+  if (progress.active) {
+    WriteU64(out, progress.target_index);
+    WriteU64(out, progress.episodes_done);
+    WriteRngState(out, progress.episode_rng);
+    WriteU64(out, progress.env.lifetime_queries);
+    WriteU64(out, progress.env.episodes_begun);
+    WriteU64(out, progress.env.proxy_reward_fallbacks);
+    WriteRngState(out, progress.env.refit_rng);
+    WriteString(out, progress.strategy_blob);
+  }
+  return out.str();
+}
+
+bool DeserializePayload(const std::string& payload,
+                        CampaignCheckpoint* checkpoint) {
+  std::istringstream in(payload, std::ios::binary);
+  std::uint64_t seed = 0, episodes = 0, num_targets = 0, env_budget = 0;
+  if (!ReadString(in, &checkpoint->fingerprint.method) ||
+      !ReadU64(in, &seed) || !ReadU64(in, &episodes) ||
+      !ReadU64(in, &num_targets) || !ReadU64(in, &env_budget)) {
+    return false;
+  }
+  checkpoint->fingerprint.seed = seed;
+  checkpoint->fingerprint.episodes = static_cast<std::size_t>(episodes);
+  checkpoint->fingerprint.num_targets =
+      static_cast<std::size_t>(num_targets);
+  checkpoint->fingerprint.env_budget = static_cast<std::size_t>(env_budget);
+
+  std::uint64_t completed = 0;
+  if (!ReadU64(in, &completed)) return false;
+  if (completed > checkpoint->fingerprint.num_targets) return false;
+  checkpoint->completed.assign(static_cast<std::size_t>(completed),
+                               TargetOutcomeState{});
+  for (TargetOutcomeState& outcome : checkpoint->completed) {
+    if (!ReadOutcome(in, &outcome)) return false;
+  }
+
+  std::uint8_t active = 0;
+  if (!ReadU8(in, &active)) return false;
+  InProgressTarget& progress = checkpoint->in_progress;
+  progress = InProgressTarget{};
+  progress.active = active != 0;
+  if (progress.active) {
+    std::uint64_t target_index = 0, episodes_done = 0;
+    std::uint64_t lifetime_queries = 0, episodes_begun = 0, fallbacks = 0;
+    if (!ReadU64(in, &target_index) || !ReadU64(in, &episodes_done) ||
+        !ReadRngState(in, &progress.episode_rng) ||
+        !ReadU64(in, &lifetime_queries) || !ReadU64(in, &episodes_begun) ||
+        !ReadU64(in, &fallbacks) ||
+        !ReadRngState(in, &progress.env.refit_rng) ||
+        !ReadString(in, &progress.strategy_blob)) {
+      return false;
+    }
+    progress.target_index = static_cast<std::size_t>(target_index);
+    progress.episodes_done = static_cast<std::size_t>(episodes_done);
+    progress.env.lifetime_queries =
+        static_cast<std::size_t>(lifetime_queries);
+    progress.env.episodes_begun = static_cast<std::size_t>(episodes_begun);
+    progress.env.proxy_reward_fallbacks =
+        static_cast<std::size_t>(fallbacks);
+  }
+  return true;
+}
+
+/// Reads and fully validates one checkpoint file. Returns false on any
+/// defect: unreadable, truncated header, wrong magic/version, payload
+/// shorter than declared, CRC mismatch, undecodable payload, or a
+/// fingerprint that does not match `expected`.
+bool LoadOneFile(const std::string& path,
+                 const CampaignFingerprint& expected,
+                 CampaignCheckpoint* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t magic = 0, version = 0, crc = 0;
+  std::uint64_t payload_size = 0;
+  if (!ReadU32(in, &magic) || magic != kCheckpointMagic) return false;
+  if (!ReadU32(in, &version) || version != kCheckpointVersion) return false;
+  if (!ReadU64(in, &payload_size)) return false;
+  if (!ReadU32(in, &crc)) return false;
+  if (payload_size > (1ULL << 36)) return false;  // implausible size
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (!in) return false;  // torn write: payload shorter than declared
+  if (util::Crc32(payload) != crc) return false;
+  CampaignCheckpoint decoded;
+  if (!DeserializePayload(payload, &decoded)) return false;
+  if (!decoded.fingerprint.Matches(expected)) return false;
+  *out = std::move(decoded);
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "campaign.ckpt").string();
+}
+
+std::string CheckpointFallbackPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "campaign.ckpt.prev").string();
+}
+
+bool SaveCampaignCheckpoint(const CampaignCheckpoint& checkpoint,
+                            const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+
+  const std::string payload = SerializePayload(checkpoint);
+  const std::string path = CheckpointPath(dir);
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    WriteU32(out, kCheckpointMagic);
+    WriteU32(out, kCheckpointVersion);
+    WriteU64(out, payload.size());
+    WriteU32(out, util::Crc32(payload));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out) return false;
+    out.flush();
+    if (!out) return false;
+  }
+  // Rotate: the current checkpoint becomes the fallback, then the temp
+  // file lands as the new current. Both renames are atomic within a
+  // filesystem, so a crash leaves either (old, old-prev) or (new, old) —
+  // never a half-written primary.
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, CheckpointFallbackPath(dir), ec);
+    if (ec) return false;
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  return !ec;
+}
+
+CheckpointSource LoadCampaignCheckpoint(const std::string& dir,
+                                        const CampaignFingerprint& expected,
+                                        CampaignCheckpoint* out) {
+  if (LoadOneFile(CheckpointPath(dir), expected, out)) {
+    return CheckpointSource::kPrimary;
+  }
+  if (LoadOneFile(CheckpointFallbackPath(dir), expected, out)) {
+    CA_LOG(Warning) << "checkpoint: primary " << CheckpointPath(dir)
+                    << " invalid or missing; resumed from fallback";
+    return CheckpointSource::kFallback;
+  }
+  return CheckpointSource::kNone;
+}
+
+}  // namespace copyattack::core

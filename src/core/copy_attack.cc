@@ -1,6 +1,8 @@
 #include "core/copy_attack.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "core/crafting.h"
 #include "core/proxy.h"
@@ -204,6 +206,34 @@ bool CopyAttack::LoadCheckpoint(const std::string& path) {
   nn::ParameterList params = selection_->AllParameters();
   nn::AppendParameters(params, crafting_->Parameters());
   return nn::LoadParameters(params, path);
+}
+
+bool CopyAttack::SaveState(std::ostream& out) {
+  nn::ParameterList params = selection_->AllParameters();
+  nn::AppendParameters(params, crafting_->Parameters());
+  if (!nn::SaveParameters(params, out)) return false;
+  const nn::MovingBaseline::State baseline = baseline_.SaveState();
+  out.write(reinterpret_cast<const char*>(&baseline.value),
+            sizeof(baseline.value));
+  const std::uint8_t initialized = baseline.initialized ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&initialized),
+            sizeof(initialized));
+  return static_cast<bool>(out);
+}
+
+bool CopyAttack::LoadState(std::istream& in) {
+  nn::ParameterList params = selection_->AllParameters();
+  nn::AppendParameters(params, crafting_->Parameters());
+  if (!nn::LoadParameters(params, in)) return false;
+  nn::MovingBaseline::State baseline;
+  std::uint8_t initialized = 0;
+  in.read(reinterpret_cast<char*>(&baseline.value),
+          sizeof(baseline.value));
+  in.read(reinterpret_cast<char*>(&initialized), sizeof(initialized));
+  if (!in) return false;
+  baseline.initialized = initialized != 0;
+  baseline_.RestoreState(baseline);
+  return true;
 }
 
 void CopyAttack::UpdatePolicies(

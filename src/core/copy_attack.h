@@ -105,6 +105,11 @@ class CopyAttack final : public AttackStrategy {
   /// on I/O failure or architecture mismatch.
   bool LoadCheckpoint(const std::string& path);
 
+  /// Full cross-episode state (both policies' parameters + the moving
+  /// reward baseline) for campaign checkpointing.
+  bool SaveState(std::ostream& out) override;
+  bool LoadState(std::istream& in) override;
+
  private:
   /// One trajectory step: the (optional) selection decision, the
   /// (optional) crafting decision, and the observed reward.

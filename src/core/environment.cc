@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/proxy.h"
 #include "math/metrics.h"
 
 #include "obs/obs.h"
@@ -108,6 +109,31 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
   }
   black_box_ =
       std::make_unique<rec::BlackBoxRecommender>(model_, polluted_.get());
+  // Layer the fault stack over the fresh oracle. Each episode gets its own
+  // decorators with per-episode-derived seeds: the fault and jitter
+  // streams depend only on (configured seed, episode index), never on how
+  // many draws last episode consumed — which is what makes checkpointed
+  // resume bit-exact (a resumed environment restores `episodes_begun_`).
+  oracle_ = black_box_.get();
+  fault_injector_.reset();
+  resilient_.reset();
+  const std::uint64_t episode_index = episodes_begun_++;
+  if (config_.fault.enabled) {
+    fault::FaultScheduleConfig schedule = config_.fault;
+    schedule.seed =
+        config_.fault.seed ^ (0x9E3779B97F4A7C15ULL * (episode_index + 1));
+    fault_injector_ =
+        std::make_unique<fault::FaultInjector>(oracle_, schedule);
+    oracle_ = fault_injector_.get();
+  }
+  if (config_.resilience.enabled) {
+    fault::ResilienceConfig resilience = config_.resilience;
+    resilience.seed = config_.resilience.seed ^
+                      (0xD1B54A32D192ED03ULL * (episode_index + 1));
+    resilient_ =
+        std::make_unique<fault::ResilientBlackBox>(oracle_, resilience);
+    oracle_ = resilient_.get();
+  }
 }
 
 double AttackEnvironment::QueryReward() {
@@ -116,6 +142,19 @@ double AttackEnvironment::QueryReward() {
 }
 
 double AttackEnvironment::RawHitRatio() {
+  double measured = 0.0;
+  if (TryRawHitRatio(&measured)) return measured;
+  // Graceful degradation (ISSUE 5): the resilience client gave up on the
+  // oracle — reward the episode from the attacker's proxy view instead of
+  // aborting a multi-hour campaign.
+  ++proxy_reward_fallbacks_;
+  OBS_COUNTER_INC("env.proxy_reward_fallback");
+  return EstimateRewardWithoutQueries(*polluted_, target_item_,
+                                      config_.reward_k,
+                                      config_.query_candidates);
+}
+
+bool AttackEnvironment::TryRawHitRatio(double* out) {
   OBS_SPAN("env.query_round");
   OBS_SCOPED_TIMER_US("env.query_round_us");
   CA_CHECK(black_box_ != nullptr) << "Reset must be called first";
@@ -126,6 +165,7 @@ double AttackEnvironment::RawHitRatio() {
     }
     model_->BeginServing(*polluted_);
   }
+  ++lifetime_queries_;  // one query round (attempted rounds count too)
   double total = 0.0;
   for (std::size_t i = 0; i < pretend_user_ids_.size(); ++i) {
     std::vector<data::ItemId> candidates;
@@ -133,20 +173,26 @@ double AttackEnvironment::RawHitRatio() {
     candidates.push_back(target_item_);
     candidates.insert(candidates.end(), query_negatives_[i].begin(),
                       query_negatives_[i].end());
-    const std::vector<data::ItemId> top = black_box_->QueryTopK(
+    const rec::QueryResult response = oracle_->Query(
         pretend_user_ids_[i], candidates, config_.reward_k);
-    const auto it = std::find(top.begin(), top.end(), target_item_);
-    if (it == top.end()) continue;
+    if (response.status == rec::BlackBoxStatus::kUnavailable) {
+      // Retries exhausted or breaker open: the whole round is lost.
+      return false;
+    }
+    if (!response.ok()) continue;  // individual failure = miss
+    const auto it = std::find(response.items.begin(), response.items.end(),
+                              target_item_);
+    if (it == response.items.end()) continue;
     if (config_.reward_metric == RewardMetric::kNdcg) {
       const std::size_t rank =
-          static_cast<std::size_t>(it - top.begin());
+          static_cast<std::size_t>(it - response.items.begin());
       total += math::NdcgAtK(rank, config_.reward_k);
     } else {
       total += 1.0;
     }
   }
-  ++lifetime_queries_;  // one query round
-  return total / static_cast<double>(pretend_user_ids_.size());
+  *out = total / static_cast<double>(pretend_user_ids_.size());
+  return true;
 }
 
 AttackEnvironment::StepResult AttackEnvironment::Step(
@@ -160,7 +206,14 @@ AttackEnvironment::StepResult AttackEnvironment::Step(
   {
     OBS_SPAN("env.inject");
     OBS_SCOPED_TIMER_US("env.inject_us");
-    black_box_->InjectUser(std::move(crafted_profile));
+    const rec::InjectResult injected =
+        oracle_->Inject(std::move(crafted_profile));
+    if (!injected.ok()) {
+      // The profile never landed (transient fault after retries, breaker
+      // open, ...). The action still consumed a step of budget — an
+      // attacker cannot un-spend a failed API call.
+      OBS_COUNTER_INC("env.inject_failed");
+    }
   }
   ++steps_;
 
@@ -186,14 +239,30 @@ AttackEnvironment::StepResult AttackEnvironment::Step(
   return result;
 }
 
-rec::BlackBoxRecommender& AttackEnvironment::black_box() {
-  CA_CHECK(black_box_ != nullptr);
-  return *black_box_;
+rec::BlackBoxInterface& AttackEnvironment::black_box() {
+  CA_CHECK(oracle_ != nullptr);
+  return *oracle_;
 }
 
-const rec::BlackBoxRecommender& AttackEnvironment::black_box() const {
-  CA_CHECK(black_box_ != nullptr);
-  return *black_box_;
+const rec::BlackBoxInterface& AttackEnvironment::black_box() const {
+  CA_CHECK(oracle_ != nullptr);
+  return *oracle_;
+}
+
+AttackEnvironment::ResumeState AttackEnvironment::SaveResumeState() const {
+  ResumeState state;
+  state.lifetime_queries = lifetime_queries_;
+  state.episodes_begun = episodes_begun_;
+  state.proxy_reward_fallbacks = proxy_reward_fallbacks_;
+  state.refit_rng = refit_rng_.SaveState();
+  return state;
+}
+
+void AttackEnvironment::RestoreResumeState(const ResumeState& state) {
+  lifetime_queries_ = state.lifetime_queries;
+  episodes_begun_ = state.episodes_begun;
+  proxy_reward_fallbacks_ = state.proxy_reward_fallbacks;
+  refit_rng_.RestoreState(state.refit_rng);
 }
 
 rec::MetricsByK AttackEnvironment::EvaluateRealPromotion(

@@ -7,6 +7,8 @@
 
 #include "data/cross_domain.h"
 #include "data/dataset.h"
+#include "fault/fault_injector.h"
+#include "fault/resilient_black_box.h"
 #include "rec/black_box.h"
 #include "rec/evaluator.h"
 #include "rec/recommender.h"
@@ -63,6 +65,12 @@ struct EnvConfig {
   std::size_t refit_epochs = 1;
   /// Seed for pretend-user generation and query candidate sampling.
   std::uint64_t seed = 1234;
+  /// Simulated-fault schedule for the black-box oracle (off by default;
+  /// when enabled the oracle stack is BlackBoxRecommender ← FaultInjector
+  /// [← ResilientBlackBox]).
+  fault::FaultScheduleConfig fault;
+  /// Client-side retry/backoff/circuit-breaker policy (off by default).
+  fault::ResilienceConfig resilience;
 };
 
 /// The MDP the attacker interacts with (paper §4.2): states are the
@@ -99,25 +107,65 @@ class AttackEnvironment {
   StepResult Step(data::Profile crafted_profile);
 
   /// Performs a query round immediately and returns the goal-adjusted
-  /// reward: HR@k for promotion, 1 - HR@k for demotion.
+  /// reward: HR@k for promotion, 1 - HR@k for demotion. When the oracle is
+  /// unavailable (resilience client gave up / breaker open) the round
+  /// degrades to the proxy reward estimate instead of aborting (see
+  /// `proxy_reward_fallbacks()`).
   double QueryReward();
 
   /// Raw ranking measure (HR@k or NDCG@k per `reward_metric`) of the
   /// target item over the pretend users at this instant (one query round;
-  /// counts toward the query meter).
+  /// counts toward the query meter). Degrades like `QueryReward`.
   double RawHitRatio();
+
+  /// Attempts one real query round. Returns false — leaving `*out`
+  /// untouched — if the oracle reported kUnavailable mid-round; individual
+  /// non-ok queries short of that merely count as misses.
+  bool TryRawHitRatio(double* out);
 
   bool done() const { return done_; }
   data::ItemId target_item() const { return target_item_; }
   std::size_t steps_taken() const { return steps_; }
   const EnvConfig& config() const { return config_; }
 
-  /// The black-box interface (valid after the first `Reset`).
-  rec::BlackBoxRecommender& black_box();
-  const rec::BlackBoxRecommender& black_box() const;
+  /// The black-box oracle the attacker talks to — the outermost layer of
+  /// the fault stack (valid after the first `Reset`). Without faults this
+  /// is the plain `BlackBoxRecommender`.
+  rec::BlackBoxInterface& black_box();
+  const rec::BlackBoxInterface& black_box() const;
+
+  /// The fault decorator, or nullptr when no schedule is enabled.
+  const fault::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
+  /// The resilience client, or nullptr when disabled.
+  const fault::ResilientBlackBox* resilient() const {
+    return resilient_.get();
+  }
 
   /// Total Top-k queries issued across all episodes since construction.
   std::size_t lifetime_queries() const { return lifetime_queries_; }
+
+  /// Query rounds that degraded to the proxy reward estimate because the
+  /// oracle was unavailable.
+  std::size_t proxy_reward_fallbacks() const {
+    return proxy_reward_fallbacks_;
+  }
+
+  /// Episodes started (Reset calls) since construction; also the index
+  /// that derives each episode's fault/resilience seeds.
+  std::size_t episodes_begun() const { return episodes_begun_; }
+
+  /// Cross-episode mutable state a campaign checkpoint must capture so a
+  /// resumed environment continues bit-exactly (core/checkpoint.h).
+  struct ResumeState {
+    std::size_t lifetime_queries = 0;
+    std::size_t episodes_begun = 0;
+    std::size_t proxy_reward_fallbacks = 0;
+    util::RngState refit_rng;
+  };
+  ResumeState SaveResumeState() const;
+  void RestoreResumeState(const ResumeState& state);
 
   /// Number of Resets served by the snapshot/rollback fast path (as
   /// opposed to a full rebuild). Exposed for tests and perf tooling to
@@ -164,6 +212,11 @@ class AttackEnvironment {
   /// were taken for; kNoItem when the slow reset path must run.
   data::ItemId checkpointed_target_ = data::kNoItem;
   std::unique_ptr<rec::BlackBoxRecommender> black_box_;
+  /// Fault stack layered over `black_box_` when configured; `oracle_`
+  /// always points at the outermost layer the attacker should use.
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<fault::ResilientBlackBox> resilient_;
+  rec::BlackBoxInterface* oracle_ = nullptr;
 
   data::ItemId target_item_ = data::kNoItem;
   std::size_t steps_ = 0;
@@ -171,6 +224,8 @@ class AttackEnvironment {
   bool done_ = true;
   std::size_t lifetime_queries_ = 0;
   std::size_t fast_resets_ = 0;
+  std::size_t episodes_begun_ = 0;
+  std::size_t proxy_reward_fallbacks_ = 0;
   util::Rng refit_rng_;
 };
 

@@ -1,9 +1,13 @@
 #include "core/flat_policy.h"
 
+#include <istream>
+#include <ostream>
+
 #include "core/crafting.h"
 #include "math/sampling.h"
 #include "math/vector_ops.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "util/check.h"
 
 namespace copyattack::core {
@@ -186,6 +190,36 @@ void FlatPolicyNetwork::UpdatePolicies(
   nn::Sgd optimizer(config_.learning_rate, config_.clip_norm);
   optimizer.Step(params);
   crafting_->ApplyUpdates(config_.learning_rate, config_.clip_norm);
+}
+
+bool FlatPolicyNetwork::SaveState(std::ostream& out) {
+  nn::ParameterList params = mlp_->Parameters();
+  nn::AppendParameters(params, rnn_->Parameters());
+  nn::AppendParameters(params, crafting_->Parameters());
+  if (!nn::SaveParameters(params, out)) return false;
+  const nn::MovingBaseline::State baseline = baseline_.SaveState();
+  out.write(reinterpret_cast<const char*>(&baseline.value),
+            sizeof(baseline.value));
+  const std::uint8_t initialized = baseline.initialized ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&initialized),
+            sizeof(initialized));
+  return static_cast<bool>(out);
+}
+
+bool FlatPolicyNetwork::LoadState(std::istream& in) {
+  nn::ParameterList params = mlp_->Parameters();
+  nn::AppendParameters(params, rnn_->Parameters());
+  nn::AppendParameters(params, crafting_->Parameters());
+  if (!nn::LoadParameters(params, in)) return false;
+  nn::MovingBaseline::State baseline;
+  std::uint8_t initialized = 0;
+  in.read(reinterpret_cast<char*>(&baseline.value),
+          sizeof(baseline.value));
+  in.read(reinterpret_cast<char*>(&initialized), sizeof(initialized));
+  if (!in) return false;
+  baseline.initialized = initialized != 0;
+  baseline_.RestoreState(baseline);
+  return true;
 }
 
 std::size_t FlatPolicyNetwork::DecisionCost() const {

@@ -54,6 +54,11 @@ class FlatPolicyNetwork final : public AttackStrategy {
   /// policy-scaling bench.
   std::size_t DecisionCost() const;
 
+  /// Full cross-episode state (network parameters + the moving reward
+  /// baseline) for campaign checkpointing.
+  bool SaveState(std::ostream& out) override;
+  bool LoadState(std::istream& in) override;
+
  private:
   struct StepRecord {
     std::vector<data::UserId> selected_prefix;

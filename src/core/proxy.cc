@@ -42,6 +42,24 @@ data::ItemId FindProxyItem(const data::CrossDomainDataset& dataset,
   return best;
 }
 
+double EstimateRewardWithoutQueries(const data::Dataset& polluted,
+                                    data::ItemId target_item,
+                                    std::size_t reward_k,
+                                    std::size_t num_candidates) {
+  if (target_item >= polluted.num_items()) return 0.0;
+  const double target_pop =
+      static_cast<double>(polluted.ItemPopularity(target_item));
+  const double mean_pop =
+      polluted.num_items() == 0
+          ? 0.0
+          : static_cast<double>(polluted.num_interactions()) /
+                static_cast<double>(polluted.num_items());
+  const double estimate =
+      target_pop * static_cast<double>(reward_k) /
+      ((mean_pop + 1.0) * (static_cast<double>(num_candidates) + 1.0));
+  return std::min(1.0, estimate);
+}
+
 data::Profile SpliceTargetIntoProfile(data::Profile window,
                                       data::ItemId anchor_item,
                                       data::ItemId target_item) {

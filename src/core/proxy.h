@@ -25,6 +25,24 @@ data::ItemId FindProxyItem(const data::CrossDomainDataset& dataset,
                            const data::Dataset& reference,
                            data::ItemId target_item);
 
+/// Query-free reward estimate from the attacker's proxy view of the
+/// target platform: with no oracle available (circuit breaker open, see
+/// fault/resilient_black_box.h), the environment degrades to this
+/// popularity-share estimate of HR@k instead of aborting the episode.
+///
+/// Model: a pretend user's candidate list holds the target plus
+/// `num_candidates` sampled items; under a popularity-biased ranker the
+/// chance the target makes the Top-k grows with the target's share of
+/// interaction mass in the (polluted) dataset. The estimate is
+///   min(1, pop(target) * k / ((mean_pop + 1) * (num_candidates + 1)))
+/// — crude, but monotone in exactly the quantity each injection moves
+/// (the target's popularity), which is what REINFORCE needs from a
+/// degraded-mode reward signal.
+double EstimateRewardWithoutQueries(const data::Dataset& polluted,
+                                    data::ItemId target_item,
+                                    std::size_t reward_k,
+                                    std::size_t num_candidates);
+
 /// Inserts `target_item` into `window` immediately after the first
 /// occurrence of `anchor_item` (or appends if the anchor is absent). If the
 /// window already contains the target, it is returned unchanged.

@@ -33,14 +33,10 @@ SourceArtifacts PrepareSourceArtifacts(
 
 namespace {
 
-/// Per-target-item outcome, merged into the campaign aggregate.
-struct ItemOutcome {
-  rec::MetricsByK metrics;
-  double items_per_profile = 0.0;
-  double profiles_injected = 0.0;
-  double query_rounds = 0.0;
-  double final_reward = 0.0;
-};
+/// Per-target-item outcome, merged into the campaign aggregate. Aliases
+/// the serializable checkpoint type so crash recovery cannot drift from
+/// what the runner aggregates.
+using ItemOutcome = TargetOutcomeState;
 
 void MergeOutcomes(const std::vector<ItemOutcome>& outcomes,
                    const std::vector<std::size_t>& ks,
@@ -75,6 +71,178 @@ void MergeOutcomes(const std::vector<ItemOutcome>& outcomes,
   result->avg_profiles_injected /= n;
   result->avg_query_rounds /= n;
   result->avg_final_reward /= n;
+}
+
+/// Extracts the per-item outcome from a finished attack environment.
+ItemOutcome CollectOutcome(const AttackEnvironment& env,
+                           double final_reward,
+                           const CampaignConfig& config) {
+  ItemOutcome outcome;
+  outcome.final_reward = final_reward;
+  const rec::BlackBoxInterface& bb = env.black_box();
+  outcome.profiles_injected = static_cast<double>(bb.injected_profiles());
+  outcome.items_per_profile =
+      bb.injected_profiles() > 0
+          ? static_cast<double>(bb.injected_interactions()) /
+                static_cast<double>(bb.injected_profiles())
+          : 0.0;
+  outcome.query_rounds = static_cast<double>(env.lifetime_queries());
+  outcome.metrics = env.EvaluateRealPromotion(
+      config.eval_ks, config.eval_users, config.eval_negatives);
+  return outcome;
+}
+
+/// The crash-safe sequential campaign (checkpoint.dir set). Plays target
+/// items in order, persisting a checkpoint after every completed target
+/// and every `every_episodes` episodes within one; with `resume` it first
+/// reloads the freshest valid checkpoint. Episode-for-episode it performs
+/// exactly the operations of the parallel path with num_threads = 1, so
+/// outcomes are bit-identical to an uncheckpointed single-threaded run.
+CampaignResult RunCampaignCheckpointed(
+    const data::CrossDomainDataset& dataset,
+    const data::Dataset& target_train, const ModelFactory& model_factory,
+    const StrategyFactory& strategy_factory,
+    const std::vector<data::ItemId>& targets,
+    const CampaignConfig& config) {
+  CA_CHECK(!config.env.refit_on_query)
+      << "checkpointed campaigns require refit_on_query = false: the "
+         "refit target model's weights are not captured by the checkpoint";
+  CA_CHECK_GT(config.checkpoint.every_episodes, 0U);
+  OBS_SPAN("campaign.run_checkpointed");
+  OBS_COUNTER_INC("campaign.runs");
+  obs::Stopwatch watch;
+  CampaignResult result;
+
+  CampaignCheckpoint state;
+  // The fingerprint needs the method name before any target runs; probe
+  // a throwaway strategy for it (construction is cheap and stateless
+  // across instances).
+  state.fingerprint.method = strategy_factory(config.seed)->name();
+  state.fingerprint.seed = config.seed;
+  state.fingerprint.episodes = config.episodes;
+  state.fingerprint.num_targets = targets.size();
+  state.fingerprint.env_budget = config.env.budget;
+  result.method = state.fingerprint.method;
+
+  std::size_t start_index = 0;
+  InProgressTarget resume_progress;
+  if (config.checkpoint.resume) {
+    CampaignCheckpoint loaded;
+    const CheckpointSource source = LoadCampaignCheckpoint(
+        config.checkpoint.dir, state.fingerprint, &loaded);
+    if (source != CheckpointSource::kNone) {
+      result.resumed_from = source;
+      OBS_COUNTER_INC("campaign.resumes");
+      state.completed = std::move(loaded.completed);
+      start_index = state.completed.size();
+      if (loaded.in_progress.active) {
+        CA_CHECK_EQ(loaded.in_progress.target_index, start_index);
+        resume_progress = loaded.in_progress;
+      }
+      CA_LOG(Info) << "campaign: resumed (" << start_index << "/"
+                   << targets.size() << " targets done"
+                   << (resume_progress.active
+                           ? ", mid-target checkpoint present"
+                           : "")
+                   << ")";
+    }
+  }
+
+  const auto save = [&] {
+    if (SaveCampaignCheckpoint(state, config.checkpoint.dir)) {
+      ++result.checkpoint_saves;
+      OBS_COUNTER_INC("campaign.checkpoint_saves");
+    } else {
+      // A failed save must not kill the campaign it exists to protect;
+      // log and keep going on the previous good checkpoint.
+      CA_LOG(Warning) << "campaign: checkpoint save failed under "
+                      << config.checkpoint.dir;
+    }
+  };
+
+  std::size_t episodes_played = 0;
+  for (std::size_t index = start_index; index < targets.size(); ++index) {
+    OBS_SPAN("campaign.target_item");
+    OBS_COUNTER_INC("campaign.target_items");
+    const data::ItemId item = targets[index];
+    const std::uint64_t item_seed = config.seed + 1000003ULL * index;
+    std::unique_ptr<rec::Recommender> model = model_factory();
+    std::unique_ptr<AttackStrategy> strategy = strategy_factory(item_seed);
+
+    EnvConfig env_config = config.env;
+    env_config.seed = item_seed;
+    AttackEnvironment env(dataset, target_train, model.get(), env_config);
+
+    strategy->BeginTargetItem(item);
+    util::Rng episode_rng(item_seed ^ 0xBEEFCAFEULL);
+    std::size_t first_episode = 0;
+    if (resume_progress.active && index == start_index) {
+      // Mid-target resume: restore the strategy's learned state, the
+      // episode RNG stream, and the environment's cross-episode state,
+      // then continue with the next unplayed episode.
+      std::istringstream blob(resume_progress.strategy_blob,
+                              std::ios::binary);
+      CA_CHECK(strategy->LoadState(blob))
+          << "checkpointed strategy state does not fit the configured "
+             "architecture";
+      episode_rng.RestoreState(resume_progress.episode_rng);
+      env.RestoreResumeState(resume_progress.env);
+      first_episode = resume_progress.episodes_done;
+    }
+
+    double final_reward = 0.0;
+    for (std::size_t episode = first_episode; episode < config.episodes;
+         ++episode) {
+      if (episode + 1 == config.episodes) {
+        strategy->SetEvalMode(true);
+      }
+      env.Reset(item);
+      final_reward = strategy->RunEpisode(env, episode_rng);
+      ++episodes_played;
+
+      const bool last_episode = episode + 1 == config.episodes;
+      if (!last_episode &&
+          (episode + 1) % config.checkpoint.every_episodes == 0) {
+        state.in_progress.active = true;
+        state.in_progress.target_index = index;
+        state.in_progress.episodes_done = episode + 1;
+        state.in_progress.episode_rng = episode_rng.SaveState();
+        state.in_progress.env = env.SaveResumeState();
+        std::ostringstream blob(std::ios::binary);
+        if (strategy->SaveState(blob)) {
+          state.in_progress.strategy_blob = blob.str();
+          save();
+        } else {
+          CA_LOG(Warning) << "campaign: strategy state serialization "
+                             "failed; skipping mid-target checkpoint";
+          state.in_progress = InProgressTarget{};
+        }
+      }
+      if (config.checkpoint.abort_after_episodes > 0 &&
+          episodes_played >= config.checkpoint.abort_after_episodes) {
+        // Simulated crash (tests): stop dead without finishing the
+        // target. Whatever checkpoint was last written is what a real
+        // restart would find.
+        result.aborted = true;
+        MergeOutcomes(state.completed, config.eval_ks, &result);
+        result.wall_seconds = watch.ElapsedSeconds();
+        return result;
+      }
+    }
+
+    state.completed.push_back(CollectOutcome(env, final_reward, config));
+    state.in_progress = InProgressTarget{};
+    resume_progress = InProgressTarget{};
+    save();
+  }
+
+  MergeOutcomes(state.completed, config.eval_ks, &result);
+  result.wall_seconds = watch.ElapsedSeconds();
+  CA_LOG(Info) << result.method << " (checkpointed): "
+               << util::FormatDouble(result.wall_seconds, 1) << "s over "
+               << targets.size() << " target items, "
+               << result.checkpoint_saves << " checkpoint saves";
+  return result;
 }
 
 }  // namespace
@@ -118,6 +286,12 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
                            const std::vector<data::ItemId>& targets,
                            const CampaignConfig& config) {
   CA_CHECK_GT(config.episodes, 0U);
+  if (!config.checkpoint.dir.empty()) {
+    // Crash-safe sequential path; the parallel fast path below stays
+    // byte-for-byte untouched when checkpointing is off.
+    return RunCampaignCheckpointed(dataset, target_train, model_factory,
+                                   strategy_factory, targets, config);
+  }
   OBS_SPAN("campaign.run");
   OBS_COUNTER_INC("campaign.runs");
   obs::Stopwatch watch;
@@ -156,23 +330,9 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
           final_reward = strategy->RunEpisode(env, episode_rng);
         }
 
-        ItemOutcome outcome;
-        outcome.final_reward = final_reward;
-        const rec::BlackBoxRecommender& bb = env.black_box();
-        outcome.profiles_injected =
-            static_cast<double>(bb.injected_profiles());
-        outcome.items_per_profile =
-            bb.injected_profiles() > 0
-                ? static_cast<double>(bb.injected_interactions()) /
-                      static_cast<double>(bb.injected_profiles())
-                : 0.0;
-        outcome.query_rounds = static_cast<double>(env.lifetime_queries());
-        outcome.metrics = env.EvaluateRealPromotion(
-            config.eval_ks, config.eval_users, config.eval_negatives);
-
         // Distinct slots per worker; only the shared method name needs a
         // one-time guard (every strategy instance reports the same name).
-        outcomes[index] = std::move(outcome);
+        outcomes[index] = CollectOutcome(env, final_reward, config);
         std::call_once(method_name_once,
                        [&] { method_name = strategy->name(); });
       });

@@ -1,6 +1,7 @@
 #include "data/io.h"
 
 #include <map>
+#include <utility>
 
 #include "util/check.h"
 #include "util/csv.h"
@@ -8,6 +9,18 @@
 
 namespace copyattack::data {
 namespace {
+
+/// Records a typed failure (when the caller asked for one) and returns
+/// false so load paths can `return Fail(...)` in one expression.
+bool Fail(IoError* error, const std::string& file, std::size_t line,
+          std::string message) {
+  if (error != nullptr) {
+    error->file = file;
+    error->line = line;
+    error->message = std::move(message);
+  }
+  return false;
+}
 
 bool SaveDomain(const Dataset& domain, const std::string& path) {
   util::CsvWriter writer(path, {"user", "item", "position"});
@@ -23,33 +36,54 @@ bool SaveDomain(const Dataset& domain, const std::string& path) {
 
 /// Reads `<path>` and appends its users to `domain`. Interactions must be
 /// grouped by user with ascending positions (the format SaveDomain emits).
-bool LoadDomain(const std::string& path, Dataset* domain) {
+/// Data row i lives on file line i + 2 (line 1 is the header).
+bool LoadDomain(const std::string& path, Dataset* domain, IoError* error) {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
-  if (!util::ReadCsv(path, &header, &rows)) return false;
+  if (!util::ReadCsv(path, &header, &rows)) {
+    return Fail(error, path, 0, "cannot open file");
+  }
   if (header != std::vector<std::string>{"user", "item", "position"}) {
-    return false;
+    return Fail(error, path, 1, "expected header user,item,position");
   }
   std::map<std::size_t, std::map<std::size_t, std::size_t>> by_user;
-  for (const auto& row : rows) {
-    if (row.size() != 3) return false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const std::size_t line = i + 2;
+    if (row.size() != 3) {
+      return Fail(error, path, line,
+                  "expected 3 fields, got " + std::to_string(row.size()));
+    }
     std::size_t user = 0, item = 0, position = 0;
     if (!util::ParseSizeT(row[0], &user) ||
         !util::ParseSizeT(row[1], &item) ||
         !util::ParseSizeT(row[2], &position)) {
-      return false;
+      return Fail(error, path, line, "non-numeric field");
+    }
+    if (item >= domain->num_items()) {
+      return Fail(error, path, line,
+                  "item id " + std::to_string(item) + " out of range (" +
+                      std::to_string(domain->num_items()) + " items)");
     }
     by_user[user][position] = item;
   }
   std::size_t expected_user = 0;
   for (const auto& [user, positions] : by_user) {
-    if (user != expected_user++) return false;  // ids must be dense
+    if (user != expected_user++) {
+      return Fail(error, path, 0,
+                  "user ids not dense: missing user " +
+                      std::to_string(expected_user - 1));
+    }
     Profile profile;
     profile.reserve(positions.size());
     std::size_t expected_pos = 0;
     for (const auto& [position, item] : positions) {
-      if (position != expected_pos++) return false;
-      if (item >= domain->num_items()) return false;
+      if (position != expected_pos++) {
+        return Fail(error, path, 0,
+                    "user " + std::to_string(user) +
+                        " positions not dense: missing position " +
+                        std::to_string(expected_pos - 1));
+      }
       profile.push_back(static_cast<ItemId>(item));
     }
     domain->AddUser(std::move(profile));
@@ -58,6 +92,17 @@ bool LoadDomain(const std::string& path, Dataset* domain) {
 }
 
 }  // namespace
+
+std::string IoError::Format() const {
+  std::string out = file;
+  if (line > 0) {
+    out += ':';
+    out += std::to_string(line);
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
 
 bool SaveCrossDomain(const CrossDomainDataset& dataset,
                      const std::string& path_prefix) {
@@ -77,28 +122,39 @@ bool SaveCrossDomain(const CrossDomainDataset& dataset,
          SaveDomain(dataset.source, path_prefix + ".source.csv");
 }
 
-bool LoadCrossDomain(const std::string& path_prefix,
-                     CrossDomainDataset* out) {
+bool LoadCrossDomain(const std::string& path_prefix, CrossDomainDataset* out,
+                     IoError* error) {
   CA_CHECK(out != nullptr);
+  const std::string meta_path = path_prefix + ".meta.csv";
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
-  if (!util::ReadCsv(path_prefix + ".meta.csv", &header, &rows)) {
-    return false;
+  if (!util::ReadCsv(meta_path, &header, &rows)) {
+    return Fail(error, meta_path, 0, "cannot open file");
   }
-  if (rows.size() != 1 || rows[0].size() != 3) return false;
+  if (rows.size() != 1 || rows[0].size() != 3) {
+    return Fail(error, meta_path, 2, "expected exactly one 3-field row");
+  }
   std::size_t num_items = 0;
   if (!util::ParseSizeT(rows[0][1], &num_items) || num_items == 0) {
-    return false;
+    return Fail(error, meta_path, 2, "bad num_items '" + rows[0][1] + "'");
   }
   const std::string& bits = rows[0][2];
-  if (bits.size() != num_items) return false;
+  if (bits.size() != num_items) {
+    return Fail(error, meta_path, 2,
+                "overlap_bits length " + std::to_string(bits.size()) +
+                    " != num_items " + std::to_string(num_items));
+  }
 
   CrossDomainDataset loaded(rows[0][0], num_items);
   for (std::size_t i = 0; i < num_items; ++i) {
     loaded.overlap[i] = bits[i] == '1';
   }
-  if (!LoadDomain(path_prefix + ".target.csv", &loaded.target)) return false;
-  if (!LoadDomain(path_prefix + ".source.csv", &loaded.source)) return false;
+  if (!LoadDomain(path_prefix + ".target.csv", &loaded.target, error)) {
+    return false;
+  }
+  if (!LoadDomain(path_prefix + ".source.csv", &loaded.source, error)) {
+    return false;
+  }
   *out = std::move(loaded);
   return true;
 }

@@ -1,11 +1,24 @@
 #ifndef COPYATTACK_DATA_IO_H_
 #define COPYATTACK_DATA_IO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "data/cross_domain.h"
 
 namespace copyattack::data {
+
+/// Typed load failure: which file was bad, where, and why. A mid-campaign
+/// loader must degrade gracefully instead of CHECK-aborting, so every
+/// reject path reports enough context to fix the input.
+struct IoError {
+  std::string file;      ///< path of the offending file
+  std::size_t line = 0;  ///< 1-based line in that file; 0 = whole file
+  std::string message;
+
+  /// "path:line: message" (line omitted when 0).
+  std::string Format() const;
+};
 
 /// Persists a dataset pair to three CSV files under `path_prefix`:
 /// `<prefix>.meta.csv` (name, item count, overlap flags),
@@ -15,8 +28,12 @@ bool SaveCrossDomain(const CrossDomainDataset& dataset,
                      const std::string& path_prefix);
 
 /// Loads a dataset pair previously written by `SaveCrossDomain` into
-/// `*out`. `*out` is replaced on success; untouched on failure.
-bool LoadCrossDomain(const std::string& path_prefix, CrossDomainDataset* out);
+/// `*out`. `*out` is replaced on success; untouched on failure. On
+/// failure, `*error` (when non-null) describes the first defect with
+/// file:line context — unreadable file, bad header, malformed row,
+/// out-of-range ids, or non-dense user/position numbering.
+bool LoadCrossDomain(const std::string& path_prefix, CrossDomainDataset* out,
+                     IoError* error = nullptr);
 
 }  // namespace copyattack::data
 

@@ -1,0 +1,141 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace copyattack::fault {
+
+FaultScheduleConfig FaultScheduleConfig::Light(std::uint64_t seed) {
+  FaultScheduleConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.query_transient_rate = 0.02;
+  config.query_timeout_rate = 0.01;
+  config.query_rate_limit_rate = 0.01;
+  config.stale_topk_rate = 0.02;
+  config.truncate_rate = 0.01;
+  config.inject_transient_rate = 0.02;
+  config.inject_drop_rate = 0.01;
+  config.latency_mean_us = 2000.0;
+  return config;
+}
+
+FaultScheduleConfig FaultScheduleConfig::Aggressive(std::uint64_t seed) {
+  FaultScheduleConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.query_transient_rate = 0.15;
+  config.query_timeout_rate = 0.10;
+  config.query_rate_limit_rate = 0.10;
+  config.stale_topk_rate = 0.15;
+  config.truncate_rate = 0.10;
+  config.truncate_keep_fraction = 0.5;
+  config.inject_transient_rate = 0.15;
+  config.inject_drop_rate = 0.10;
+  config.latency_mean_us = 20000.0;
+  return config;
+}
+
+FaultInjector::FaultInjector(rec::BlackBoxInterface* inner,
+                             const FaultScheduleConfig& config)
+    : inner_(inner), config_(config), rng_(config.seed) {
+  CA_CHECK(inner != nullptr);
+}
+
+rec::InjectResult FaultInjector::Inject(data::Profile profile) {
+  if (!config_.enabled) return inner_->Inject(std::move(profile));
+  // Fixed draw count per operation: 3 uniforms, always consumed, so the
+  // decision stream is position-deterministic.
+  const double u_transient = rng_.UniformDouble();
+  const double u_drop = rng_.UniformDouble();
+  const double u_latency = rng_.UniformDouble();
+  if (config_.latency_mean_us > 0.0) {
+    OBS_HIST_OBSERVE("fault.sim_latency_us",
+                     -config_.latency_mean_us * std::log1p(-u_latency));
+  }
+  if (u_transient < config_.inject_transient_rate) {
+    ++counts_.inject_transient;
+    OBS_COUNTER_INC("fault.inject_transient");
+    return {rec::BlackBoxStatus::kTransientError, data::kNoUser};
+  }
+  if (u_drop < config_.inject_drop_rate) {
+    // Silent drop: ack with the user id the platform *would* have
+    // allocated. Nothing reaches the inner oracle or its meters.
+    ++counts_.inject_dropped;
+    OBS_COUNTER_INC("fault.inject_dropped");
+    const data::UserId phantom = static_cast<data::UserId>(
+        inner_->polluted().num_users() + phantom_users_);
+    ++phantom_users_;
+    return {rec::BlackBoxStatus::kOk, phantom};
+  }
+  return inner_->Inject(std::move(profile));
+}
+
+rec::QueryResult FaultInjector::Query(
+    data::UserId user, const std::vector<data::ItemId>& candidates,
+    std::size_t k) {
+  if (!config_.enabled) return inner_->Query(user, candidates, k);
+  // 6 uniforms per query, always consumed (see Inject).
+  const double u_transient = rng_.UniformDouble();
+  const double u_timeout = rng_.UniformDouble();
+  const double u_rate_limit = rng_.UniformDouble();
+  const double u_stale = rng_.UniformDouble();
+  const double u_truncate = rng_.UniformDouble();
+  const double u_latency = rng_.UniformDouble();
+  if (config_.latency_mean_us > 0.0) {
+    OBS_HIST_OBSERVE("fault.sim_latency_us",
+                     -config_.latency_mean_us * std::log1p(-u_latency));
+  }
+  if (u_transient < config_.query_transient_rate) {
+    ++counts_.query_transient;
+    OBS_COUNTER_INC("fault.query_transient");
+    return {rec::BlackBoxStatus::kTransientError, {}};
+  }
+  if (u_timeout < config_.query_timeout_rate) {
+    ++counts_.query_timeout;
+    OBS_COUNTER_INC("fault.query_timeout");
+    return {rec::BlackBoxStatus::kTimeout, {}};
+  }
+  if (u_rate_limit < config_.query_rate_limit_rate) {
+    ++counts_.query_rate_limited;
+    OBS_COUNTER_INC("fault.query_rate_limited");
+    return {rec::BlackBoxStatus::kRateLimited, {}};
+  }
+
+  rec::QueryResult result = inner_->Query(user, candidates, k);
+  if (!result.ok()) return result;
+
+  // Stale snapshot: the platform answers from the previous index build —
+  // i.e. this user's previous successful list. The fresh list still
+  // becomes the next snapshot (the index build itself completed).
+  std::vector<data::ItemId>& snapshot = snapshots_[user];
+  if (u_stale < config_.stale_topk_rate && !snapshot.empty()) {
+    ++counts_.query_stale;
+    OBS_COUNTER_INC("fault.query_stale");
+    std::swap(result.items, snapshot);
+  } else {
+    snapshot = result.items;
+  }
+
+  if (u_truncate < config_.truncate_rate && result.items.size() > 1) {
+    ++counts_.query_truncated;
+    OBS_COUNTER_INC("fault.query_truncated");
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(result.items.size()) *
+               config_.truncate_keep_fraction));
+    result.items.resize(std::min(result.items.size(), keep));
+  }
+  return result;
+}
+
+void FaultInjector::ResetCounters() {
+  inner_->ResetCounters();
+  counts_ = FaultCounts{};
+}
+
+}  // namespace copyattack::fault

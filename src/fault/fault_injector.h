@@ -1,0 +1,125 @@
+#ifndef COPYATTACK_FAULT_FAULT_INJECTOR_H_
+#define COPYATTACK_FAULT_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rec/black_box.h"
+#include "util/rng.h"
+
+namespace copyattack::fault {
+
+/// Per-operation fault probabilities of a simulated remote oracle. All
+/// rates are independent per call and drawn from one dedicated
+/// `util::Rng` stream, so a given (seed, schedule) pair produces a
+/// bit-identical fault sequence regardless of what the attacker does with
+/// the results.
+struct FaultScheduleConfig {
+  /// Master switch; when false the decorator is a transparent pass-through
+  /// (and draws nothing, so disabled == absent).
+  bool enabled = false;
+  /// Seed of the fault schedule stream (independent of attack seeds).
+  std::uint64_t seed = 0xFA17ULL;
+
+  // Query-side faults (checked in this order; first hit wins).
+  double query_transient_rate = 0.0;   ///< spurious 5xx-style failure
+  double query_timeout_rate = 0.0;     ///< client-visible deadline blown
+  double query_rate_limit_rate = 0.0;  ///< throttled (429-style)
+  /// The platform answers from a stale index snapshot: the previous
+  /// successful Top-k list for this user is returned instead of a fresh
+  /// one (no-op on the user's first query).
+  double stale_topk_rate = 0.0;
+  /// The returned list is truncated to `truncate_keep_fraction` of k.
+  double truncate_rate = 0.0;
+  double truncate_keep_fraction = 0.5;
+
+  // Inject-side faults.
+  double inject_transient_rate = 0.0;  ///< visible failure; retryable
+  /// The platform acks the injection but silently discards the profile —
+  /// the attacker sees kOk and a plausible user id, but nothing landed.
+  double inject_drop_rate = 0.0;
+
+  /// Mean of the simulated per-call latency (exponentially distributed,
+  /// recorded into the `fault.sim_latency_us` histogram; no real sleeping).
+  double latency_mean_us = 0.0;
+
+  /// A mild schedule: rare transients, occasional staleness.
+  static FaultScheduleConfig Light(std::uint64_t seed);
+  /// A hostile schedule exercising every fault class at high rates; used
+  /// by the check_all.sh fault soak and the unit tests.
+  static FaultScheduleConfig Aggressive(std::uint64_t seed);
+};
+
+/// Tally of faults actually fired, by class.
+struct FaultCounts {
+  std::size_t query_transient = 0;
+  std::size_t query_timeout = 0;
+  std::size_t query_rate_limited = 0;
+  std::size_t query_stale = 0;
+  std::size_t query_truncated = 0;
+  std::size_t inject_transient = 0;
+  std::size_t inject_dropped = 0;
+
+  std::size_t TotalFired() const {
+    return query_transient + query_timeout + query_rate_limited +
+           query_stale + query_truncated + inject_transient +
+           inject_dropped;
+  }
+};
+
+/// Decorator simulating an unreliable remote black-box oracle on top of
+/// any `BlackBoxInterface`. Deterministic: the decision stream consumes a
+/// fixed number of uniform draws per operation (one per configured fault
+/// class plus one latency draw), whether or not a fault fires, so fault
+/// sequences depend only on (seed, schedule, call index) — never on the
+/// schedule's rates relative ordering or on the payloads.
+///
+/// Not thread-safe: the fault stream and the stale-snapshot cache are
+/// unsynchronized by design (a deterministic shared stream under
+/// concurrency is a contradiction); use one injector per thread.
+class FaultInjector final : public rec::BlackBoxInterface {
+ public:
+  /// `inner` is borrowed and must outlive the decorator.
+  FaultInjector(rec::BlackBoxInterface* inner,
+                const FaultScheduleConfig& config);
+
+  rec::InjectResult Inject(data::Profile profile) override;
+  rec::QueryResult Query(data::UserId user,
+                         const std::vector<data::ItemId>& candidates,
+                         std::size_t k) override;
+
+  // Attack meters always reflect the *innermost* oracle: operations that
+  // faulted before reaching it are not counted (they never landed).
+  std::size_t query_count() const override { return inner_->query_count(); }
+  std::size_t injected_profiles() const override {
+    return inner_->injected_profiles();
+  }
+  std::size_t injected_interactions() const override {
+    return inner_->injected_interactions();
+  }
+  void ResetCounters() override;
+  const data::Dataset& polluted() const override {
+    return inner_->polluted();
+  }
+
+  const FaultCounts& counts() const { return counts_; }
+  const FaultScheduleConfig& config() const { return config_; }
+
+ private:
+  rec::BlackBoxInterface* inner_;
+  FaultScheduleConfig config_;
+  util::Rng rng_;
+  FaultCounts counts_;
+  /// Last successful Top-k list per user, served on stale-snapshot faults.
+  std::unordered_map<data::UserId, std::vector<data::ItemId>> snapshots_;
+  /// Profiles silently dropped so far; used to fabricate plausible user
+  /// ids for acked-but-discarded injections.
+  std::size_t phantom_users_ = 0;
+};
+
+}  // namespace copyattack::fault
+
+#endif  // COPYATTACK_FAULT_FAULT_INJECTOR_H_

@@ -46,6 +46,20 @@ class MovingBaseline {
   /// advantage (observation minus the *pre-update* baseline).
   double Update(double observed_return);
 
+  /// Serializable snapshot (campaign checkpointing): restoring it resumes
+  /// the advantage sequence exactly. `momentum` is configuration, not
+  /// state, and is deliberately excluded.
+  struct State {
+    double value = 0.0;
+    bool initialized = false;
+  };
+
+  State SaveState() const { return State{value_, initialized_}; }
+  void RestoreState(const State& state) {
+    value_ = state.value;
+    initialized_ = state.initialized;
+  }
+
  private:
   double momentum_;
   double value_ = 0.0;

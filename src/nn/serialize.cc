@@ -2,25 +2,26 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 namespace copyattack::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0xCA11AB1E;
 
-void WriteU32(std::ofstream& out, std::uint32_t value) {
+void WriteU32(std::ostream& out, std::uint32_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-bool ReadU32(std::ifstream& in, std::uint32_t* value) {
+bool ReadU32(std::istream& in, std::uint32_t* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return static_cast<bool>(in);
 }
 
 }  // namespace
 
-bool SaveParameters(const ParameterList& params, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+bool SaveParameters(const ParameterList& params, std::ostream& out) {
   if (!out) return false;
   WriteU32(out, kMagic);
   WriteU32(out, static_cast<std::uint32_t>(params.size()));
@@ -35,8 +36,7 @@ bool SaveParameters(const ParameterList& params, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool LoadParameters(const ParameterList& params, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+bool LoadParameters(const ParameterList& params, std::istream& in) {
   if (!in) return false;
   std::uint32_t magic = 0, count = 0;
   if (!ReadU32(in, &magic) || magic != kMagic) return false;
@@ -54,6 +54,18 @@ bool LoadParameters(const ParameterList& params, const std::string& path) {
     if (!in) return false;
   }
   return true;
+}
+
+bool SaveParameters(const ParameterList& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return SaveParameters(params, out);
+}
+
+bool LoadParameters(const ParameterList& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return LoadParameters(params, in);
 }
 
 }  // namespace copyattack::nn

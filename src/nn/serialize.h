@@ -1,6 +1,7 @@
 #ifndef COPYATTACK_NN_SERIALIZE_H_
 #define COPYATTACK_NN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/parameter.h"
@@ -17,6 +18,12 @@ bool SaveParameters(const ParameterList& params, const std::string& path);
 /// supplied list exactly (the intended use is checkpoint/restore of the
 /// same model architecture). Returns false on I/O failure or mismatch.
 bool LoadParameters(const ParameterList& params, const std::string& path);
+
+/// Stream forms of the above, so parameter blobs can be embedded inside a
+/// larger container (the campaign checkpoint, core/checkpoint.h) instead
+/// of owning a whole file. Same byte format, including the magic tag.
+bool SaveParameters(const ParameterList& params, std::ostream& out);
+bool LoadParameters(const ParameterList& params, std::istream& in);
 
 }  // namespace copyattack::nn
 

@@ -6,6 +6,22 @@
 
 namespace copyattack::rec {
 
+const char* ToString(BlackBoxStatus status) {
+  switch (status) {
+    case BlackBoxStatus::kOk:
+      return "ok";
+    case BlackBoxStatus::kTransientError:
+      return "transient_error";
+    case BlackBoxStatus::kTimeout:
+      return "timeout";
+    case BlackBoxStatus::kRateLimited:
+      return "rate_limited";
+    case BlackBoxStatus::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
 BlackBoxRecommender::BlackBoxRecommender(Recommender* model,
                                          data::Dataset* polluted)
     : model_(model), polluted_(polluted) {
@@ -16,8 +32,9 @@ BlackBoxRecommender::BlackBoxRecommender(Recommender* model,
 data::UserId BlackBoxRecommender::InjectUser(data::Profile profile) {
   OBS_COUNTER_INC("blackbox.injected_profiles");
   OBS_COUNTER_ADD("blackbox.injected_interactions", profile.size());
-  injected_interactions_ += profile.size();
-  ++injected_profiles_;
+  injected_interactions_.fetch_add(profile.size(),
+                                   std::memory_order_relaxed);
+  injected_profiles_.fetch_add(1, std::memory_order_relaxed);
   const data::UserId user = polluted_->AddUser(std::move(profile));
   model_->ObserveNewUser(*polluted_, user);
   return user;
@@ -28,7 +45,7 @@ std::vector<data::ItemId> BlackBoxRecommender::QueryTopK(
     std::size_t k) {
   OBS_SCOPED_TIMER_US("blackbox.query_topk_us");
   OBS_COUNTER_INC("blackbox.queries");
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   const std::vector<float> scores =
       model_->ScoreCandidates(user, candidates);
   const std::vector<std::size_t> top = math::TopKIndices(scores, k);
@@ -40,10 +57,24 @@ std::vector<data::ItemId> BlackBoxRecommender::QueryTopK(
   return items;
 }
 
+InjectResult BlackBoxRecommender::Inject(data::Profile profile) {
+  InjectResult result;
+  result.user = InjectUser(std::move(profile));
+  return result;
+}
+
+QueryResult BlackBoxRecommender::Query(
+    data::UserId user, const std::vector<data::ItemId>& candidates,
+    std::size_t k) {
+  QueryResult result;
+  result.items = QueryTopK(user, candidates, k);
+  return result;
+}
+
 void BlackBoxRecommender::ResetCounters() {
-  query_count_ = 0;
-  injected_profiles_ = 0;
-  injected_interactions_ = 0;
+  query_count_.store(0, std::memory_order_relaxed);
+  injected_profiles_.store(0, std::memory_order_relaxed);
+  injected_interactions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace copyattack::rec

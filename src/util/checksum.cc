@@ -1,0 +1,36 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace copyattack::util {
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1U) ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* bytes, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  const unsigned char* data = static_cast<const unsigned char*>(bytes);
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFU];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t Crc32(const std::string& payload) {
+  return Crc32(payload.data(), payload.size());
+}
+
+}  // namespace copyattack::util

@@ -1,0 +1,21 @@
+#ifndef COPYATTACK_UTIL_CHECKSUM_H_
+#define COPYATTACK_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace copyattack::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// Used to detect torn or corrupted campaign checkpoints; standard
+/// parameters so external tools (`crc32`, python `zlib.crc32`) can verify
+/// files independently. `Crc32("123456789") == 0xCBF43926`.
+std::uint32_t Crc32(const void* bytes, std::size_t size);
+
+/// Convenience overload over a string payload.
+std::uint32_t Crc32(const std::string& payload);
+
+}  // namespace copyattack::util
+
+#endif  // COPYATTACK_UTIL_CHECKSUM_H_

@@ -108,4 +108,18 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (std::size_t i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace copyattack::util

@@ -8,6 +8,15 @@
 
 namespace copyattack::util {
 
+/// The complete serializable state of an `Rng` stream. Capturing and
+/// restoring it mid-stream resumes the exact draw sequence — the basis of
+/// crash-safe campaign checkpointing (core/checkpoint.h).
+struct RngState {
+  std::uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic, fast pseudo-random number generator (xoshiro256**),
 /// seeded through splitmix64 so that any 64-bit seed gives a well-mixed
 /// state. Every stochastic component of the project draws from an `Rng`
@@ -60,6 +69,13 @@ class Rng {
   /// Creates an independent child generator; useful for giving each thread
   /// or each experiment arm its own deterministic stream.
   Rng Fork();
+
+  /// Snapshots the full generator state (see `RngState`).
+  RngState SaveState() const;
+
+  /// Restores a previously saved state; the stream continues bit-exactly
+  /// from where `SaveState` captured it.
+  void RestoreState(const RngState& state);
 
  private:
   std::uint64_t state_[4];

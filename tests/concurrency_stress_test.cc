@@ -18,6 +18,7 @@
 #include "data/dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rec/black_box.h"
 #include "test_helpers.h"
 #include "test_seed.h"
 #include "util/rng.h"
@@ -302,6 +303,33 @@ TEST(DatasetStressTest, ForeignCheckpointIsFatal) {
         a.RollbackTo(checkpoint);
       },
       "");
+}
+
+// The black-box attack meters are relaxed atomics (CA_ATOMIC_ONLY): many
+// threads querying one oracle must tally exactly, with no torn or lost
+// increments for TSan to flag. (Injection mutates the dataset and stays
+// single-threaded by contract; queries are the concurrent operation.)
+TEST(BlackBoxStressTest, ConcurrentQueriesCountExactly) {
+  const auto& tw = testhelpers::SharedTinyWorld();
+  rec::PinSageLite model(tw.model);
+  data::Dataset polluted = tw.split.train;
+  model.BeginServing(polluted);
+  rec::BlackBoxRecommender bb(&model, &polluted);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kQueriesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bb, t] {
+      const std::vector<data::ItemId> candidates = {0, 1, 2, 3, 4, 5};
+      for (std::size_t i = 0; i < kQueriesPerThread; ++i) {
+        bb.QueryTopK(static_cast<data::UserId>(t % 4), candidates, 3);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bb.query_count(), kThreads * kQueriesPerThread);
 }
 
 TEST(DatasetStressTest, RollbackWithoutCheckpointIsFatal) {

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -432,7 +433,112 @@ TEST(IoTest, SaveLoadRoundTrip) {
 
 TEST(IoTest, LoadMissingFails) {
   CrossDomainDataset out("x", 1);
-  EXPECT_FALSE(LoadCrossDomain("/nonexistent/prefix", &out));
+  IoError error;
+  EXPECT_FALSE(LoadCrossDomain("/nonexistent/prefix", &out, &error));
+  EXPECT_EQ(error.file, "/nonexistent/prefix.meta.csv");
+  EXPECT_EQ(error.line, 0U);
+  EXPECT_NE(error.Format().find("cannot open"), std::string::npos);
+}
+
+/// Writes a valid tiny world to a fresh prefix, then lets the test mangle
+/// one of its files to exercise a reject path.
+class CorruptFixture {
+ public:
+  explicit CorruptFixture(const std::string& tag)
+      : prefix_(testing::TempDir() + "/ca_io_corrupt_" + tag) {
+    const SyntheticWorld world =
+        GenerateSyntheticWorld(SyntheticConfig::Tiny());
+    EXPECT_TRUE(SaveCrossDomain(world.dataset, prefix_));
+  }
+  ~CorruptFixture() {
+    for (const char* suffix : {".meta.csv", ".target.csv", ".source.csv"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+  void Overwrite(const std::string& suffix, const std::string& content) {
+    std::ofstream out(prefix_ + suffix, std::ios::trunc);
+    out << content;
+  }
+
+  IoError ExpectLoadFails() {
+    CrossDomainDataset out("x", 1);
+    IoError error;
+    EXPECT_FALSE(LoadCrossDomain(prefix_, &out, &error));
+    return error;
+  }
+
+ private:
+  std::string prefix_;
+};
+
+TEST(IoCorruptTest, WrongHeaderReportsLineOne) {
+  CorruptFixture fixture("header");
+  fixture.Overwrite(".target.csv", "user,thing,position\n0,1,0\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_EQ(error.file, fixture.prefix() + ".target.csv");
+  EXPECT_EQ(error.line, 1U);
+}
+
+TEST(IoCorruptTest, TruncatedRowReportsItsLine) {
+  CorruptFixture fixture("truncated");
+  // Data row on line 3 lost its position column (a torn write).
+  fixture.Overwrite(".target.csv",
+                    "user,item,position\n0,1,0\n0,2\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_EQ(error.line, 3U);
+  EXPECT_NE(error.message.find("3 fields"), std::string::npos);
+}
+
+TEST(IoCorruptTest, NonNumericFieldReportsItsLine) {
+  CorruptFixture fixture("alpha");
+  fixture.Overwrite(".target.csv",
+                    "user,item,position\n0,1,0\n0,banana,1\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_EQ(error.line, 3U);
+  EXPECT_NE(error.message.find("non-numeric"), std::string::npos);
+}
+
+TEST(IoCorruptTest, OutOfRangeItemReportsItsLine) {
+  CorruptFixture fixture("range");
+  fixture.Overwrite(".target.csv",
+                    "user,item,position\n0,999999,0\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_EQ(error.line, 2U);
+  EXPECT_NE(error.message.find("out of range"), std::string::npos);
+}
+
+TEST(IoCorruptTest, NonDenseUsersRejected) {
+  CorruptFixture fixture("gap");
+  // User 1 is missing: ids must be dense.
+  fixture.Overwrite(".target.csv",
+                    "user,item,position\n0,1,0\n2,3,0\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_NE(error.message.find("not dense"), std::string::npos);
+}
+
+TEST(IoCorruptTest, BadMetaRejected) {
+  CorruptFixture fixture("meta");
+  fixture.Overwrite(".meta.csv", "name,num_items,overlap_bits\nw,0,\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_EQ(error.file, fixture.prefix() + ".meta.csv");
+  EXPECT_NE(error.message.find("num_items"), std::string::npos);
+}
+
+TEST(IoCorruptTest, OverlapBitsLengthMismatchRejected) {
+  CorruptFixture fixture("bits");
+  fixture.Overwrite(".meta.csv", "name,num_items,overlap_bits\nw,4,01\n");
+  const IoError error = fixture.ExpectLoadFails();
+  EXPECT_NE(error.message.find("overlap_bits"), std::string::npos);
+}
+
+TEST(IoCorruptTest, ErrorOutParamIsOptional) {
+  CorruptFixture fixture("noerr");
+  fixture.Overwrite(".target.csv", "user,item,position\n0,banana,0\n");
+  CrossDomainDataset out("x", 1);
+  EXPECT_FALSE(LoadCrossDomain(fixture.prefix(), &out));  // no IoError*
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "test_seed.h"
 
+#include "util/checksum.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -458,6 +460,45 @@ TEST(FlagParserDeathTest, DuplicateDefineAborts) {
   parser.Define("twice", "1", "first declaration");
   EXPECT_DEATH(parser.Define("twice", "2", "second declaration"),
                "declared twice");
+}
+
+TEST(ChecksumTest, Crc32MatchesIeeeReferenceVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926U);
+}
+
+TEST(ChecksumTest, Crc32EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32(std::string()), 0U);
+  const std::string payload = "checkpoint payload";
+  std::string flipped = payload;
+  flipped[3] ^= 0x01;
+  EXPECT_NE(Crc32(payload), Crc32(flipped));
+}
+
+TEST(RngStateTest, SaveRestoreRoundTripContinuesStream) {
+  Rng rng(testhelpers::TestSeed(12345));
+  for (int i = 0; i < 10; ++i) rng.NextUint64();
+  const RngState state = rng.SaveState();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(rng.NextUint64());
+
+  Rng other(1);  // different seed; RestoreState must fully overwrite
+  other.RestoreState(state);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(other.NextUint64(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RngStateTest, SaveRestorePreservesCachedNormal) {
+  // Normal() generates pairs and caches the second draw; the state must
+  // carry the cache or the restored stream would skew by one draw.
+  Rng rng(testhelpers::TestSeed(777));
+  rng.Normal();  // leaves one cached normal behind
+  const RngState state = rng.SaveState();
+  const double expected = rng.Normal();
+  Rng other(2);
+  other.RestoreState(state);
+  EXPECT_EQ(other.Normal(), expected);  // lint:allow(float-eq) exact replay
 }
 
 }  // namespace

@@ -94,12 +94,50 @@ if [[ "${quick}" == "1" ]]; then
   exit 0
 fi
 
+# Fault-injection soak (ISSUE 5): a short seeded campaign under the
+# aggressive fault schedule, with the resilient client, checkpointing and
+# telemetry all on, run against a sanitizer build. Exercises the
+# fault/retry/breaker/checkpoint paths end to end where ASan/UBSan/TSan
+# can see them; telemetry lands in build/reports/ with the other smoke
+# artifacts.
+fault_soak() {
+  local preset="$1"
+  step "fault-injection soak [${preset}]"
+  local soak_tmp
+  soak_tmp="$(mktemp -d)"
+  ./build/tools/copyattack generate --config tiny \
+    --out "${soak_tmp}/world" >/dev/null
+  local bin="build/tools/copyattack"
+  case "${preset}" in
+    asan-ubsan) bin="build-asan/tools/copyattack" ;;
+    tsan) bin="build-tsan/tools/copyattack" ;;
+  esac
+  "${bin}" attack --data "${soak_tmp}/world" \
+    --method=CopyAttack --targets=2 --episodes=4 --budget=6 \
+    --faults=aggressive --fault_seed=1337 \
+    --checkpoint_dir="${soak_tmp}/ckpt" \
+    --telemetry_out="${soak_tmp}/telemetry" >/dev/null
+  # Resume from the checkpoint it just wrote — the load/validate path must
+  # also be sanitizer-clean.
+  "${bin}" attack --data "${soak_tmp}/world" \
+    --method=CopyAttack --targets=2 --episodes=4 --budget=6 \
+    --faults=aggressive --fault_seed=1337 \
+    --checkpoint_dir="${soak_tmp}/ckpt" --resume=1 >/dev/null
+  mkdir -p "build/reports/fault_soak_${preset}"
+  cp "${soak_tmp}/telemetry/"{metrics.csv,summary.json,trace.json} \
+    "build/reports/fault_soak_${preset}/"
+  rm -rf "${soak_tmp}"
+  echo "fault soak [${preset}] OK (telemetry at build/reports/fault_soak_${preset}/)"
+}
+
 # 3. ASan+UBSan: memory errors and UB across the unit + lint suites.
 run_preset asan-ubsan -LE stress
+fault_soak asan-ubsan
 
 # 4. TSan: unit suite for coverage, then the concurrency stress suite —
 # the only preset that runs the `stress` label.
 run_preset tsan -LE stress
+fault_soak tsan
 step "test [tsan] stress label"
 ctest --preset tsan-stress -j "${jobs}"
 

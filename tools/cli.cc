@@ -12,6 +12,7 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "data/target_items.h"
+#include "fault/fault_injector.h"
 #include "obs/export.h"
 #include "obs/time.h"
 #include "obs/trace.h"
@@ -36,6 +37,16 @@ util::FlagParser MakeParser() {
       .Define("episodes", "15", "attack: training episodes (learning methods)")
       .Define("depth", "3", "attack: clustering tree depth")
       .Define("threads", "1", "attack: worker threads over target items")
+      .Define("faults", "off",
+              "attack: black-box fault schedule (off|light|aggressive); "
+              "anything but off also enables the resilient retry client")
+      .Define("fault_seed", "64279", "attack: fault-schedule RNG seed")
+      .Define("checkpoint_dir", "",
+              "attack: crash-safe checkpoint directory (empty = off)")
+      .Define("checkpoint_every", "1",
+              "attack: episodes between mid-target checkpoints")
+      .Define("resume", "0",
+              "attack: resume from --checkpoint_dir if a checkpoint exists")
       .Define("telemetry_out", "",
               "any command: enable telemetry and export metrics.csv, "
               "summary.json and trace.json into this directory");
@@ -80,8 +91,10 @@ int CmdGenerate(const util::FlagParser& parser, std::ostream& out) {
 bool LoadOrComplain(const util::FlagParser& parser,
                     data::CrossDomainDataset* dataset, std::ostream& out) {
   const std::string prefix = parser.GetString("data");
-  if (!data::LoadCrossDomain(prefix, dataset)) {
-    out << "error: could not load dataset prefix " << prefix << '\n';
+  data::IoError error;
+  if (!data::LoadCrossDomain(prefix, dataset, &error)) {
+    out << "error: could not load dataset prefix " << prefix << ": "
+        << error.Format() << '\n';
     return false;
   }
   return true;
@@ -149,6 +162,27 @@ int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
   campaign.seed = parser.GetSizeT("seed");
   campaign.num_threads = parser.GetSizeT("threads");
 
+  const std::string faults = parser.GetString("faults");
+  if (faults != "off") {
+    const std::uint64_t fault_seed = parser.GetSizeT("fault_seed");
+    if (faults == "light") {
+      campaign.env.fault = fault::FaultScheduleConfig::Light(fault_seed);
+    } else if (faults == "aggressive") {
+      campaign.env.fault = fault::FaultScheduleConfig::Aggressive(fault_seed);
+    } else {
+      out << "error: unknown --faults " << faults << '\n';
+      return 2;
+    }
+    // A faulty oracle without the resilient client would poison rewards
+    // with transient errors, so the two are enabled together.
+    campaign.env.resilience.enabled = true;
+    campaign.env.resilience.seed = fault_seed ^ 0x5EEDULL;
+  }
+
+  campaign.checkpoint.dir = parser.GetString("checkpoint_dir");
+  campaign.checkpoint.resume = parser.GetBool("resume");
+  campaign.checkpoint.every_episodes = parser.GetSizeT("checkpoint_every");
+
   const core::ModelFactory model_factory = [&] {
     return std::make_unique<rec::PinSageLite>(model);
   };
@@ -201,6 +235,16 @@ int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
       dataset, split.train, model_factory, strategy_factory, targets,
       campaign);
   out << core::FormatCampaignRow(attacked) << '\n';
+  if (!campaign.checkpoint.dir.empty()) {
+    out << "checkpoints: " << attacked.checkpoint_saves << " saved";
+    if (attacked.resumed_from != core::CheckpointSource::kNone) {
+      out << ", resumed from "
+          << (attacked.resumed_from == core::CheckpointSource::kPrimary
+                  ? "primary"
+                  : "fallback");
+    }
+    out << '\n';
+  }
   return 0;
 }
 

@@ -21,10 +21,15 @@ namespace copyattack::tools {
 ///
 ///   copyattack attack --data PREFIX --method NAME [--targets N]
 ///       [--budget N] [--episodes N] [--depth N] [--seed N]
+///       [--faults off|light|aggressive] [--fault_seed N]
+///       [--checkpoint_dir DIR] [--checkpoint_every N] [--resume 1]
 ///       Runs one attacking method over sampled cold target items and
 ///       prints the WithoutAttack reference row plus the method's row.
 ///       Methods: RandomAttack, TargetAttack40/70/100, PolicyNetwork,
 ///       CopyAttack, CopyAttack-Masking, CopyAttack-Length.
+///       --faults injects deterministic oracle faults (and enables the
+///       retry/circuit-breaker client); --checkpoint_dir turns on
+///       crash-safe checkpointing, --resume continues from it.
 ///
 ///   copyattack help
 ///       Prints usage.
