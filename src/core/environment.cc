@@ -117,6 +117,7 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
   oracle_ = black_box_.get();
   fault_injector_.reset();
   resilient_.reset();
+  batched_.reset();
   const std::uint64_t episode_index = episodes_begun_++;
   if (config_.fault.enabled) {
     fault::FaultScheduleConfig schedule = config_.fault;
@@ -133,6 +134,16 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
     resilient_ =
         std::make_unique<fault::ResilientBlackBox>(oracle_, resilience);
     oracle_ = resilient_.get();
+  }
+  if (config_.batched_queries) {
+    // Outermost layer: query rounds batch through it. The blocked fast
+    // path is only legal when nothing sits between the wrapper and the
+    // in-process oracle; with fault decorators the batch forwards per
+    // query so their draw sequences stay bit-identical.
+    rec::BlackBoxRecommender* fast =
+        oracle_ == black_box_.get() ? black_box_.get() : nullptr;
+    batched_ = std::make_unique<rec::BatchedBlackBox>(oracle_, fast);
+    oracle_ = batched_.get();
   }
 }
 
@@ -167,6 +178,51 @@ bool AttackEnvironment::TryRawHitRatio(double* out) {
   }
   ++lifetime_queries_;  // one query round (attempted rounds count too)
   double total = 0.0;
+  const auto score_response = [&](const rec::QueryResult& response,
+                                  bool* round_lost) {
+    if (response.status == rec::BlackBoxStatus::kUnavailable) {
+      // Retries exhausted or breaker open: the whole round is lost.
+      *round_lost = true;
+      return;
+    }
+    if (!response.ok()) return;  // individual failure = miss
+    const auto it = std::find(response.items.begin(), response.items.end(),
+                              target_item_);
+    if (it == response.items.end()) return;
+    if (config_.reward_metric == RewardMetric::kNdcg) {
+      const std::size_t rank =
+          static_cast<std::size_t>(it - response.items.begin());
+      total += math::NdcgAtK(rank, config_.reward_k);
+    } else {
+      total += 1.0;
+    }
+  };
+
+  if (batched_ != nullptr) {
+    // Batched round: every pretend user's probe in one coalesced oracle
+    // call (fixed candidate lists, target first — the exact queries of
+    // the per-user loop below, in the same order).
+    std::vector<std::vector<data::ItemId>> candidate_lists;
+    candidate_lists.reserve(pretend_user_ids_.size());
+    for (std::size_t i = 0; i < pretend_user_ids_.size(); ++i) {
+      std::vector<data::ItemId> candidates;
+      candidates.reserve(query_negatives_[i].size() + 1);
+      candidates.push_back(target_item_);
+      candidates.insert(candidates.end(), query_negatives_[i].begin(),
+                        query_negatives_[i].end());
+      candidate_lists.push_back(std::move(candidates));
+    }
+    const std::vector<rec::QueryResult> responses = batched_->QueryBatch(
+        pretend_user_ids_, candidate_lists, config_.reward_k);
+    bool round_lost = false;
+    for (const rec::QueryResult& response : responses) {
+      score_response(response, &round_lost);
+      if (round_lost) return false;
+    }
+    *out = total / static_cast<double>(pretend_user_ids_.size());
+    return true;
+  }
+
   for (std::size_t i = 0; i < pretend_user_ids_.size(); ++i) {
     std::vector<data::ItemId> candidates;
     candidates.reserve(query_negatives_[i].size() + 1);
@@ -175,21 +231,9 @@ bool AttackEnvironment::TryRawHitRatio(double* out) {
                       query_negatives_[i].end());
     const rec::QueryResult response = oracle_->Query(
         pretend_user_ids_[i], candidates, config_.reward_k);
-    if (response.status == rec::BlackBoxStatus::kUnavailable) {
-      // Retries exhausted or breaker open: the whole round is lost.
-      return false;
-    }
-    if (!response.ok()) continue;  // individual failure = miss
-    const auto it = std::find(response.items.begin(), response.items.end(),
-                              target_item_);
-    if (it == response.items.end()) continue;
-    if (config_.reward_metric == RewardMetric::kNdcg) {
-      const std::size_t rank =
-          static_cast<std::size_t>(it - response.items.begin());
-      total += math::NdcgAtK(rank, config_.reward_k);
-    } else {
-      total += 1.0;
-    }
+    bool round_lost = false;
+    score_response(response, &round_lost);
+    if (round_lost) return false;
   }
   *out = total / static_cast<double>(pretend_user_ids_.size());
   return true;

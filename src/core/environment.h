@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "fault/fault_injector.h"
 #include "fault/resilient_black_box.h"
+#include "rec/batched_black_box.h"
 #include "rec/black_box.h"
 #include "rec/evaluator.h"
 #include "rec/recommender.h"
@@ -71,6 +72,13 @@ struct EnvConfig {
   fault::FaultScheduleConfig fault;
   /// Client-side retry/backoff/circuit-breaker policy (off by default).
   fault::ResilienceConfig resilience;
+  /// Coalesce each query round's pretend-user probes into one batched
+  /// oracle call (rec::BatchedBlackBox). Payload-equivalent to per-user
+  /// probing — on the clean stack the batch runs as one blocked scoring
+  /// call with heap select; under faults it forwards per query in probe
+  /// order — so rewards and fault sequences are bit-identical either
+  /// way. The sharded campaign runner turns this on.
+  bool batched_queries = false;
 };
 
 /// The MDP the attacker interacts with (paper §4.2): states are the
@@ -138,6 +146,8 @@ class AttackEnvironment {
   const fault::FaultInjector* fault_injector() const {
     return fault_injector_.get();
   }
+  /// The batching decorator, or nullptr unless `batched_queries` is on.
+  const rec::BatchedBlackBox* batched() const { return batched_.get(); }
   /// The resilience client, or nullptr when disabled.
   const fault::ResilientBlackBox* resilient() const {
     return resilient_.get();
@@ -216,6 +226,7 @@ class AttackEnvironment {
   /// always points at the outermost layer the attacker should use.
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<fault::ResilientBlackBox> resilient_;
+  std::unique_ptr<rec::BatchedBlackBox> batched_;
   rec::BlackBoxInterface* oracle_ = nullptr;
 
   data::ItemId target_item_ = data::kNoItem;

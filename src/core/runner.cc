@@ -3,6 +3,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "core/target_play.h"
 #include "obs/obs.h"
 #include "obs/time.h"
 #include "util/check.h"
@@ -32,65 +33,6 @@ SourceArtifacts PrepareSourceArtifacts(
 }
 
 namespace {
-
-/// Per-target-item outcome, merged into the campaign aggregate. Aliases
-/// the serializable checkpoint type so crash recovery cannot drift from
-/// what the runner aggregates.
-using ItemOutcome = TargetOutcomeState;
-
-void MergeOutcomes(const std::vector<ItemOutcome>& outcomes,
-                   const std::vector<std::size_t>& ks,
-                   CampaignResult* result) {
-  result->num_target_items = outcomes.size();
-  for (const std::size_t k : ks) result->metrics[k] = rec::TopKMetrics();
-  if (outcomes.empty()) return;
-  for (const ItemOutcome& outcome : outcomes) {
-    for (const std::size_t k : ks) {
-      const auto it = outcome.metrics.find(k);
-      if (it != outcome.metrics.end()) {
-        result->metrics[k].hr += it->second.hr;
-        result->metrics[k].ndcg += it->second.ndcg;
-        ++result->metrics[k].count;
-      }
-    }
-    result->avg_items_per_profile += outcome.items_per_profile;
-    result->avg_profiles_injected += outcome.profiles_injected;
-    result->avg_query_rounds += outcome.query_rounds;
-    result->avg_final_reward += outcome.final_reward;
-  }
-  const double n = static_cast<double>(outcomes.size());
-  for (const std::size_t k : ks) {
-    if (result->metrics[k].count > 0) {
-      result->metrics[k].hr /=
-          static_cast<double>(result->metrics[k].count);
-      result->metrics[k].ndcg /=
-          static_cast<double>(result->metrics[k].count);
-    }
-  }
-  result->avg_items_per_profile /= n;
-  result->avg_profiles_injected /= n;
-  result->avg_query_rounds /= n;
-  result->avg_final_reward /= n;
-}
-
-/// Extracts the per-item outcome from a finished attack environment.
-ItemOutcome CollectOutcome(const AttackEnvironment& env,
-                           double final_reward,
-                           const CampaignConfig& config) {
-  ItemOutcome outcome;
-  outcome.final_reward = final_reward;
-  const rec::BlackBoxInterface& bb = env.black_box();
-  outcome.profiles_injected = static_cast<double>(bb.injected_profiles());
-  outcome.items_per_profile =
-      bb.injected_profiles() > 0
-          ? static_cast<double>(bb.injected_interactions()) /
-                static_cast<double>(bb.injected_profiles())
-          : 0.0;
-  outcome.query_rounds = static_cast<double>(env.lifetime_queries());
-  outcome.metrics = env.EvaluateRealPromotion(
-      config.eval_ks, config.eval_users, config.eval_negatives);
-  return outcome;
-}
 
 /// The crash-safe sequential campaign (checkpoint.dir set). Plays target
 /// items in order, persisting a checkpoint after every completed target
@@ -162,75 +104,36 @@ CampaignResult RunCampaignCheckpointed(
 
   std::size_t episodes_played = 0;
   for (std::size_t index = start_index; index < targets.size(); ++index) {
-    OBS_SPAN("campaign.target_item");
-    OBS_COUNTER_INC("campaign.target_items");
-    const data::ItemId item = targets[index];
-    const std::uint64_t item_seed = config.seed + 1000003ULL * index;
-    std::unique_ptr<rec::Recommender> model = model_factory();
-    std::unique_ptr<AttackStrategy> strategy = strategy_factory(item_seed);
-
-    EnvConfig env_config = config.env;
-    env_config.seed = item_seed;
-    AttackEnvironment env(dataset, target_train, model.get(), env_config);
-
-    strategy->BeginTargetItem(item);
-    util::Rng episode_rng(item_seed ^ 0xBEEFCAFEULL);
-    std::size_t first_episode = 0;
+    TargetPlayHooks hooks;
+    hooks.every_episodes = config.checkpoint.every_episodes;
+    hooks.progress_target_index = index;
+    hooks.on_progress = [&](const InProgressTarget& progress) {
+      state.in_progress = progress;
+      save();
+    };
     if (resume_progress.active && index == start_index) {
-      // Mid-target resume: restore the strategy's learned state, the
-      // episode RNG stream, and the environment's cross-episode state,
-      // then continue with the next unplayed episode.
-      std::istringstream blob(resume_progress.strategy_blob,
-                              std::ios::binary);
-      CA_CHECK(strategy->LoadState(blob))
-          << "checkpointed strategy state does not fit the configured "
-             "architecture";
-      episode_rng.RestoreState(resume_progress.episode_rng);
-      env.RestoreResumeState(resume_progress.env);
-      first_episode = resume_progress.episodes_done;
+      hooks.resume = &resume_progress;
     }
-
-    double final_reward = 0.0;
-    for (std::size_t episode = first_episode; episode < config.episodes;
-         ++episode) {
-      if (episode + 1 == config.episodes) {
-        strategy->SetEvalMode(true);
-      }
-      env.Reset(item);
-      final_reward = strategy->RunEpisode(env, episode_rng);
+    hooks.should_abort = [&] {
       ++episodes_played;
+      return config.checkpoint.abort_after_episodes > 0 &&
+             episodes_played >= config.checkpoint.abort_after_episodes;
+    };
 
-      const bool last_episode = episode + 1 == config.episodes;
-      if (!last_episode &&
-          (episode + 1) % config.checkpoint.every_episodes == 0) {
-        state.in_progress.active = true;
-        state.in_progress.target_index = index;
-        state.in_progress.episodes_done = episode + 1;
-        state.in_progress.episode_rng = episode_rng.SaveState();
-        state.in_progress.env = env.SaveResumeState();
-        std::ostringstream blob(std::ios::binary);
-        if (strategy->SaveState(blob)) {
-          state.in_progress.strategy_blob = blob.str();
-          save();
-        } else {
-          CA_LOG(Warning) << "campaign: strategy state serialization "
-                             "failed; skipping mid-target checkpoint";
-          state.in_progress = InProgressTarget{};
-        }
-      }
-      if (config.checkpoint.abort_after_episodes > 0 &&
-          episodes_played >= config.checkpoint.abort_after_episodes) {
-        // Simulated crash (tests): stop dead without finishing the
-        // target. Whatever checkpoint was last written is what a real
-        // restart would find.
-        result.aborted = true;
-        MergeOutcomes(state.completed, config.eval_ks, &result);
-        result.wall_seconds = watch.ElapsedSeconds();
-        return result;
-      }
+    TargetPlayResult play =
+        PlayTargetItem(dataset, target_train, model_factory,
+                       strategy_factory, targets[index], index, config,
+                       hooks, nullptr);
+    if (play.aborted) {
+      // Whatever checkpoint was last written is what a real restart
+      // would find.
+      result.aborted = true;
+      MergeOutcomes(state.completed, config.eval_ks, &result);
+      result.wall_seconds = watch.ElapsedSeconds();
+      return result;
     }
 
-    state.completed.push_back(CollectOutcome(env, final_reward, config));
+    state.completed.push_back(std::move(play.outcome));
     state.in_progress = InProgressTarget{};
     resume_progress = InProgressTarget{};
     save();
@@ -257,7 +160,7 @@ CampaignResult EvaluateWithoutAttack(
   CampaignResult result;
   result.method = "WithoutAttack";
 
-  std::vector<ItemOutcome> outcomes(targets.size());
+  std::vector<TargetOutcomeState> outcomes(targets.size());
   util::ThreadPool::ParallelFor(
       targets.size(), config.num_threads, [&](std::size_t index) {
         const data::ItemId item = targets[index];
@@ -267,7 +170,7 @@ CampaignResult EvaluateWithoutAttack(
         AttackEnvironment env(dataset, target_train, model.get(),
                               env_config);
         env.Reset(item);  // pretend users added, no injections
-        ItemOutcome outcome;
+        TargetOutcomeState outcome;
         outcome.metrics = env.EvaluateRealPromotion(
             config.eval_ks, config.eval_users, config.eval_negatives);
         // Each worker writes its own pre-sized slot; no lock needed.
@@ -297,44 +200,21 @@ CampaignResult RunCampaign(const data::CrossDomainDataset& dataset,
   obs::Stopwatch watch;
   CampaignResult result;
 
-  std::vector<ItemOutcome> outcomes(targets.size());
+  std::vector<TargetOutcomeState> outcomes(targets.size());
   std::string method_name;
   std::once_flag method_name_once;
 
   util::ThreadPool::ParallelFor(
       targets.size(), config.num_threads, [&](std::size_t index) {
-        OBS_SPAN("campaign.target_item");
-        OBS_COUNTER_INC("campaign.target_items");
-        const data::ItemId item = targets[index];
-        const std::uint64_t item_seed = config.seed + 1000003ULL * index;
-        std::unique_ptr<rec::Recommender> model = model_factory();
-        std::unique_ptr<AttackStrategy> strategy =
-            strategy_factory(item_seed);
-
-        EnvConfig env_config = config.env;
-        env_config.seed = item_seed;
-        AttackEnvironment env(dataset, target_train, model.get(),
-                              env_config);
-
-        strategy->BeginTargetItem(item);
-        util::Rng episode_rng(item_seed ^ 0xBEEFCAFEULL);
-        double final_reward = 0.0;
-        for (std::size_t episode = 0; episode < config.episodes;
-             ++episode) {
-          // The last episode is played greedily (evaluation mode); its
-          // polluted state is what the promotion metrics measure.
-          if (episode + 1 == config.episodes) {
-            strategy->SetEvalMode(true);
-          }
-          env.Reset(item);
-          final_reward = strategy->RunEpisode(env, episode_rng);
-        }
-
+        std::string name;
+        TargetPlayResult play = PlayTargetItem(
+            dataset, target_train, model_factory, strategy_factory,
+            targets[index], index, config, TargetPlayHooks{}, &name);
         // Distinct slots per worker; only the shared method name needs a
         // one-time guard (every strategy instance reports the same name).
-        outcomes[index] = CollectOutcome(env, final_reward, config);
+        outcomes[index] = std::move(play.outcome);
         std::call_once(method_name_once,
-                       [&] { method_name = strategy->name(); });
+                       [&] { method_name = name; });
       });
 
   result.method = method_name;
@@ -356,7 +236,10 @@ std::string CampaignRowHeader() {
 std::string FormatCampaignRow(const CampaignResult& result) {
   std::ostringstream out;
   out << result.method;
+  // Long attack-server job labels (id:method) overflow the 20-column
+  // budget; keep at least two spaces so the row stays parseable.
   for (std::size_t i = result.method.size(); i < 20; ++i) out << ' ';
+  if (result.method.size() >= 20) out << "  ";
   const std::size_t ks[] = {20, 10, 5};
   for (const std::size_t k : ks) {
     const auto it = result.metrics.find(k);

@@ -1,0 +1,152 @@
+#include "core/target_play.h"
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+
+#include "core/attack_strategy.h"
+#include "core/environment.h"
+#include "obs/obs.h"
+#include "rec/black_box.h"
+#include "rec/recommender.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace copyattack::core {
+
+namespace {
+
+/// Extracts the per-item outcome from a finished attack environment.
+TargetOutcomeState CollectOutcome(const AttackEnvironment& env,
+                                  double final_reward,
+                                  const CampaignConfig& config) {
+  TargetOutcomeState outcome;
+  outcome.final_reward = final_reward;
+  const rec::BlackBoxInterface& bb = env.black_box();
+  outcome.profiles_injected = static_cast<double>(bb.injected_profiles());
+  outcome.items_per_profile =
+      bb.injected_profiles() > 0
+          ? static_cast<double>(bb.injected_interactions()) /
+                static_cast<double>(bb.injected_profiles())
+          : 0.0;
+  outcome.query_rounds = static_cast<double>(env.lifetime_queries());
+  outcome.metrics = env.EvaluateRealPromotion(
+      config.eval_ks, config.eval_users, config.eval_negatives);
+  return outcome;
+}
+
+}  // namespace
+
+void MergeOutcomes(const std::vector<TargetOutcomeState>& outcomes,
+                   const std::vector<std::size_t>& ks,
+                   CampaignResult* result) {
+  result->num_target_items = outcomes.size();
+  for (const std::size_t k : ks) result->metrics[k] = rec::TopKMetrics();
+  if (outcomes.empty()) return;
+  for (const TargetOutcomeState& outcome : outcomes) {
+    for (const std::size_t k : ks) {
+      const auto it = outcome.metrics.find(k);
+      if (it != outcome.metrics.end()) {
+        result->metrics[k].hr += it->second.hr;
+        result->metrics[k].ndcg += it->second.ndcg;
+        ++result->metrics[k].count;
+      }
+    }
+    result->avg_items_per_profile += outcome.items_per_profile;
+    result->avg_profiles_injected += outcome.profiles_injected;
+    result->avg_query_rounds += outcome.query_rounds;
+    result->avg_final_reward += outcome.final_reward;
+  }
+  const double n = static_cast<double>(outcomes.size());
+  for (const std::size_t k : ks) {
+    if (result->metrics[k].count > 0) {
+      result->metrics[k].hr /=
+          static_cast<double>(result->metrics[k].count);
+      result->metrics[k].ndcg /=
+          static_cast<double>(result->metrics[k].count);
+    }
+  }
+  result->avg_items_per_profile /= n;
+  result->avg_profiles_injected /= n;
+  result->avg_query_rounds /= n;
+  result->avg_final_reward /= n;
+}
+
+TargetPlayResult PlayTargetItem(const data::CrossDomainDataset& dataset,
+                                const data::Dataset& target_train,
+                                const ModelFactory& model_factory,
+                                const StrategyFactory& strategy_factory,
+                                data::ItemId item, std::size_t global_index,
+                                const CampaignConfig& config,
+                                const TargetPlayHooks& hooks,
+                                std::string* method_name) {
+  OBS_SPAN("campaign.target_item");
+  OBS_COUNTER_INC("campaign.target_items");
+  const std::uint64_t item_seed = config.seed + 1000003ULL * global_index;
+  std::unique_ptr<rec::Recommender> model = model_factory();
+  std::unique_ptr<AttackStrategy> strategy = strategy_factory(item_seed);
+  if (method_name != nullptr) *method_name = strategy->name();
+
+  EnvConfig env_config = config.env;
+  env_config.seed = item_seed;
+  AttackEnvironment env(dataset, target_train, model.get(), env_config);
+
+  strategy->BeginTargetItem(item);
+  util::Rng episode_rng(item_seed ^ 0xBEEFCAFEULL);
+  std::size_t first_episode = 0;
+  if (hooks.resume != nullptr && hooks.resume->active) {
+    // Mid-target resume: restore the strategy's learned state, the
+    // episode RNG stream, and the environment's cross-episode state,
+    // then continue with the next unplayed episode.
+    std::istringstream blob(hooks.resume->strategy_blob, std::ios::binary);
+    CA_CHECK(strategy->LoadState(blob))
+        << "checkpointed strategy state does not fit the configured "
+           "architecture";
+    episode_rng.RestoreState(hooks.resume->episode_rng);
+    env.RestoreResumeState(hooks.resume->env);
+    first_episode = hooks.resume->episodes_done;
+  }
+
+  TargetPlayResult result;
+  double final_reward = 0.0;
+  for (std::size_t episode = first_episode; episode < config.episodes;
+       ++episode) {
+    // The last episode is played greedily (evaluation mode); its polluted
+    // state is what the promotion metrics measure.
+    if (episode + 1 == config.episodes) {
+      strategy->SetEvalMode(true);
+    }
+    env.Reset(item);
+    final_reward = strategy->RunEpisode(env, episode_rng);
+
+    const bool last_episode = episode + 1 == config.episodes;
+    if (!last_episode && hooks.every_episodes > 0 &&
+        (episode + 1) % hooks.every_episodes == 0 &&
+        hooks.on_progress != nullptr) {
+      InProgressTarget progress;
+      progress.active = true;
+      progress.target_index = hooks.progress_target_index;
+      progress.episodes_done = episode + 1;
+      progress.episode_rng = episode_rng.SaveState();
+      progress.env = env.SaveResumeState();
+      std::ostringstream blob(std::ios::binary);
+      if (strategy->SaveState(blob)) {
+        progress.strategy_blob = blob.str();
+        hooks.on_progress(progress);
+      } else {
+        CA_LOG(Warning) << "campaign: strategy state serialization "
+                           "failed; skipping mid-target checkpoint";
+      }
+    }
+    if (hooks.should_abort && hooks.should_abort()) {
+      // Simulated crash (tests): stop dead without finishing the target.
+      result.aborted = true;
+      return result;
+    }
+  }
+  result.outcome = CollectOutcome(env, final_reward, config);
+  return result;
+}
+
+}  // namespace copyattack::core

@@ -17,10 +17,69 @@ struct DescendingByScore {
   }
 };
 
+/// One kept candidate of the bounded-heap selection.
+struct HeapEntry {
+  float score;
+  std::size_t index;
+};
+
+/// Strict "ranks better than" under the Top-k contract: higher score
+/// first, lower index on ties. Used both as the heap comparator (the heap
+/// root is then the *worst* kept entry) and for the final best-first sort.
+inline bool RanksBetter(const HeapEntry& a, const HeapEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
 }  // namespace
+
+std::vector<std::size_t> TopKIndices(const float* scores, std::size_t n,
+                                     std::size_t k) {
+  if (k >= n) {
+    // Full argsort: the heap degenerates to a total sort anyway, and the
+    // index-array path reuses the reference comparator directly.
+    std::vector<std::size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), 0U);
+    std::sort(indices.begin(), indices.end(),
+              [scores](std::size_t a, std::size_t b) {
+                if (scores[a] != scores[b]) return scores[a] > scores[b];
+                return a < b;
+              });
+    return indices;
+  }
+
+  // Bounded partial heap: `heap` holds the k best seen so far as a
+  // max-heap under RanksBetter, so the root is the worst kept entry and
+  // one comparison decides whether a new candidate displaces it. Scanning
+  // indices in ascending order makes tie handling free: an equal-score
+  // candidate always has a larger index than everything already kept, so
+  // it never ranks better than the root it would replace.
+  std::vector<HeapEntry> heap;
+  heap.reserve(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const HeapEntry candidate{scores[i], i};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), RanksBetter);
+    } else if (RanksBetter(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), RanksBetter);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), RanksBetter);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), RanksBetter);
+  std::vector<std::size_t> result(heap.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) result[i] = heap[i].index;
+  return result;
+}
 
 std::vector<std::size_t> TopKIndices(const std::vector<float>& scores,
                                      std::size_t k) {
+  return TopKIndices(scores.data(), scores.size(), k);
+}
+
+std::vector<std::size_t> TopKIndicesBySort(const std::vector<float>& scores,
+                                           std::size_t k) {
   std::vector<std::size_t> indices(scores.size());
   std::iota(indices.begin(), indices.end(), 0U);
   const DescendingByScore cmp{scores};
@@ -32,6 +91,17 @@ std::vector<std::size_t> TopKIndices(const std::vector<float>& scores,
     std::sort(indices.begin(), indices.end(), cmp);
   }
   return indices;
+}
+
+void TopKPerRow(const float* scores, std::size_t rows, std::size_t cols,
+                std::size_t k, std::size_t* out) {
+  CA_CHECK_LE(k, cols);
+  CA_CHECK(out != nullptr);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::vector<std::size_t> top =
+        TopKIndices(scores + r * cols, cols, k);
+    std::copy(top.begin(), top.end(), out + r * k);
+  }
 }
 
 std::size_t RankOf(const std::vector<float>& scores, std::size_t index) {

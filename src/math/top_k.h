@@ -9,8 +9,36 @@ namespace copyattack::math {
 /// Returns the indices of the `k` largest scores, ordered from best to worst.
 /// Ties break toward the lower index so the ranking is deterministic.
 /// If `k >= scores.size()` the full argsort (descending) is returned.
+///
+/// Selection runs on a bounded partial heap of `k` entries (one pass over
+/// the scores, O(n log k) worst case, O(k) extra memory) instead of
+/// materializing and partially sorting an index array of all `n`
+/// candidates — the Top-k serving hot path touches this on every oracle
+/// query. Bit-identical to the sorted reference `TopKIndicesBySort`
+/// (equivalence is enforced by tests).
 std::vector<std::size_t> TopKIndices(const std::vector<float>& scores,
                                      std::size_t k);
+
+/// Pointer form of `TopKIndices` for callers that keep many rows of
+/// scores in one contiguous block (batched oracle queries): selects the
+/// Top-k of `scores[0, n)` without copying the row into a vector.
+std::vector<std::size_t> TopKIndices(const float* scores, std::size_t n,
+                                     std::size_t k);
+
+/// Reference implementation of `TopKIndices` via full index argsort
+/// (std::partial_sort over all indices). Kept for the equivalence tests
+/// and as documentation of the ranking contract; production callers use
+/// the heap-based `TopKIndices`.
+std::vector<std::size_t> TopKIndicesBySort(const std::vector<float>& scores,
+                                           std::size_t k);
+
+/// Selects the Top-k of every row of a dense row-major `rows x cols`
+/// score block in one call (the batched-oracle form: one row per queried
+/// user). Row `r`'s result occupies `out[r * k .. r * k + k)`, best
+/// first, with the same deterministic tie-breaking as `TopKIndices`.
+/// Requires `k <= cols`; `out` must hold `rows * k` entries.
+void TopKPerRow(const float* scores, std::size_t rows, std::size_t cols,
+                std::size_t k, std::size_t* out);
 
 /// Rank (0-based) of `index` when `scores` is sorted descending with
 /// deterministic tie-breaking toward lower indices. This is what the

@@ -1,0 +1,91 @@
+#include "rec/batched_black_box.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace copyattack::rec {
+
+BatchedBlackBox::BatchedBlackBox(BlackBoxInterface* inner,
+                                 BlackBoxRecommender* fast)
+    : inner_(inner), fast_(fast) {
+  CA_CHECK(inner != nullptr);
+}
+
+std::vector<QueryResult> BatchedBlackBox::QueryBatch(
+    const std::vector<data::UserId>& users,
+    const std::vector<std::vector<data::ItemId>>& candidates,
+    std::size_t k) {
+  OBS_SPAN("blackbox.query_batch");
+  CA_CHECK_EQ(users.size(), candidates.size());
+  max_batch_users_ = std::max(max_batch_users_, users.size());
+  OBS_HIST_OBSERVE("campaign.batch_users", users.size());
+
+  if (fast_ != nullptr) {
+    // One dense block needs equal-length rows; tiny datasets can come up
+    // short of negatives, so ragged batches degrade to per-row heap
+    // selection (same results, same meters, no dense block).
+    const bool rectangular =
+        users.empty() ||
+        std::all_of(candidates.begin(), candidates.end(),
+                    [&](const std::vector<data::ItemId>& list) {
+                      return list.size() == candidates.front().size();
+                    });
+    ++blocked_batches_;
+    if (rectangular) return fast_->QueryTopKBatch(users, candidates, k);
+    std::vector<QueryResult> results(users.size());
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      results[i].items = fast_->QueryTopK(users[i], candidates[i], k);
+    }
+    return results;
+  }
+
+  // Decorated stack: forward in batch order so the fault injector and the
+  // resilient client consume exactly the draws a per-query loop would.
+  // The first kUnavailable poisons the rest of the batch *without*
+  // touching the oracle — mirroring the unbatched caller, which abandons
+  // its query round at that point.
+  ++forwarded_batches_;
+  std::vector<QueryResult> results(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    results[i] = inner_->Query(users[i], candidates[i], k);
+    if (results[i].status == BlackBoxStatus::kUnavailable) {
+      for (std::size_t j = i + 1; j < users.size(); ++j) {
+        results[j].status = BlackBoxStatus::kUnavailable;
+      }
+      break;
+    }
+  }
+  return results;
+}
+
+InjectResult BatchedBlackBox::Inject(data::Profile profile) {
+  return inner_->Inject(std::move(profile));
+}
+
+QueryResult BatchedBlackBox::Query(
+    data::UserId user, const std::vector<data::ItemId>& candidates,
+    std::size_t k) {
+  return inner_->Query(user, candidates, k);
+}
+
+std::size_t BatchedBlackBox::query_count() const {
+  return inner_->query_count();
+}
+
+std::size_t BatchedBlackBox::injected_profiles() const {
+  return inner_->injected_profiles();
+}
+
+std::size_t BatchedBlackBox::injected_interactions() const {
+  return inner_->injected_interactions();
+}
+
+void BatchedBlackBox::ResetCounters() { inner_->ResetCounters(); }
+
+const data::Dataset& BatchedBlackBox::polluted() const {
+  return inner_->polluted();
+}
+
+}  // namespace copyattack::rec

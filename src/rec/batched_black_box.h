@@ -1,0 +1,77 @@
+#ifndef COPYATTACK_REC_BATCHED_BLACK_BOX_H_
+#define COPYATTACK_REC_BATCHED_BLACK_BOX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rec/black_box.h"
+
+namespace copyattack::rec {
+
+/// Decorator that coalesces the Top-k probes of one query round into a
+/// single blocked oracle call (paper §4.2 issues one probe per pretend
+/// user per round; a campaign-parallel attack server multiplies that by
+/// the number of concurrent campaigns, so the per-probe overhead — one
+/// virtual dispatch, one allocation, one full candidate sort — is the
+/// traffic-facing hot path).
+///
+/// Two execution modes, chosen per batch:
+///  - Fast path: when the decorated stack is the bare in-process
+///    `BlackBoxRecommender` (no fault decorators between), the batch
+///    executes as ONE blocked user x item scoring call with a bounded
+///    partial-heap select per row (`QueryTopKBatch`).
+///  - Fallback: with a fault/resilience stack in between, the batch is
+///    forwarded query-by-query in batch order, stopping at the first
+///    `kUnavailable` (the remaining queries are reported unavailable
+///    without touching the oracle). This consumes exactly the fault
+///    draws the unbatched loop would, so fault schedules, retry
+///    sequences and breaker transitions stay bit-identical whether
+///    batching is on or off.
+///
+/// Either way the per-query payloads are bit-identical to issuing the
+/// queries individually, which is what lets the sharded campaign runner
+/// enable batching unconditionally without perturbing results.
+class BatchedBlackBox final : public BlackBoxInterface {
+ public:
+  /// `inner` is the outermost layer of the existing oracle stack (always
+  /// used for injections and single queries). `fast` must be the same
+  /// object as `inner` when no decorators intervene — then batches take
+  /// the blocked path — or nullptr to force per-query forwarding. Both
+  /// are borrowed and must outlive this wrapper.
+  BatchedBlackBox(BlackBoxInterface* inner, BlackBoxRecommender* fast);
+
+  /// Answers `users.size()` Top-k queries as one batch (see class
+  /// comment). `results[i]` corresponds to `users[i]`/`candidates[i]`.
+  std::vector<QueryResult> QueryBatch(
+      const std::vector<data::UserId>& users,
+      const std::vector<std::vector<data::ItemId>>& candidates,
+      std::size_t k);
+
+  /// Largest batch the wrapper has executed (exposed for tests/metrics).
+  std::size_t max_batch_users() const { return max_batch_users_; }
+  /// Batches served by the blocked fast path vs per-query forwarding.
+  std::size_t blocked_batches() const { return blocked_batches_; }
+  std::size_t forwarded_batches() const { return forwarded_batches_; }
+
+  // BlackBoxInterface: plain operations forward to the inner stack.
+  InjectResult Inject(data::Profile profile) override;
+  QueryResult Query(data::UserId user,
+                    const std::vector<data::ItemId>& candidates,
+                    std::size_t k) override;
+  std::size_t query_count() const override;
+  std::size_t injected_profiles() const override;
+  std::size_t injected_interactions() const override;
+  void ResetCounters() override;
+  const data::Dataset& polluted() const override;
+
+ private:
+  BlackBoxInterface* inner_;
+  BlackBoxRecommender* fast_;
+  std::size_t max_batch_users_ = 0;
+  std::size_t blocked_batches_ = 0;
+  std::size_t forwarded_batches_ = 0;
+};
+
+}  // namespace copyattack::rec
+
+#endif  // COPYATTACK_REC_BATCHED_BLACK_BOX_H_

@@ -57,6 +57,46 @@ std::vector<data::ItemId> BlackBoxRecommender::QueryTopK(
   return items;
 }
 
+std::vector<QueryResult> BlackBoxRecommender::QueryTopKBatch(
+    const std::vector<data::UserId>& users,
+    const std::vector<std::vector<data::ItemId>>& candidates,
+    std::size_t k) {
+  OBS_SCOPED_TIMER_US("blackbox.query_batch_us");
+  CA_CHECK_EQ(users.size(), candidates.size());
+  std::vector<QueryResult> results(users.size());
+  if (users.empty()) return results;
+
+  const std::size_t cols = candidates.front().size();
+  for (const auto& list : candidates) {
+    CA_CHECK_EQ(list.size(), cols)
+        << "batched queries require equal-length candidate lists";
+  }
+  OBS_COUNTER_ADD("blackbox.queries", users.size());
+  OBS_HIST_OBSERVE("blackbox.batch_users", users.size());
+  query_count_.fetch_add(users.size(), std::memory_order_relaxed);
+
+  // One contiguous users x candidates score block, filled row-by-row with
+  // the allocation-free scoring primitive, then one bounded-heap select
+  // per row. The per-row results are bit-identical to QueryTopK's because
+  // TopKIndices is the same selection either way.
+  const std::size_t select = std::min(k, cols);
+  std::vector<float> scores(users.size() * cols);
+  std::vector<std::size_t> top(users.size() * select);
+  for (std::size_t row = 0; row < users.size(); ++row) {
+    model_->ScoreCandidatesInto(users[row], candidates[row],
+                                scores.data() + row * cols);
+  }
+  math::TopKPerRow(scores.data(), users.size(), cols, select, top.data());
+  for (std::size_t row = 0; row < users.size(); ++row) {
+    std::vector<data::ItemId>& items = results[row].items;
+    items.reserve(select);
+    for (std::size_t j = 0; j < select; ++j) {
+      items.push_back(candidates[row][top[row * select + j]]);
+    }
+  }
+  return results;
+}
+
 InjectResult BlackBoxRecommender::Inject(data::Profile profile) {
   InjectResult result;
   result.user = InjectUser(std::move(profile));

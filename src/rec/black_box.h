@@ -113,6 +113,18 @@ class BlackBoxRecommender final : public BlackBoxInterface {
       data::UserId user, const std::vector<data::ItemId>& candidates,
       std::size_t k);
 
+  /// Batched query access: answers `users.size()` Top-k queries in one
+  /// blocked call. All candidate lists must have equal length, so the
+  /// scores form one dense row-major users x candidates block that is
+  /// filled in a single pass and selected with the bounded partial heap
+  /// (math::TopKPerRow) — no per-query allocation, no per-user full sort.
+  /// Each answered query still counts once on the query meter, and every
+  /// result is bit-identical to the corresponding per-query `QueryTopK`.
+  std::vector<QueryResult> QueryTopKBatch(
+      const std::vector<data::UserId>& users,
+      const std::vector<std::vector<data::ItemId>>& candidates,
+      std::size_t k);
+
   InjectResult Inject(data::Profile profile) override;
   QueryResult Query(data::UserId user,
                     const std::vector<data::ItemId>& candidates,

@@ -13,12 +13,17 @@ void Recommender::Fit(const data::Dataset& train, std::size_t epochs,
 
 std::vector<float> Recommender::ScoreCandidates(
     data::UserId user, const std::vector<data::ItemId>& candidates) const {
-  std::vector<float> scores;
-  scores.reserve(candidates.size());
-  for (const data::ItemId item : candidates) {
-    scores.push_back(Score(user, item));
-  }
+  std::vector<float> scores(candidates.size());
+  ScoreCandidatesInto(user, candidates, scores.data());
   return scores;
+}
+
+void Recommender::ScoreCandidatesInto(
+    data::UserId user, const std::vector<data::ItemId>& candidates,
+    float* out) const {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = Score(user, candidates[i]);
+  }
 }
 
 }  // namespace copyattack::rec

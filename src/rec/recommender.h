@@ -69,6 +69,13 @@ class Recommender {
   /// Scores a candidate list (order preserved).
   std::vector<float> ScoreCandidates(
       data::UserId user, const std::vector<data::ItemId>& candidates) const;
+
+  /// Scores a candidate list into a caller-provided buffer of
+  /// `candidates.size()` floats — the allocation-free row primitive the
+  /// batched oracle uses to fill one contiguous user x item score block.
+  void ScoreCandidatesInto(data::UserId user,
+                           const std::vector<data::ItemId>& candidates,
+                           float* out) const;
 };
 
 }  // namespace copyattack::rec

@@ -1,0 +1,133 @@
+#include "serve/attack_server.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/copy_attack.h"
+#include "core/flat_policy.h"
+#include "data/target_items.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace copyattack::serve {
+
+StrategySpec MakeStrategyFactory(const data::CrossDomainDataset& dataset,
+                                 const core::SourceArtifacts& artifacts,
+                                 const std::string& method) {
+  StrategySpec spec;
+  if (method == "RandomAttack") {
+    spec.learns = false;
+    spec.factory = [&dataset](std::uint64_t) {
+      return std::make_unique<core::RandomAttack>(dataset);
+    };
+  } else if (method == "TargetAttack40" || method == "TargetAttack70" ||
+             method == "TargetAttack100") {
+    spec.learns = false;
+    const double keep = method == "TargetAttack40"   ? 0.4
+                        : method == "TargetAttack70" ? 0.7
+                                                     : 1.0;
+    spec.factory = [&dataset, keep](std::uint64_t) {
+      return std::make_unique<core::TargetAttack>(dataset, keep);
+    };
+  } else if (method == "PolicyNetwork") {
+    spec.factory = [&dataset, &artifacts](std::uint64_t seed) {
+      return std::make_unique<core::FlatPolicyNetwork>(
+          &dataset, &artifacts.mf.user_embeddings(),
+          &artifacts.mf.item_embeddings(),
+          core::FlatPolicyNetwork::Config{}, seed);
+    };
+  } else if (method == "CopyAttack" || method == "CopyAttack-Masking" ||
+             method == "CopyAttack-Length") {
+    core::CopyAttackConfig config;
+    config.use_masking = method != "CopyAttack-Masking";
+    config.use_crafting = method != "CopyAttack-Length";
+    spec.factory = [&dataset, &artifacts, config](std::uint64_t seed) {
+      return std::make_unique<core::CopyAttack>(
+          &dataset, &artifacts.tree, &artifacts.mf.user_embeddings(),
+          &artifacts.mf.item_embeddings(), config, seed);
+    };
+  }
+  return spec;
+}
+
+AttackServer::AttackServer(const data::CrossDomainDataset& dataset,
+                           const data::Dataset& target_train,
+                           core::ModelFactory model_factory,
+                           const core::SourceArtifacts& artifacts,
+                           const ServerConfig& config)
+    : dataset_(dataset),
+      target_train_(target_train),
+      model_factory_(std::move(model_factory)),
+      artifacts_(artifacts),
+      config_(config) {
+  CA_CHECK(model_factory_ != nullptr);
+  CA_CHECK_GT(config_.runner.jobs, 0U)
+      << "--jobs must be a positive integer";
+}
+
+JobReport AttackServer::RunJob(const PromotionJob& job) {
+  OBS_SPAN("server.job");
+  JobReport report;
+  report.job = job;
+
+  const StrategySpec spec =
+      MakeStrategyFactory(dataset_, artifacts_, job.method);
+  if (!spec.factory) {
+    report.error = "unknown method '" + job.method + "'";
+    ++jobs_failed_;
+    OBS_COUNTER_INC("server.job_failures");
+    CA_LOG(Warning) << "server: job " << job.id << " rejected: "
+                    << report.error;
+    return report;
+  }
+
+  util::Rng target_rng(job.seed);
+  const std::vector<data::ItemId> targets = data::SampleColdTargetItems(
+      dataset_, job.num_targets, config_.cold_max_interactions,
+      target_rng);
+
+  core::CampaignConfig campaign;
+  campaign.env.budget = job.budget;
+  campaign.episodes = spec.learns ? job.episodes : 1;
+  campaign.seed = job.seed;
+
+  core::ParallelRunnerOptions options = config_.runner;
+  options.checkpoint = core::CampaignCheckpointOptions{};
+  // The simulated-crash hook passes through so tests can kill a job
+  // mid-campaign and resume it.
+  options.checkpoint.abort_after_episodes =
+      config_.runner.checkpoint.abort_after_episodes;
+  if (!config_.checkpoint_root.empty()) {
+    options.checkpoint.dir = config_.checkpoint_root + "/job_" + job.id;
+    options.checkpoint.resume = config_.resume;
+    options.checkpoint.every_episodes = config_.checkpoint_every;
+  }
+
+  const core::ParallelCampaignRunner runner(dataset_, target_train_,
+                                            model_factory_, spec.factory,
+                                            options);
+  report.result = runner.Run(targets, campaign);
+  report.ok = true;
+  ++jobs_run_;
+  OBS_COUNTER_INC("server.jobs");
+  CA_LOG(Info) << "server: job " << job.id << " (" << job.method << ", "
+               << targets.size() << " targets) done";
+  return report;
+}
+
+std::vector<JobReport> AttackServer::Drain(JobQueue* queue) {
+  CA_CHECK(queue != nullptr);
+  std::vector<JobReport> reports;
+  PromotionJob job;
+  while (queue->Pop(&job)) {
+    OBS_GAUGE_SET("server.queue_depth",
+                  static_cast<double>(queue->pending()));
+    reports.push_back(RunJob(job));
+  }
+  return reports;
+}
+
+}  // namespace copyattack::serve

@@ -1,0 +1,99 @@
+#ifndef COPYATTACK_SERVE_ATTACK_SERVER_H_
+#define COPYATTACK_SERVE_ATTACK_SERVER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/parallel_runner.h"
+#include "core/runner.h"
+#include "data/cross_domain.h"
+#include "data/dataset.h"
+#include "serve/job_queue.h"
+
+namespace copyattack::serve {
+
+/// A named attack method resolved to its strategy factory.
+struct StrategySpec {
+  /// Null when the method name is unknown.
+  core::StrategyFactory factory;
+  /// False for the non-learning baselines (RandomAttack, TargetAttack*):
+  /// they play exactly one episode per target.
+  bool learns = true;
+};
+
+/// Resolves an attack-method name ("CopyAttack", "CopyAttack-Masking",
+/// "CopyAttack-Length", "PolicyNetwork", "RandomAttack",
+/// "TargetAttack40/70/100") to its strategy factory over the shared
+/// per-dataset artifacts — the single dispatch table behind both the
+/// `attack` CLI command and the attack server. `dataset` and `artifacts`
+/// are captured by reference and must outlive the returned factory.
+StrategySpec MakeStrategyFactory(const data::CrossDomainDataset& dataset,
+                                 const core::SourceArtifacts& artifacts,
+                                 const std::string& method);
+
+/// Attack-server configuration (one per process lifetime).
+struct ServerConfig {
+  /// Sharding/batching of each job's campaign. `runner.checkpoint` is
+  /// ignored — per-job crash safety is derived from the fields below.
+  core::ParallelRunnerOptions runner;
+  /// Root of the per-job checkpoint tree: job `id` persists under
+  /// `<checkpoint_root>/job_<id>`. Empty disables crash safety.
+  std::string checkpoint_root;
+  /// Resume each job from its checkpoint directory when present.
+  bool resume = false;
+  /// Episodes between mid-target checkpoints.
+  std::size_t checkpoint_every = 1;
+  /// Items with at most this many interactions count as cold targets.
+  std::size_t cold_max_interactions = 10;
+};
+
+/// Outcome of one served job.
+struct JobReport {
+  PromotionJob job;
+  bool ok = false;
+  std::string error;  ///< set when !ok (e.g. unknown method)
+  core::ParallelCampaignResult result;  ///< valid when ok
+};
+
+/// The long-running promotion service (ISSUE 6 tentpole): consumes
+/// `PromotionJob`s from a queue and runs each as one sharded campaign on
+/// the shared thread pool via `core::ParallelCampaignRunner`, with
+/// per-job checkpoint/resume. Jobs execute one at a time in arrival
+/// order — each job already owns the configured `--jobs` worth of
+/// parallelism, so running jobs concurrently would only oversubscribe
+/// the pool — while producers keep feeding the queue concurrently.
+class AttackServer {
+ public:
+  /// `dataset`, `target_train` and `artifacts` are borrowed and must
+  /// outlive the server; the factories are copied.
+  AttackServer(const data::CrossDomainDataset& dataset,
+               const data::Dataset& target_train,
+               core::ModelFactory model_factory,
+               const core::SourceArtifacts& artifacts,
+               const ServerConfig& config);
+
+  /// Runs one job to completion (synchronously).
+  JobReport RunJob(const PromotionJob& job);
+
+  /// Serves `queue` until it is closed and drained; returns the reports
+  /// in completion order.
+  std::vector<JobReport> Drain(JobQueue* queue);
+
+  std::size_t jobs_run() const { return jobs_run_; }
+  std::size_t jobs_failed() const { return jobs_failed_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  const data::CrossDomainDataset& dataset_;
+  const data::Dataset& target_train_;
+  core::ModelFactory model_factory_;
+  const core::SourceArtifacts& artifacts_;
+  ServerConfig config_;
+  std::size_t jobs_run_ = 0;
+  std::size_t jobs_failed_ = 0;
+};
+
+}  // namespace copyattack::serve
+
+#endif  // COPYATTACK_SERVE_ATTACK_SERVER_H_

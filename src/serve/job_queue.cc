@@ -1,0 +1,128 @@
+#include "serve/job_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace copyattack::serve {
+
+namespace {
+
+bool ValidJobId(const std::string& id) {
+  if (id.empty()) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool RowError(std::size_t line, const std::string& what,
+              std::string* error) {
+  *error = "jobs csv line " + std::to_string(line) + ": " + what;
+  return false;
+}
+
+}  // namespace
+
+bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
+                  std::string* error) {
+  CA_CHECK(jobs != nullptr);
+  CA_CHECK(error != nullptr);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> fields = util::Split(trimmed, ',');
+    if (util::Trim(fields.front()) == "id") continue;  // header row
+    if (fields.size() != 6) {
+      return RowError(line_number,
+                      "expected 6 fields (id,method,targets,budget,"
+                      "episodes,seed), got " +
+                          std::to_string(fields.size()),
+                      error);
+    }
+    PromotionJob job;
+    job.id = std::string(util::Trim(fields[0]));
+    if (!ValidJobId(job.id)) {
+      return RowError(line_number,
+                      "job id must match [A-Za-z0-9_-]+, got '" + job.id +
+                          "'",
+                      error);
+    }
+    job.method = std::string(util::Trim(fields[1]));
+    if (job.method.empty()) {
+      return RowError(line_number, "method must not be empty", error);
+    }
+    struct NumField {
+      const char* name;
+      std::size_t index;
+      std::size_t* out;
+      bool positive;
+    };
+    std::size_t seed = 0;
+    const NumField numbers[] = {
+        {"targets", 2, &job.num_targets, true},
+        {"budget", 3, &job.budget, true},
+        {"episodes", 4, &job.episodes, true},
+        {"seed", 5, &seed, false},
+    };
+    for (const NumField& field : numbers) {
+      if (!util::ParseSizeT(util::Trim(fields[field.index]), field.out) ||
+          (field.positive && *field.out == 0)) {
+        return RowError(line_number,
+                        std::string(field.name) +
+                            " must be a positive integer, got '" +
+                            std::string(util::Trim(fields[field.index])) +
+                            "'",
+                        error);
+      }
+    }
+    job.seed = static_cast<std::uint64_t>(seed);
+    jobs->push_back(std::move(job));
+  }
+  return true;
+}
+
+void JobQueue::Push(PromotionJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CA_CHECK(!closed_) << "JobQueue::Push after Close";
+    jobs_.push_back(std::move(job));
+  }
+  job_available_.notify_one();
+}
+
+void JobQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  job_available_.notify_all();
+}
+
+bool JobQueue::Pop(PromotionJob* job) {
+  CA_CHECK(job != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_available_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return false;  // closed and drained
+  *job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return true;
+}
+
+std::size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace copyattack::serve

@@ -1,0 +1,74 @@
+#ifndef COPYATTACK_SERVE_JOB_QUEUE_H_
+#define COPYATTACK_SERVE_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace copyattack::serve {
+
+/// One queued promotion campaign: which attack method to run, how many
+/// cold target items to promote, and with what budget. Jobs arrive on the
+/// attack server's queue from a CSV file or stdin.
+struct PromotionJob {
+  /// Job name, `[A-Za-z0-9_-]+`; also names the job's checkpoint
+  /// directory (`<root>/job_<id>`), hence the restricted charset.
+  std::string id;
+  /// Attack method (`serve::MakeStrategyFactory` names).
+  std::string method = "CopyAttack";
+  /// Cold target items to sample (seeded by `seed`).
+  std::size_t num_targets = 5;
+  /// Profile budget Δ per episode.
+  std::size_t budget = 30;
+  /// Training episodes per target (forced to 1 for non-learning methods).
+  std::size_t episodes = 5;
+  /// Seed of the job's campaign (target sampling + per-item streams).
+  std::uint64_t seed = 7;
+};
+
+/// Parses the attack-server job CSV: one `id,method,targets,budget,
+/// episodes,seed` row per line. Blank lines and `#` comments are skipped,
+/// as is an optional header row starting with `id`. Returns false and
+/// sets `*error` (with a line number) on the first malformed row; `*jobs`
+/// then holds the rows parsed so far.
+bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
+                  std::string* error);
+
+/// Thread-safe FIFO of promotion jobs feeding the attack server. Any
+/// thread may push; consumers block in `Pop` until a job arrives or the
+/// queue is closed and drained — the standard producer/consumer shutdown
+/// handshake, so a server draining a closed queue exits cleanly.
+class JobQueue {
+ public:
+  /// Enqueues a job. Must not be called after `Close`.
+  void Push(PromotionJob job);
+
+  /// Closes the queue: pending jobs still drain, then `Pop` returns
+  /// false forever. Idempotent.
+  void Close();
+
+  /// Blocks until a job is available (true, job moved into `*job`) or
+  /// the queue is closed and empty (false).
+  bool Pop(PromotionJob* job);
+
+  /// Jobs currently queued (instantaneous, advisory).
+  std::size_t pending() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable job_available_;
+  std::deque<PromotionJob> jobs_ CA_GUARDED_BY(mutex_);
+  bool closed_ CA_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace copyattack::serve
+
+#endif  // COPYATTACK_SERVE_JOB_QUEUE_H_

@@ -17,6 +17,30 @@ FlagParser& FlagParser::Define(const std::string& name,
   return *this;
 }
 
+FlagParser& FlagParser::DefinePositiveInt(const std::string& name,
+                                          const std::string& default_value,
+                                          const std::string& help) {
+  Define(name, default_value, help);
+  flags_[name].type = Flag::Type::kPositiveInt;
+  CA_CHECK(ValidateTyped(name, flags_[name]))
+      << "flag --" << name << " declared with an invalid default: "
+      << default_value;
+  return *this;
+}
+
+bool FlagParser::ValidateTyped(const std::string& name, const Flag& flag) {
+  if (flag.type != Flag::Type::kPositiveInt) return true;
+  // A leading '-' never parses as std::size_t, so one unsigned parse plus
+  // a zero check covers negative, zero and non-numeric values alike.
+  std::size_t parsed = 0;
+  if (!ParseSizeT(flag.value, &parsed) || parsed == 0) {
+    error_ = "flag --" + name + " expects a positive integer, got '" +
+             flag.value + "'";
+    return false;
+  }
+  return true;
+}
+
 bool FlagParser::Parse(int argc, const char* const* argv) {
   error_.clear();
   command_.clear();
@@ -64,6 +88,7 @@ bool FlagParser::Parse(int argc, const char* const* argv) {
     }
     it->second.value = value;
     it->second.supplied = true;
+    if (!ValidateTyped(name, it->second)) return false;
   }
   return true;
 }

@@ -22,6 +22,15 @@ class FlagParser {
                      const std::string& default_value,
                      const std::string& help);
 
+  /// Declares a flag that must parse as a strictly positive integer
+  /// (thread counts, shard counts, budgets). Violations — zero, negative,
+  /// or non-numeric values — are typed parse errors surfaced through
+  /// `ok()`/`error()` at `Parse` time, so a bad `--jobs=0` never reaches
+  /// the code that would size a thread pool with it.
+  FlagParser& DefinePositiveInt(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& help);
+
   /// Parses argv (excluding argv[0]); the first non-flag token becomes the
   /// command. Returns false on malformed input or unknown flags.
   bool Parse(int argc, const char* const* argv);
@@ -54,7 +63,15 @@ class FlagParser {
     std::string help;
     std::string value;
     bool supplied = false;
+    /// Typed validation applied at Parse time (kPositiveInt rejects 0,
+    /// negative and non-numeric values).
+    enum class Type { kString, kPositiveInt };
+    Type type = Type::kString;
   };
+
+  /// Validates a supplied value against the flag's declared type; on
+  /// violation sets `error_` and returns false.
+  bool ValidateTyped(const std::string& name, const Flag& flag);
 
   std::map<std::string, Flag> flags_;
   std::vector<std::string> declaration_order_;

@@ -19,6 +19,14 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t DeriveStreamSeed(std::uint64_t base, std::uint64_t stream) {
+  // Golden-ratio mix: stream indices land on well-separated points of the
+  // splitmix sequence, then one splitmix round decorrelates the bits so
+  // that stream 1 of base b and stream 0 of base b+1 share nothing.
+  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  return SplitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) {

@@ -8,6 +8,16 @@
 
 namespace copyattack::util {
 
+/// Derives the seed of an independent child stream from a base seed and a
+/// stream index (golden-ratio multiplicative mix, the same constant the
+/// xoshiro seeding uses). Deterministic: equal `(base, stream)` pairs give
+/// equal seeds, and distinct stream indices give well-separated seeds even
+/// for adjacent bases. This is the one sanctioned way to give each shard,
+/// thread, or experiment arm of a campaign its own reproducible stream —
+/// the derived seed depends only on the logical stream index, never on how
+/// many draws any other stream consumed.
+std::uint64_t DeriveStreamSeed(std::uint64_t base, std::uint64_t stream);
+
 /// The complete serializable state of an `Rng` stream. Capturing and
 /// restoring it mid-stream resumes the exact draw sequence — the basis of
 /// crash-safe campaign checkpointing (core/checkpoint.h).

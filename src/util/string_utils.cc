@@ -57,6 +57,9 @@ std::string FormatDouble(double value, int precision) {
 bool ParseSizeT(std::string_view text, std::size_t* out) {
   const std::string owned(Trim(text));
   if (owned.empty()) return false;
+  // strtoull silently negates "-N" instead of failing; an unsigned parse
+  // must reject a sign outright.
+  if (owned[0] == '-' || owned[0] == '+') return false;
   char* end = nullptr;
   errno = 0;
   const unsigned long long value = std::strtoull(owned.c_str(), &end, 10);

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -101,6 +102,79 @@ TEST(CliTest, AttackRunsEndToEnd) {
             0);
   EXPECT_NE(output.find("WithoutAttack"), std::string::npos);
   EXPECT_NE(output.find("TargetAttack40"), std::string::npos);
+  RemoveWorld(prefix);
+}
+
+TEST(CliTest, JobsFlagRejectsNonPositiveValues) {
+  for (const char* bad : {"--jobs=0", "--jobs=-3", "--jobs=two"}) {
+    std::string output;
+    EXPECT_EQ(RunTool({"attack", bad}, &output), 2) << bad;
+    EXPECT_NE(output.find("expects a positive integer"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("--jobs"), std::string::npos) << output;
+  }
+}
+
+TEST(CliTest, AttackWithJobsRoutesThroughShardedRunner) {
+  const std::string prefix = TempPrefix("cli_jobs_world");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  ASSERT_EQ(RunTool({"attack", "--data", prefix, "--method=TargetAttack40",
+                 "--targets=2", "--budget=6", "--jobs=2"},
+                &output),
+            0);
+  EXPECT_NE(output.find("TargetAttack40"), std::string::npos);
+  EXPECT_NE(output.find("throughput:"), std::string::npos);
+  EXPECT_NE(output.find("2 jobs"), std::string::npos);
+  RemoveWorld(prefix);
+}
+
+TEST(CliTest, AttackServerDrainsQueueCsvAndReportsFailures) {
+  const std::string prefix = TempPrefix("cli_server_world");
+  const std::string queue_path = TempPrefix("cli_server_jobs.csv");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  {
+    std::ofstream queue(queue_path);
+    queue << "id,method,targets,budget,episodes,seed\n"
+          << "promo-a,TargetAttack40,2,5,1,9\n"
+          << "promo-b,NoSuchMethod,2,5,1,9\n";
+  }
+
+  EXPECT_EQ(RunTool({"attack-server", "--data", prefix,
+                 "--queue", queue_path},
+                &output),
+            1);
+  EXPECT_NE(output.find("serving 2 promotion jobs"), std::string::npos);
+  EXPECT_NE(output.find("promo-a:TargetAttack40"), std::string::npos);
+  EXPECT_NE(output.find("campaigns/s"), std::string::npos);
+  EXPECT_NE(output.find("unknown method 'NoSuchMethod'"), std::string::npos);
+  EXPECT_NE(output.find("served 1 jobs, 1 failed"), std::string::npos);
+  std::remove(queue_path.c_str());
+  RemoveWorld(prefix);
+}
+
+TEST(CliTest, AttackServerFailsOnMalformedQueue) {
+  const std::string prefix = TempPrefix("cli_server_bad_world");
+  const std::string queue_path = TempPrefix("cli_server_bad_jobs.csv");
+  std::string output;
+  ASSERT_EQ(RunTool({"generate", "--config=tiny", "--out", prefix}, &output), 0);
+  {
+    std::ofstream queue(queue_path);
+    queue << "promo-a,TargetAttack40,2,5\n";  // too few fields
+  }
+  EXPECT_EQ(RunTool({"attack-server", "--data", prefix,
+                 "--queue", queue_path},
+                &output),
+            2);
+  EXPECT_NE(output.find("expected 6 fields"), std::string::npos);
+
+  EXPECT_EQ(RunTool({"attack-server", "--data", prefix,
+                 "--queue=/nonexistent/queue.csv"},
+                &output),
+            1);
+  EXPECT_NE(output.find("could not open"), std::string::npos);
+  std::remove(queue_path.c_str());
   RemoveWorld(prefix);
 }
 

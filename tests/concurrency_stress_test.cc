@@ -14,11 +14,13 @@
 #include <gtest/gtest.h>
 
 #include "core/baselines.h"
+#include "core/parallel_runner.h"
 #include "core/runner.h"
 #include "data/dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rec/black_box.h"
+#include "serve/job_queue.h"
 #include "test_helpers.h"
 #include "test_seed.h"
 #include "util/rng.h"
@@ -202,6 +204,100 @@ TEST(CampaignStressTest, ParallelCampaignMatchesSequentialBitExact) {
               sequential.avg_items_per_profile);
     ASSERT_EQ(threaded.avg_final_reward, sequential.avg_final_reward);
   }
+}
+
+// --- Sharded runner under TSan ---------------------------------------------
+
+// The ISSUE-6 soak: the sharded runner's cross-shard state (global outcome
+// slots, the episode counter, the abort flag, aggregated shard stats) must
+// be race-free while shards outnumber worker threads, and the merged result
+// must still equal the single-shard run.
+TEST(CampaignStressTest, ShardedRunnerManyShardsMatchesSingleShard) {
+  const auto& tw = SharedTinyWorld();
+  util::Rng rng(TestSeed(79));
+  const auto targets =
+      data::SampleColdTargetItems(tw.world.dataset, 6, 10, rng);
+  ASSERT_GE(targets.size(), 4U);
+
+  core::CampaignConfig config;
+  config.env.budget = 6;
+  config.env.query_interval = 3;
+  config.env.num_pretend_users = 8;
+  config.env.query_candidates = 40;
+  config.episodes = 2;
+  config.eval_users = 40;
+  config.eval_negatives = 30;
+  const core::StrategyFactory factory = [&tw](std::uint64_t) {
+    return std::make_unique<core::TargetAttack>(tw.world.dataset, 0.7);
+  };
+
+  core::ParallelRunnerOptions single;
+  single.jobs = 1;
+  single.shards = 1;
+  const core::ParallelCampaignRunner reference_runner(
+      tw.world.dataset, tw.split.train, tw.ModelFactory(), factory, single);
+  const auto reference = reference_runner.Run(targets, config);
+
+  for (int round = 0; round < 3; ++round) {
+    core::ParallelRunnerOptions options;
+    options.jobs = 4;
+    options.shards = targets.size();
+    const core::ParallelCampaignRunner runner(
+        tw.world.dataset, tw.split.train, tw.ModelFactory(), factory,
+        options);
+    const auto sharded = runner.Run(targets, config);
+    ASSERT_EQ(sharded.completed, reference.completed) << "round " << round;
+    ASSERT_EQ(sharded.aggregate.avg_final_reward,
+              reference.aggregate.avg_final_reward)
+        << "round " << round;
+    for (const std::size_t k : config.eval_ks) {
+      ASSERT_EQ(sharded.aggregate.metrics.at(k).hr,
+                reference.aggregate.metrics.at(k).hr)
+          << "HR@" << k << " diverged in round " << round;
+    }
+    std::size_t items = 0;
+    for (const auto& shard : sharded.shards) items += shard.num_items;
+    ASSERT_EQ(items, targets.size());
+  }
+}
+
+// --- JobQueue producer/consumer handshake ----------------------------------
+
+// Many producers and consumers hammer one queue; every job pushed must be
+// popped exactly once and Close must wake every blocked consumer.
+TEST(JobQueueStressTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kJobsPerProducer = 200;
+  serve::JobQueue queue;
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &popped] {
+      serve::PromotionJob job;
+      while (queue.Pop(&job)) popped.fetch_add(1);
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kJobsPerProducer; ++i) {
+        serve::PromotionJob job;
+        job.id = "p" + std::to_string(p) + "_" + std::to_string(i);
+        queue.Push(job);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  for (auto& consumer : consumers) consumer.join();
+
+  EXPECT_EQ(popped.load(), kProducers * kJobsPerProducer);
+  EXPECT_EQ(queue.pending(), 0U);
 }
 
 // --- Dataset checkpoint/rollback under concurrency -------------------------

@@ -290,6 +290,57 @@ TEST(TopKTest, RankOfConsistentWithArgSort) {
   }
 }
 
+TEST(TopKTest, HeapSelectMatchesSortedReference) {
+  // The serving hot path replaced the partial-sort Top-k with a bounded
+  // heap select; the two must agree exactly, including tie order, on
+  // random score vectors with deliberate duplicates.
+  util::Rng rng(testhelpers::TestSeed(29));
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 65));
+    std::vector<float> scores(n);
+    for (auto& s : scores) {
+      // Quantize to force frequent ties.
+      s = static_cast<float>(rng.UniformInt(0, 8)) * 0.125f;
+    }
+    for (const std::size_t k : {std::size_t{1}, n / 2, n, n + 5}) {
+      if (k == 0) continue;
+      SCOPED_TRACE("trial " + std::to_string(trial) + " n " +
+                   std::to_string(n) + " k " + std::to_string(k));
+      EXPECT_EQ(TopKIndices(scores, k), TopKIndicesBySort(scores, k));
+    }
+  }
+}
+
+TEST(TopKTest, PointerFormMatchesVectorForm) {
+  util::Rng rng(testhelpers::TestSeed(31));
+  std::vector<float> scores(40);
+  for (auto& s : scores) s = static_cast<float>(rng.UniformDouble());
+  EXPECT_EQ(TopKIndices(scores.data(), scores.size(), 7),
+            TopKIndices(scores, 7));
+}
+
+TEST(TopKTest, PerRowMatchesRowWiseSelection) {
+  util::Rng rng(testhelpers::TestSeed(37));
+  const std::size_t rows = 6;
+  const std::size_t cols = 23;
+  const std::size_t k = 5;
+  std::vector<float> block(rows * cols);
+  for (auto& s : block) {
+    s = static_cast<float>(rng.UniformInt(0, 16)) * 0.0625f;
+  }
+  std::vector<std::size_t> out(rows * k);
+  TopKPerRow(block.data(), rows, cols, k, out.data());
+  for (std::size_t r = 0; r < rows; ++r) {
+    SCOPED_TRACE("row " + std::to_string(r));
+    const std::vector<float> row(block.begin() + r * cols,
+                                 block.begin() + (r + 1) * cols);
+    const auto expected = TopKIndicesBySort(row, k);
+    const std::vector<std::size_t> got(out.begin() + r * k,
+                                       out.begin() + (r + 1) * k);
+    EXPECT_EQ(got, expected);
+  }
+}
+
 TEST(SamplingTest, AliasTableMatchesWeights) {
   const std::vector<double> weights = {1.0, 2.0, 7.0};
   AliasTable table(weights);

@@ -1,0 +1,278 @@
+// Shard-determinism tests of the campaign-parallel sharded runner
+// (ISSUE 6): the tentpole's contract is that outcomes are bit-identical
+// to the sequential runner under jobs=1 and invariant to the shard
+// count — including under a PR-5 fault schedule, with batched oracle
+// queries on or off, and across a kill-and-resume mid-campaign.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/copy_attack.h"
+#include "core/parallel_runner.h"
+#include "core/runner.h"
+#include "fault/fault_injector.h"
+#include "test_helpers.h"
+#include "test_seed.h"
+
+namespace copyattack::core {
+namespace {
+
+using testhelpers::SharedTinyWorld;
+using testhelpers::TinyWorld;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<data::ItemId> TestTargets(const TinyWorld& world,
+                                      std::size_t count) {
+  util::Rng rng(testhelpers::TestSeed(53));
+  return data::SampleColdTargetItems(world.world.dataset, count, 10, rng);
+}
+
+StrategyFactory CopyAttackFactory(const TinyWorld& world) {
+  return [&world](std::uint64_t seed) {
+    return std::make_unique<CopyAttack>(
+        &world.world.dataset, &world.artifacts.tree,
+        &world.artifacts.mf.user_embeddings(),
+        &world.artifacts.mf.item_embeddings(), CopyAttackConfig{}, seed);
+  };
+}
+
+CampaignConfig SmallCampaign() {
+  CampaignConfig config;
+  config.env.budget = 5;
+  config.env.num_pretend_users = 6;
+  config.env.query_candidates = 20;
+  config.episodes = 2;
+  config.eval_users = 20;
+  config.seed = testhelpers::TestSeed(59);
+  return config;
+}
+
+void ExpectOutcomesEqual(const TargetOutcomeState& a,
+                         const TargetOutcomeState& b) {
+  EXPECT_EQ(a.final_reward, b.final_reward);
+  EXPECT_EQ(a.profiles_injected, b.profiles_injected);
+  EXPECT_EQ(a.items_per_profile, b.items_per_profile);
+  EXPECT_EQ(a.query_rounds, b.query_rounds);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [k, metrics] : a.metrics) {
+    const auto it = b.metrics.find(k);
+    ASSERT_NE(it, b.metrics.end());
+    EXPECT_EQ(metrics.hr, it->second.hr);
+    EXPECT_EQ(metrics.ndcg, it->second.ndcg);
+    EXPECT_EQ(metrics.count, it->second.count);
+  }
+}
+
+void ExpectResultsEqual(const ParallelCampaignResult& a,
+                        const ParallelCampaignResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  ASSERT_EQ(a.completed, b.completed);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    if (a.completed[i] == 0) continue;
+    SCOPED_TRACE("outcome " + std::to_string(i));
+    ExpectOutcomesEqual(a.outcomes[i], b.outcomes[i]);
+  }
+  EXPECT_EQ(a.aggregate.method, b.aggregate.method);
+  EXPECT_EQ(a.aggregate.num_target_items, b.aggregate.num_target_items);
+  EXPECT_EQ(a.aggregate.avg_final_reward, b.aggregate.avg_final_reward);
+  EXPECT_EQ(a.aggregate.avg_profiles_injected,
+            b.aggregate.avg_profiles_injected);
+}
+
+ParallelCampaignResult RunSharded(const TinyWorld& world,
+                                  const std::vector<data::ItemId>& targets,
+                                  const CampaignConfig& config,
+                                  const ParallelRunnerOptions& options) {
+  const ParallelCampaignRunner runner(world.world.dataset,
+                                      world.split.train,
+                                      world.ModelFactory(),
+                                      CopyAttackFactory(world), options);
+  return runner.Run(targets, config);
+}
+
+TEST(ParallelRunner, JobsOneBitIdenticalToSequentialRunner) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 3);
+  ASSERT_FALSE(targets.empty());
+  const CampaignConfig config = SmallCampaign();
+
+  const CampaignResult sequential =
+      RunCampaign(world.world.dataset, world.split.train,
+                  world.ModelFactory(), CopyAttackFactory(world), targets,
+                  config);
+
+  ParallelRunnerOptions options;
+  options.jobs = 1;
+  const ParallelCampaignResult sharded =
+      RunSharded(world, targets, config, options);
+
+  EXPECT_EQ(sharded.aggregate.method, sequential.method);
+  EXPECT_EQ(sharded.aggregate.num_target_items,
+            sequential.num_target_items);
+  EXPECT_EQ(sharded.aggregate.avg_final_reward,
+            sequential.avg_final_reward);
+  EXPECT_EQ(sharded.aggregate.avg_profiles_injected,
+            sequential.avg_profiles_injected);
+  EXPECT_EQ(sharded.aggregate.avg_items_per_profile,
+            sequential.avg_items_per_profile);
+  EXPECT_EQ(sharded.aggregate.avg_query_rounds,
+            sequential.avg_query_rounds);
+  for (const auto& [k, metrics] : sequential.metrics) {
+    const auto it = sharded.aggregate.metrics.find(k);
+    ASSERT_NE(it, sharded.aggregate.metrics.end());
+    EXPECT_EQ(metrics.hr, it->second.hr);
+    EXPECT_EQ(metrics.ndcg, it->second.ndcg);
+  }
+}
+
+TEST(ParallelRunner, OutcomesInvariantToShardCount) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 4);
+  ASSERT_GE(targets.size(), 2U);
+  const CampaignConfig config = SmallCampaign();
+
+  ParallelRunnerOptions one;
+  one.jobs = 1;
+  one.shards = 1;
+  ParallelRunnerOptions two;
+  two.jobs = 2;
+  two.shards = 2;
+  ParallelRunnerOptions many;
+  many.jobs = 2;
+  many.shards = targets.size();
+
+  const ParallelCampaignResult r1 = RunSharded(world, targets, config, one);
+  const ParallelCampaignResult r2 = RunSharded(world, targets, config, two);
+  const ParallelCampaignResult rn =
+      RunSharded(world, targets, config, many);
+
+  ExpectResultsEqual(r1, r2);
+  ExpectResultsEqual(r1, rn);
+  ASSERT_EQ(r2.shards.size(), 2U);
+  EXPECT_NE(r2.shards[0].stream_seed, r2.shards[1].stream_seed);
+  EXPECT_EQ(r2.shards[0].num_items + r2.shards[1].num_items,
+            targets.size());
+}
+
+TEST(ParallelRunner, ShardInvarianceHoldsUnderFaultSchedule) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 3);
+  ASSERT_GE(targets.size(), 2U);
+  CampaignConfig config = SmallCampaign();
+  config.env.fault =
+      fault::FaultScheduleConfig::Light(testhelpers::TestSeed(61));
+  config.env.resilience.enabled = true;
+  config.env.resilience.seed = testhelpers::TestSeed(67);
+
+  ParallelRunnerOptions one;
+  one.jobs = 1;
+  one.shards = 1;
+  ParallelRunnerOptions many;
+  many.jobs = 2;
+  many.shards = targets.size();
+
+  const ParallelCampaignResult r1 = RunSharded(world, targets, config, one);
+  const ParallelCampaignResult rn =
+      RunSharded(world, targets, config, many);
+  ExpectResultsEqual(r1, rn);
+}
+
+TEST(ParallelRunner, BatchedQueriesMatchPerUserQueries) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 2);
+  ASSERT_FALSE(targets.empty());
+  const CampaignConfig config = SmallCampaign();
+
+  ParallelRunnerOptions batched;
+  batched.jobs = 1;
+  batched.batched_queries = true;
+  ParallelRunnerOptions unbatched;
+  unbatched.jobs = 1;
+  unbatched.batched_queries = false;
+
+  ExpectResultsEqual(RunSharded(world, targets, config, batched),
+                     RunSharded(world, targets, config, unbatched));
+}
+
+TEST(ParallelRunner, BatchedQueriesMatchPerUserQueriesUnderFaults) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 2);
+  ASSERT_FALSE(targets.empty());
+  CampaignConfig config = SmallCampaign();
+  config.env.fault =
+      fault::FaultScheduleConfig::Light(testhelpers::TestSeed(71));
+  config.env.resilience.enabled = true;
+  config.env.resilience.seed = testhelpers::TestSeed(73);
+
+  ParallelRunnerOptions batched;
+  batched.jobs = 1;
+  batched.batched_queries = true;
+  ParallelRunnerOptions unbatched;
+  unbatched.jobs = 1;
+  unbatched.batched_queries = false;
+
+  ExpectResultsEqual(RunSharded(world, targets, config, batched),
+                     RunSharded(world, targets, config, unbatched));
+}
+
+TEST(ParallelRunner, KillAndResumeMatchesUninterruptedRun) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 3);
+  ASSERT_GE(targets.size(), 2U);
+  const CampaignConfig config = SmallCampaign();
+  const std::string dir = FreshDir("parallel_runner_resume");
+
+  // Reference: straight through, no checkpointing.
+  ParallelRunnerOptions plain;
+  plain.jobs = 1;
+  plain.shards = 2;
+  const ParallelCampaignResult uninterrupted =
+      RunSharded(world, targets, config, plain);
+
+  // Crash after 3 episodes (jobs=1 makes the abort point deterministic),
+  // then resume from the per-shard checkpoints.
+  ParallelRunnerOptions crash = plain;
+  crash.checkpoint.dir = dir;
+  crash.checkpoint.abort_after_episodes = 3;
+  const ParallelCampaignResult aborted =
+      RunSharded(world, targets, config, crash);
+  EXPECT_TRUE(aborted.aggregate.aborted);
+  EXPECT_LT(aborted.aggregate.num_target_items, targets.size());
+
+  ParallelRunnerOptions resume = plain;
+  resume.checkpoint.dir = dir;
+  resume.checkpoint.resume = true;
+  const ParallelCampaignResult resumed =
+      RunSharded(world, targets, config, resume);
+  EXPECT_FALSE(resumed.aggregate.aborted);
+  EXPECT_NE(resumed.aggregate.resumed_from, CheckpointSource::kNone);
+  ExpectResultsEqual(uninterrupted, resumed);
+}
+
+TEST(ParallelRunner, RejectsZeroJobs) {
+  const TinyWorld& world = SharedTinyWorld();
+  ParallelRunnerOptions options;
+  options.jobs = 0;
+  EXPECT_DEATH(
+      {
+        const ParallelCampaignRunner runner(
+            world.world.dataset, world.split.train, world.ModelFactory(),
+            CopyAttackFactory(world), options);
+      },
+      "jobs");
+}
+
+}  // namespace
+}  // namespace copyattack::core

@@ -1,0 +1,236 @@
+// Tests of the attack-server subsystem (ISSUE 6): promotion-job CSV
+// parsing, the job queue's producer/consumer handshake, the shared
+// strategy dispatch table, and end-to-end job execution with per-job
+// checkpoint/resume.
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_runner.h"
+#include "serve/attack_server.h"
+#include "serve/job_queue.h"
+#include "test_helpers.h"
+#include "test_seed.h"
+
+namespace copyattack::serve {
+namespace {
+
+using testhelpers::SharedTinyWorld;
+using testhelpers::TinyWorld;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(ParseJobsCsv, ParsesRowsSkippingHeaderCommentsAndBlanks) {
+  std::istringstream in(
+      "id,method,targets,budget,episodes,seed\n"
+      "\n"
+      "# promote the winter catalog\n"
+      "promo-1,CopyAttack,4,10,3,99\n"
+      "promo_2, TargetAttack40 , 2 , 5 , 1 , 7\n");
+  std::vector<PromotionJob> jobs;
+  std::string error;
+  ASSERT_TRUE(ParseJobsCsv(in, &jobs, &error)) << error;
+  ASSERT_EQ(jobs.size(), 2U);
+  EXPECT_EQ(jobs[0].id, "promo-1");
+  EXPECT_EQ(jobs[0].method, "CopyAttack");
+  EXPECT_EQ(jobs[0].num_targets, 4U);
+  EXPECT_EQ(jobs[0].budget, 10U);
+  EXPECT_EQ(jobs[0].episodes, 3U);
+  EXPECT_EQ(jobs[0].seed, 99U);
+  EXPECT_EQ(jobs[1].id, "promo_2");
+  EXPECT_EQ(jobs[1].method, "TargetAttack40");
+  EXPECT_EQ(jobs[1].seed, 7U);
+}
+
+TEST(ParseJobsCsv, RejectsMalformedRowsWithLineNumbers) {
+  const struct {
+    const char* csv;
+    const char* expect;
+  } cases[] = {
+      {"a,CopyAttack,1,1\n", "expected 6 fields"},
+      {"bad id!,CopyAttack,1,1,1,1\n", "job id"},
+      {"a,,1,1,1,1\n", "method"},
+      {"a,CopyAttack,0,1,1,1\n", "targets"},
+      {"a,CopyAttack,1,-3,1,1\n", "budget"},
+      {"a,CopyAttack,1,1,x,1\n", "episodes"},
+  };
+  for (const auto& test_case : cases) {
+    std::istringstream in(std::string("# leading comment\n") +
+                          test_case.csv);
+    std::vector<PromotionJob> jobs;
+    std::string error;
+    EXPECT_FALSE(ParseJobsCsv(in, &jobs, &error)) << test_case.csv;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find(test_case.expect), std::string::npos) << error;
+  }
+}
+
+TEST(JobQueueTest, DeliversInFifoOrderThenSignalsClosed) {
+  JobQueue queue;
+  PromotionJob a;
+  a.id = "a";
+  PromotionJob b;
+  b.id = "b";
+  queue.Push(a);
+  queue.Push(b);
+  EXPECT_EQ(queue.pending(), 2U);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+
+  PromotionJob out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.id, "a");
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.id, "b");
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));  // stays closed
+}
+
+TEST(JobQueueTest, BlockedConsumerWakesOnPushAndClose) {
+  JobQueue queue;
+  std::vector<std::string> seen;
+  std::thread consumer([&] {
+    PromotionJob job;
+    while (queue.Pop(&job)) seen.push_back(job.id);
+  });
+  PromotionJob job;
+  job.id = "x";
+  queue.Push(job);
+  job.id = "y";
+  queue.Push(job);
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0], "x");
+  EXPECT_EQ(seen[1], "y");
+}
+
+TEST(MakeStrategyFactoryTest, ResolvesEveryKnownMethod) {
+  const TinyWorld& world = SharedTinyWorld();
+  const struct {
+    const char* method;
+    bool learns;
+  } cases[] = {
+      {"RandomAttack", false},      {"TargetAttack40", false},
+      {"TargetAttack70", false},    {"TargetAttack100", false},
+      {"PolicyNetwork", true},      {"CopyAttack", true},
+      {"CopyAttack-Masking", true}, {"CopyAttack-Length", true},
+  };
+  for (const auto& test_case : cases) {
+    const StrategySpec spec = MakeStrategyFactory(
+        world.world.dataset, world.artifacts, test_case.method);
+    ASSERT_TRUE(static_cast<bool>(spec.factory)) << test_case.method;
+    EXPECT_EQ(spec.learns, test_case.learns) << test_case.method;
+    const auto strategy = spec.factory(1);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), test_case.method);
+  }
+  EXPECT_FALSE(static_cast<bool>(
+      MakeStrategyFactory(world.world.dataset, world.artifacts, "Nope")
+          .factory));
+}
+
+ServerConfig TestServerConfig() {
+  ServerConfig config;
+  config.runner.jobs = 1;
+  return config;
+}
+
+PromotionJob TestJob(const std::string& id, const std::string& method) {
+  PromotionJob job;
+  job.id = id;
+  job.method = method;
+  job.num_targets = 2;
+  job.budget = 5;
+  job.episodes = 2;
+  job.seed = testhelpers::TestSeed(83);
+  return job;
+}
+
+TEST(AttackServerTest, RunsJobsAndReportsUnknownMethods) {
+  const TinyWorld& world = SharedTinyWorld();
+  AttackServer server(world.world.dataset, world.split.train,
+                      world.ModelFactory(), world.artifacts,
+                      TestServerConfig());
+
+  JobQueue queue;
+  queue.Push(TestJob("ok-job", "TargetAttack40"));
+  queue.Push(TestJob("bad-job", "NoSuchMethod"));
+  queue.Close();
+
+  const std::vector<JobReport> reports = server.Drain(&queue);
+  ASSERT_EQ(reports.size(), 2U);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_EQ(reports[0].job.id, "ok-job");
+  EXPECT_GT(reports[0].result.aggregate.num_target_items, 0U);
+  EXPECT_EQ(reports[0].result.aggregate.method, "TargetAttack40");
+  EXPECT_FALSE(reports[1].ok);
+  EXPECT_NE(reports[1].error.find("NoSuchMethod"), std::string::npos);
+  EXPECT_EQ(server.jobs_run(), 1U);
+  EXPECT_EQ(server.jobs_failed(), 1U);
+}
+
+TEST(AttackServerTest, JobCheckpointResumeMatchesUninterruptedJob) {
+  const TinyWorld& world = SharedTinyWorld();
+  const PromotionJob job = TestJob("resumable", "CopyAttack");
+
+  // Reference: the job runs straight through without crash safety.
+  AttackServer plain(world.world.dataset, world.split.train,
+                     world.ModelFactory(), world.artifacts,
+                     TestServerConfig());
+  const JobReport reference = plain.RunJob(job);
+  ASSERT_TRUE(reference.ok);
+  ASSERT_FALSE(reference.result.aggregate.aborted);
+
+  // Crash mid-job, then resume from `<root>/job_<id>`.
+  const std::string root = FreshDir("attack_server_resume");
+  ServerConfig crash_config = TestServerConfig();
+  crash_config.checkpoint_root = root;
+  crash_config.runner.checkpoint.abort_after_episodes = 2;
+  AttackServer crashed(world.world.dataset, world.split.train,
+                       world.ModelFactory(), world.artifacts,
+                       crash_config);
+  const JobReport aborted = crashed.RunJob(job);
+  ASSERT_TRUE(aborted.ok);
+  EXPECT_TRUE(aborted.result.aggregate.aborted);
+  EXPECT_TRUE(std::filesystem::exists(root + "/job_" + job.id));
+
+  ServerConfig resume_config = TestServerConfig();
+  resume_config.checkpoint_root = root;
+  resume_config.resume = true;
+  AttackServer resumed_server(world.world.dataset, world.split.train,
+                              world.ModelFactory(), world.artifacts,
+                              resume_config);
+  const JobReport resumed = resumed_server.RunJob(job);
+  ASSERT_TRUE(resumed.ok);
+  EXPECT_FALSE(resumed.result.aggregate.aborted);
+  EXPECT_NE(resumed.result.aggregate.resumed_from,
+            core::CheckpointSource::kNone);
+
+  EXPECT_EQ(resumed.result.aggregate.avg_final_reward,
+            reference.result.aggregate.avg_final_reward);
+  EXPECT_EQ(resumed.result.aggregate.avg_profiles_injected,
+            reference.result.aggregate.avg_profiles_injected);
+  EXPECT_EQ(resumed.result.aggregate.num_target_items,
+            reference.result.aggregate.num_target_items);
+  for (const auto& [k, metrics] : reference.result.aggregate.metrics) {
+    const auto it = resumed.result.aggregate.metrics.find(k);
+    ASSERT_NE(it, resumed.result.aggregate.metrics.end());
+    EXPECT_EQ(metrics.hr, it->second.hr);
+    EXPECT_EQ(metrics.ndcg, it->second.ndcg);
+  }
+}
+
+}  // namespace
+}  // namespace copyattack::serve

@@ -163,6 +163,8 @@ TEST(StringUtilsTest, ParseSizeT) {
   EXPECT_FALSE(ParseSizeT("abc", &v));
   EXPECT_FALSE(ParseSizeT("", &v));
   EXPECT_FALSE(ParseSizeT("12x", &v));
+  EXPECT_FALSE(ParseSizeT("-2", &v));  // strtoull would negate silently
+  EXPECT_FALSE(ParseSizeT("+2", &v));
 }
 
 TEST(StringUtilsTest, ParseDouble) {
@@ -453,6 +455,40 @@ TEST(FlagParserTest, BadBooleanAbortsOnAccessNotParse) {
   // Parsing succeeds (values are strings); the typed accessor enforces.
   ASSERT_TRUE(parser.Parse(2, argv));
   EXPECT_DEATH(parser.GetBool("verbose"), "not a boolean");
+}
+
+TEST(FlagParserTest, PositiveIntAcceptsPositiveValues) {
+  FlagParser parser;
+  parser.DefinePositiveInt("jobs", "1", "worker thread count");
+  const char* argv[] = {"run", "--jobs=4"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_EQ(parser.GetSizeT("jobs"), 4U);
+}
+
+TEST(FlagParserTest, PositiveIntDefaultApplies) {
+  FlagParser parser;
+  parser.DefinePositiveInt("jobs", "1", "worker thread count");
+  const char* argv[] = {"run"};
+  ASSERT_TRUE(parser.Parse(1, argv));
+  EXPECT_EQ(parser.GetSizeT("jobs"), 1U);
+  EXPECT_FALSE(parser.WasSupplied("jobs"));
+}
+
+TEST(FlagParserTest, PositiveIntRejectsZeroNegativeAndGarbageAtParse) {
+  const char* bad_values[] = {"0", "-2", "abc", "", "1.5"};
+  for (const char* value : bad_values) {
+    FlagParser parser;
+    parser.DefinePositiveInt("jobs", "1", "worker thread count");
+    const std::string arg = std::string("--jobs=") + value;
+    const char* argv[] = {"run", arg.c_str()};
+    EXPECT_FALSE(parser.Parse(2, argv)) << arg;
+    EXPECT_FALSE(parser.ok());
+    EXPECT_NE(parser.error().find("expects a positive integer"),
+              std::string::npos)
+        << parser.error();
+    EXPECT_NE(parser.error().find("--jobs"), std::string::npos)
+        << parser.error();
+  }
 }
 
 TEST(FlagParserDeathTest, DuplicateDefineAborts) {

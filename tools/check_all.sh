@@ -134,10 +134,36 @@ fault_soak() {
 run_preset asan-ubsan -LE stress
 fault_soak asan-ubsan
 
+# Sharded-runner soak (ISSUE 6): drive the attack-server through the TSan
+# binary with more shards than worker threads, checkpointing on, then run
+# the same queue again with --resume so the per-shard checkpoint
+# load/merge path is also exercised under the race detector.
+parallel_soak() {
+  step "sharded-runner soak [tsan]"
+  local soak_tmp
+  soak_tmp="$(mktemp -d)"
+  local bin="build-tsan/tools/copyattack"
+  "${bin}" generate --config tiny --out "${soak_tmp}/world" >/dev/null
+  cat > "${soak_tmp}/jobs.csv" <<'CSV'
+id,method,targets,budget,episodes,seed
+soak-copy,CopyAttack,3,6,3,1337
+soak-baseline,TargetAttack40,3,6,1,1337
+CSV
+  "${bin}" attack-server --data "${soak_tmp}/world" \
+    --queue "${soak_tmp}/jobs.csv" --jobs=4 \
+    --checkpoint_root="${soak_tmp}/ckpt" >/dev/null
+  "${bin}" attack-server --data "${soak_tmp}/world" \
+    --queue "${soak_tmp}/jobs.csv" --jobs=4 \
+    --checkpoint_root="${soak_tmp}/ckpt" --resume=1 >/dev/null
+  rm -rf "${soak_tmp}"
+  echo "sharded-runner soak [tsan] OK"
+}
+
 # 4. TSan: unit suite for coverage, then the concurrency stress suite —
 # the only preset that runs the `stress` label.
 run_preset tsan -LE stress
 fault_soak tsan
+parallel_soak
 step "test [tsan] stress label"
 ctest --preset tsan-stress -j "${jobs}"
 

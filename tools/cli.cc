@@ -1,11 +1,12 @@
 #include "cli.h"
 
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
-#include "core/baselines.h"
-#include "core/copy_attack.h"
-#include "core/flat_policy.h"
+#include "core/parallel_runner.h"
 #include "core/runner.h"
 #include "data/io.h"
 #include "data/split.h"
@@ -18,7 +19,10 @@
 #include "obs/trace.h"
 #include "rec/pinsage_lite.h"
 #include "rec/trainer.h"
+#include "serve/attack_server.h"
+#include "serve/job_queue.h"
 #include "util/flags.h"
+#include "util/string_utils.h"
 
 namespace copyattack::tools {
 namespace {
@@ -37,6 +41,14 @@ util::FlagParser MakeParser() {
       .Define("episodes", "15", "attack: training episodes (learning methods)")
       .Define("depth", "3", "attack: clustering tree depth")
       .Define("threads", "1", "attack: worker threads over target items")
+      .DefinePositiveInt("jobs", "1",
+                         "attack/attack-server: sharded-runner worker "
+                         "threads; attack routes through the parallel "
+                         "runner when this is supplied")
+      .Define("queue", "-",
+              "attack-server: promotion-jobs CSV path ('-' = stdin)")
+      .Define("checkpoint_root", "",
+              "attack-server: per-job checkpoint tree root (empty = off)")
       .Define("faults", "off",
               "attack: black-box fault schedule (off|light|aggressive); "
               "anything but off also enables the resilient retry client")
@@ -54,7 +66,8 @@ util::FlagParser MakeParser() {
 }
 
 int PrintHelp(const util::FlagParser& parser, std::ostream& out) {
-  out << "usage: copyattack <generate|stats|train|attack|help> [flags]\n\n"
+  out << "usage: copyattack "
+         "<generate|stats|train|attack|attack-server|help> [flags]\n\n"
       << "flags:\n"
       << parser.HelpText();
   return 0;
@@ -188,53 +201,38 @@ int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
   };
 
   const std::string method = parser.GetString("method");
-  core::StrategyFactory strategy_factory;
-  bool learns = true;
-  if (method == "RandomAttack") {
-    learns = false;
-    strategy_factory = [&](std::uint64_t) {
-      return std::make_unique<core::RandomAttack>(dataset);
-    };
-  } else if (method == "TargetAttack40" || method == "TargetAttack70" ||
-             method == "TargetAttack100") {
-    learns = false;
-    const double keep = method == "TargetAttack40"   ? 0.4
-                        : method == "TargetAttack70" ? 0.7
-                                                     : 1.0;
-    strategy_factory = [&dataset, keep](std::uint64_t) {
-      return std::make_unique<core::TargetAttack>(dataset, keep);
-    };
-  } else if (method == "PolicyNetwork") {
-    strategy_factory = [&](std::uint64_t seed) {
-      return std::make_unique<core::FlatPolicyNetwork>(
-          &dataset, &artifacts.mf.user_embeddings(),
-          &artifacts.mf.item_embeddings(),
-          core::FlatPolicyNetwork::Config{}, seed);
-    };
-  } else if (method == "CopyAttack" || method == "CopyAttack-Masking" ||
-             method == "CopyAttack-Length") {
-    core::CopyAttackConfig config;
-    config.use_masking = method != "CopyAttack-Masking";
-    config.use_crafting = method != "CopyAttack-Length";
-    strategy_factory = [&dataset, &artifacts, config](std::uint64_t seed) {
-      return std::make_unique<core::CopyAttack>(
-          &dataset, &artifacts.tree, &artifacts.mf.user_embeddings(),
-          &artifacts.mf.item_embeddings(), config, seed);
-    };
-  } else {
+  const serve::StrategySpec spec =
+      serve::MakeStrategyFactory(dataset, artifacts, method);
+  if (!spec.factory) {
     out << "error: unknown --method " << method << '\n';
     return 2;
   }
-  if (!learns) campaign.episodes = 1;
+  if (!spec.learns) campaign.episodes = 1;
 
   out << core::CampaignRowHeader() << '\n';
   const auto clean = core::EvaluateWithoutAttack(
       dataset, split.train, model_factory, targets, campaign);
   out << core::FormatCampaignRow(clean) << '\n';
-  const auto attacked = core::RunCampaign(
-      dataset, split.train, model_factory, strategy_factory, targets,
-      campaign);
-  out << core::FormatCampaignRow(attacked) << '\n';
+
+  core::CampaignResult attacked;
+  if (parser.WasSupplied("jobs")) {
+    // Sharded runner: --jobs=1 is bit-identical to the sequential path.
+    core::ParallelRunnerOptions options;
+    options.jobs = parser.GetSizeT("jobs");
+    options.checkpoint = campaign.checkpoint;
+    const core::ParallelCampaignRunner runner(
+        dataset, split.train, model_factory, spec.factory, options);
+    core::ParallelCampaignResult sharded = runner.Run(targets, campaign);
+    attacked = sharded.aggregate;
+    out << core::FormatCampaignRow(attacked) << '\n';
+    out << "throughput: "
+        << util::FormatDouble(sharded.campaigns_per_sec, 2)
+        << " campaigns/s over " << options.jobs << " jobs\n";
+  } else {
+    attacked = core::RunCampaign(dataset, split.train, model_factory,
+                                 spec.factory, targets, campaign);
+    out << core::FormatCampaignRow(attacked) << '\n';
+  }
   if (!campaign.checkpoint.dir.empty()) {
     out << "checkpoints: " << attacked.checkpoint_saves << " saved";
     if (attacked.resumed_from != core::CheckpointSource::kNone) {
@@ -248,6 +246,91 @@ int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
   return 0;
 }
 
+int CmdAttackServer(const util::FlagParser& parser, std::ostream& out) {
+  data::CrossDomainDataset dataset("", 1);
+  if (!LoadOrComplain(parser, &dataset, out)) return 1;
+
+  // Parse the job queue up front so a malformed CSV fails before the
+  // (expensive) model training.
+  std::vector<serve::PromotionJob> jobs;
+  std::string parse_error;
+  const std::string queue_path = parser.GetString("queue");
+  bool parsed = false;
+  if (queue_path == "-") {
+    parsed = serve::ParseJobsCsv(std::cin, &jobs, &parse_error);
+  } else {
+    std::ifstream in(queue_path);
+    if (!in) {
+      out << "error: could not open --queue " << queue_path << '\n';
+      return 1;
+    }
+    parsed = serve::ParseJobsCsv(in, &jobs, &parse_error);
+  }
+  if (!parsed) {
+    out << "error: " << parse_error << '\n';
+    return 2;
+  }
+  if (jobs.empty()) {
+    out << "error: --queue " << queue_path << " holds no jobs\n";
+    return 2;
+  }
+
+  util::Rng split_rng(11);
+  const data::TrainValidTestSplit split =
+      data::SplitDataset(dataset.target, split_rng);
+  rec::PinSageLite model;
+  rec::TrainOptions train_options;
+  util::Rng train_rng(13);
+  const rec::TrainReport train_report = rec::TrainWithEarlyStopping(
+      model, split, dataset.target, train_options, train_rng);
+  out << "target model test HR@10: " << train_report.test_hr << '\n';
+
+  core::SourceArtifactOptions artifact_options;
+  artifact_options.tree_depth = parser.GetSizeT("depth");
+  const core::SourceArtifacts artifacts =
+      core::PrepareSourceArtifacts(dataset, artifact_options);
+  const core::ModelFactory model_factory = [&] {
+    return std::make_unique<rec::PinSageLite>(model);
+  };
+
+  serve::ServerConfig server_config;
+  server_config.runner.jobs = parser.GetSizeT("jobs");
+  server_config.checkpoint_root = parser.GetString("checkpoint_root");
+  server_config.resume = parser.GetBool("resume");
+  server_config.checkpoint_every = parser.GetSizeT("checkpoint_every");
+
+  serve::JobQueue queue;
+  for (serve::PromotionJob& job : jobs) queue.Push(std::move(job));
+  queue.Close();
+
+  serve::AttackServer server(dataset, split.train, model_factory,
+                             artifacts, server_config);
+  out << "serving " << jobs.size() << " promotion jobs ("
+      << server_config.runner.jobs << " worker threads)\n";
+  const std::vector<serve::JobReport> reports = server.Drain(&queue);
+
+  bool any_failed = false;
+  out << core::CampaignRowHeader() << '\n';
+  for (const serve::JobReport& report : reports) {
+    if (!report.ok) {
+      any_failed = true;
+      out << "job " << report.job.id << ": error: " << report.error
+          << '\n';
+      continue;
+    }
+    std::ostringstream label;
+    label << report.job.id << ":" << report.result.aggregate.method;
+    core::CampaignResult row = report.result.aggregate;
+    row.method = label.str();
+    out << core::FormatCampaignRow(row) << "  ("
+        << util::FormatDouble(report.result.campaigns_per_sec, 2)
+        << " campaigns/s)\n";
+  }
+  out << "served " << server.jobs_run() << " jobs, "
+      << server.jobs_failed() << " failed\n";
+  return any_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int DispatchCommand(const util::FlagParser& parser, std::ostream& out) {
@@ -256,6 +339,7 @@ int DispatchCommand(const util::FlagParser& parser, std::ostream& out) {
   if (command == "stats") return CmdStats(parser, out);
   if (command == "train") return CmdTrain(parser, out);
   if (command == "attack") return CmdAttack(parser, out);
+  if (command == "attack-server") return CmdAttackServer(parser, out);
   if (command.empty() || command == "help") {
     return PrintHelp(parser, out);
   }

@@ -20,7 +20,7 @@ namespace copyattack::tools {
 ///       prints validation/test quality.
 ///
 ///   copyattack attack --data PREFIX --method NAME [--targets N]
-///       [--budget N] [--episodes N] [--depth N] [--seed N]
+///       [--budget N] [--episodes N] [--depth N] [--seed N] [--jobs N]
 ///       [--faults off|light|aggressive] [--fault_seed N]
 ///       [--checkpoint_dir DIR] [--checkpoint_every N] [--resume 1]
 ///       Runs one attacking method over sampled cold target items and
@@ -29,7 +29,20 @@ namespace copyattack::tools {
 ///       CopyAttack, CopyAttack-Masking, CopyAttack-Length.
 ///       --faults injects deterministic oracle faults (and enables the
 ///       retry/circuit-breaker client); --checkpoint_dir turns on
-///       crash-safe checkpointing, --resume continues from it.
+///       crash-safe checkpointing, --resume continues from it. --jobs
+///       routes the campaign through the sharded parallel runner with
+///       batched oracle queries (--jobs=1 output is bit-identical to
+///       the sequential runner).
+///
+///   copyattack attack-server --data PREFIX [--queue FILE|-] [--jobs N]
+///       [--depth N] [--checkpoint_root DIR] [--resume 1]
+///       [--checkpoint_every N]
+///       Long-running promotion service: reads `id,method,targets,
+///       budget,episodes,seed` job rows from the queue CSV (stdin with
+///       `--queue -`), runs each as a sharded campaign over the shared
+///       thread pool, and prints one Table-2 row per job. With
+///       --checkpoint_root each job persists crash-safe checkpoints
+///       under `<root>/job_<id>`; --resume continues interrupted jobs.
 ///
 ///   copyattack help
 ///       Prints usage.

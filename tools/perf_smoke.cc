@@ -12,19 +12,29 @@
 // Writes one CSV row to the path given as argv[1] (default
 // bench_results/micro_hotpath.csv relative to the working directory) and
 // mirrors it on stdout; next to it, obs_overhead.csv (the enabled-vs-
-// disabled comparison) and telemetry_largecross.json (the JSON metrics
-// summary of an instrumented LargeCross episode run). Exits non-zero if
-// the fast reset is not at least 5x faster than the legacy recipe.
+// disabled comparison), campaign_scaling.csv (the sharded-runner
+// threads x campaigns/sec sweep, ISSUE 6) and telemetry_largecross.json
+// (the JSON metrics summary of an instrumented LargeCross episode run).
+// Exits non-zero if the fast reset is not at least 5x faster than the
+// legacy recipe, or — on machines with >= 8 hardware threads — if the
+// sharded runner at 8 threads is not at least 3x the sequential
+// campaigns/sec.
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/baselines.h"
 #include "core/environment.h"
+#include "core/parallel_runner.h"
+#include "core/runner.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "data/target_items.h"
 #include "fault/fault_injector.h"
 #include "math/vector_ops.h"
 #include "obs/export.h"
@@ -319,11 +329,101 @@ int main(int argc, char** argv) {
     std::printf("telemetry summary: %s\n", telemetry_path.c_str());
   }
 
+  // Campaign-level scaling (ISSUE 6): the sharded runner vs sequential
+  // RunCampaign on LargeCross, TargetAttack40 over cold target items.
+  // Writes campaign_scaling.csv (threads x campaigns/sec sweep, with the
+  // machine's hardware thread count so the committed artifact is honest
+  // about where it was measured) and gates >= 3x at 8 threads — but only
+  // on machines that actually have >= 8 hardware threads.
+  double seq_cps = 0.0;
+  double cps_at_8 = 0.0;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  {
+    util::Rng target_rng(47);
+    const std::vector<data::ItemId> targets =
+        data::SampleColdTargetItems(world.dataset, 8, 10, target_rng);
+    core::CampaignConfig campaign;
+    campaign.env.budget = 20;
+    campaign.env.num_pretend_users = 30;
+    campaign.episodes = 1;
+    campaign.eval_users = 60;
+    campaign.seed = 91;
+    campaign.num_threads = 1;
+    const core::ModelFactory model_factory = [&] {
+      return std::make_unique<rec::PinSageLite>(model);
+    };
+    const core::StrategyFactory strategy_factory = [&](std::uint64_t) {
+      return std::make_unique<core::TargetAttack>(world.dataset, 0.4);
+    };
+
+    auto s = Clock::now();
+    const core::CampaignResult sequential = core::RunCampaign(
+        world.dataset, split.train, model_factory, strategy_factory,
+        targets, campaign);
+    auto e = Clock::now();
+    (void)sequential;
+    seq_cps = static_cast<double>(targets.size()) / Seconds(s, e);
+
+    const std::string scaling_path =
+        (result_dir / "campaign_scaling.csv").string();
+    std::FILE* sf = std::fopen(scaling_path.c_str(), "w");
+    if (sf == nullptr) {
+      std::fprintf(stderr, "perf_smoke: cannot open %s\n",
+                   scaling_path.c_str());
+      return 2;
+    }
+    std::fprintf(sf,
+                 "threads,campaigns_per_sec,speedup_vs_sequential,"
+                 "hw_threads\n");
+    std::printf(
+        "threads,campaigns_per_sec,speedup_vs_sequential,hw_threads\n");
+    std::fprintf(sf, "seq,%.3f,1.00,%u\n", seq_cps, hw_threads);
+    std::printf("seq,%.3f,1.00,%u\n", seq_cps, hw_threads);
+    const std::size_t sweep[] = {1, 2, 4, 8};
+    for (const std::size_t jobs : sweep) {
+      core::ParallelRunnerOptions options;
+      options.jobs = jobs;
+      const core::ParallelCampaignRunner runner(
+          world.dataset, split.train, model_factory, strategy_factory,
+          options);
+      const core::ParallelCampaignResult sharded =
+          runner.Run(targets, campaign);
+      if (jobs == 8) cps_at_8 = sharded.campaigns_per_sec;
+      std::fprintf(sf, "%zu,%.3f,%.2f,%u\n", jobs,
+                   sharded.campaigns_per_sec,
+                   seq_cps > 0.0 ? sharded.campaigns_per_sec / seq_cps
+                                 : 0.0,
+                   hw_threads);
+      std::printf("%zu,%.3f,%.2f,%u\n", jobs, sharded.campaigns_per_sec,
+                  seq_cps > 0.0 ? sharded.campaigns_per_sec / seq_cps
+                                : 0.0,
+                  hw_threads);
+    }
+    std::fclose(sf);
+  }
+
   if (speedup < 5.0) {
     std::fprintf(stderr,
                  "perf_smoke: FAIL reset speedup %.1fx < 5x required\n",
                  speedup);
     return 1;
+  }
+  if (hw_threads >= 8) {
+    const double scaling = seq_cps > 0.0 ? cps_at_8 / seq_cps : 0.0;
+    if (scaling < 3.0) {
+      std::fprintf(stderr,
+                   "perf_smoke: FAIL campaign scaling %.2fx < 3x required "
+                   "at 8 threads (%u hardware threads)\n",
+                   scaling, hw_threads);
+      return 1;
+    }
+    std::printf("perf_smoke: campaign scaling %.2fx at 8 threads\n",
+                scaling);
+  } else {
+    std::printf(
+        "perf_smoke: campaign scaling gate skipped (%u hardware threads "
+        "< 8)\n",
+        hw_threads);
   }
   std::printf("perf_smoke: OK (reset %.1fx faster than legacy)\n", speedup);
   return 0;
