@@ -99,12 +99,14 @@ bool ReadMetrics(std::istream& in, rec::MetricsByK* metrics) {
   if (!ReadU64(in, &size)) return false;
   metrics->clear();
   for (std::uint64_t i = 0; i < size; ++i) {
-    std::uint64_t k = 0, count = 0;
+    std::uint64_t k = 0;
     rec::TopKMetrics m;
     if (!ReadU64(in, &k) || !ReadDouble(in, &m.hr) ||
-        !ReadDouble(in, &m.ndcg) || !ReadU64(in, &count)) {
+        !ReadDouble(in, &m.ndcg)) {
       return false;
     }
+    std::uint64_t count = 0;
+    if (!ReadU64(in, &count)) return false;
     m.count = static_cast<std::size_t>(count);
     (*metrics)[static_cast<std::size_t>(k)] = m;
   }
@@ -158,9 +160,9 @@ std::string SerializePayload(const CampaignCheckpoint& checkpoint) {
 bool DeserializePayload(const std::string& payload,
                         CampaignCheckpoint* checkpoint) {
   std::istringstream in(payload, std::ios::binary);
+  if (!ReadString(in, &checkpoint->fingerprint.method)) return false;
   std::uint64_t seed = 0, episodes = 0, num_targets = 0, env_budget = 0;
-  if (!ReadString(in, &checkpoint->fingerprint.method) ||
-      !ReadU64(in, &seed) || !ReadU64(in, &episodes) ||
+  if (!ReadU64(in, &seed) || !ReadU64(in, &episodes) ||
       !ReadU64(in, &num_targets) || !ReadU64(in, &env_budget)) {
     return false;
   }
@@ -186,11 +188,12 @@ bool DeserializePayload(const std::string& payload,
   progress.active = active != 0;
   if (progress.active) {
     std::uint64_t target_index = 0, episodes_done = 0;
-    std::uint64_t lifetime_queries = 0, episodes_begun = 0, fallbacks = 0;
+    std::uint64_t lifetime_queries = 0, episodes_begun = 0;
+    std::uint64_t proxy_reward_fallbacks = 0;
     if (!ReadU64(in, &target_index) || !ReadU64(in, &episodes_done) ||
         !ReadRngState(in, &progress.episode_rng) ||
         !ReadU64(in, &lifetime_queries) || !ReadU64(in, &episodes_begun) ||
-        !ReadU64(in, &fallbacks) ||
+        !ReadU64(in, &proxy_reward_fallbacks) ||
         !ReadRngState(in, &progress.env.refit_rng) ||
         !ReadString(in, &progress.strategy_blob)) {
       return false;
@@ -201,7 +204,7 @@ bool DeserializePayload(const std::string& payload,
         static_cast<std::size_t>(lifetime_queries);
     progress.env.episodes_begun = static_cast<std::size_t>(episodes_begun);
     progress.env.proxy_reward_fallbacks =
-        static_cast<std::size_t>(fallbacks);
+        static_cast<std::size_t>(proxy_reward_fallbacks);
   }
   return true;
 }

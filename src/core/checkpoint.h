@@ -8,6 +8,7 @@
 
 #include "core/environment.h"
 #include "rec/evaluator.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace copyattack::core {
@@ -15,7 +16,7 @@ namespace copyattack::core {
 /// Per-target-item outcome of a campaign, exactly what `RunCampaign`
 /// aggregates into a Table-2 row. Serializable so completed targets
 /// survive a crash.
-struct TargetOutcomeState {
+struct TargetOutcomeState CA_CHECKPOINTED(WriteOutcome, ReadOutcome) {
   rec::MetricsByK metrics;
   double items_per_profile = 0.0;
   double profiles_injected = 0.0;
@@ -26,7 +27,8 @@ struct TargetOutcomeState {
 /// Identity of a campaign. A checkpoint written by one campaign must
 /// never be resumed into a differently configured one — the mismatch
 /// would silently produce garbage, so the loader rejects it.
-struct CampaignFingerprint {
+struct CampaignFingerprint CA_CHECKPOINTED(SerializePayload,
+                                           DeserializePayload) {
   std::string method;
   std::uint64_t seed = 0;
   std::size_t episodes = 0;
@@ -45,7 +47,8 @@ struct CampaignFingerprint {
 /// episode RNG stream, the environment's cross-episode counters/streams,
 /// and the strategy's opaque state blob (policy parameters + baseline,
 /// see AttackStrategy::SaveState).
-struct InProgressTarget {
+struct InProgressTarget CA_CHECKPOINTED(SerializePayload,
+                                        DeserializePayload) {
   bool active = false;
   std::size_t target_index = 0;
   std::size_t episodes_done = 0;
@@ -55,7 +58,8 @@ struct InProgressTarget {
 };
 
 /// Everything `RunCampaign` needs to continue after a crash.
-struct CampaignCheckpoint {
+struct CampaignCheckpoint CA_CHECKPOINTED(SerializePayload,
+                                          DeserializePayload) {
   CampaignFingerprint fingerprint;
   /// Outcomes of targets `[0, completed.size())`, in target order.
   std::vector<TargetOutcomeState> completed;

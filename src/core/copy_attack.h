@@ -14,6 +14,7 @@
 #include "core/selection_policy.h"
 #include "data/cross_domain.h"
 #include "nn/reinforce.h"
+#include "util/annotations.h"
 
 namespace copyattack::core {
 
@@ -69,7 +70,8 @@ struct CopyAttackConfig {
 /// The full CopyAttack agent (paper §4): hierarchical-structure policy
 /// gradient user selection with masking, profile crafting, injection with
 /// query feedback, and episode-end REINFORCE updates of both policies.
-class CopyAttack final : public AttackStrategy {
+class CopyAttack CA_CHECKPOINTED(CopyAttack::SaveState, CopyAttack::LoadState)
+    final : public AttackStrategy {
  public:
   /// `dataset`, `tree`, and the pre-trained source-domain MF embeddings
   /// are borrowed and must outlive the agent. The tree must be built over
@@ -130,21 +132,30 @@ class CopyAttack final : public AttackStrategy {
   /// Episode-end REINFORCE update of both policies.
   void UpdatePolicies(const std::vector<TrajectoryStep>& trajectory);
 
-  const data::CrossDomainDataset* dataset_;
-  const cluster::HierarchicalTree* tree_;
-  CopyAttackConfig config_;
+  const data::CrossDomainDataset* dataset_
+      CA_NOT_CHECKPOINTED("borrowed pointer, rebound at construction");
+  const cluster::HierarchicalTree* tree_
+      CA_NOT_CHECKPOINTED("borrowed pointer, rebound at construction");
+  CopyAttackConfig config_ CA_NOT_CHECKPOINTED(
+      "configuration, part of the campaign fingerprint, not mutable state");
 
   std::unique_ptr<HierarchicalSelectionPolicy> selection_;
   std::unique_ptr<CraftingPolicy> crafting_;
   nn::MovingBaseline baseline_;
 
-  data::ItemId target_item_ = data::kNoItem;
+  data::ItemId target_item_
+      CA_NOT_CHECKPOINTED("per-target, reset by BeginTargetItem") =
+          data::kNoItem;
   /// Item the selection mask and crafting window anchor on; equals
   /// `target_item_` unless proxy mode engaged.
-  data::ItemId anchor_item_ = data::kNoItem;
-  std::vector<data::UserId> candidates_;
-  std::unordered_set<data::UserId> selected_this_episode_;
-  bool eval_mode_ = false;
+  data::ItemId anchor_item_
+      CA_NOT_CHECKPOINTED("per-target, derived in BeginTargetItem") =
+          data::kNoItem;
+  std::vector<data::UserId> candidates_
+      CA_NOT_CHECKPOINTED("per-target, derived in BeginTargetItem");
+  std::unordered_set<data::UserId> selected_this_episode_
+      CA_NOT_CHECKPOINTED("per-episode scratch, cleared by RunEpisode");
+  bool eval_mode_ CA_NOT_CHECKPOINTED("transient evaluation toggle") = false;
 };
 
 }  // namespace copyattack::core

@@ -13,6 +13,7 @@
 #include "rec/black_box.h"
 #include "rec/evaluator.h"
 #include "rec/recommender.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace copyattack::core {
@@ -168,7 +169,8 @@ class AttackEnvironment {
 
   /// Cross-episode mutable state a campaign checkpoint must capture so a
   /// resumed environment continues bit-exactly (core/checkpoint.h).
-  struct ResumeState {
+  struct ResumeState CA_CHECKPOINTED(AttackEnvironment::SaveResumeState,
+                                     AttackEnvironment::RestoreResumeState) {
     std::size_t lifetime_queries = 0;
     std::size_t episodes_begun = 0;
     std::size_t proxy_reward_fallbacks = 0;

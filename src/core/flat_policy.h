@@ -12,6 +12,7 @@
 #include "nn/mlp.h"
 #include "nn/reinforce.h"
 #include "nn/rnn.h"
+#include "util/annotations.h"
 
 namespace copyattack::core {
 
@@ -23,7 +24,9 @@ namespace copyattack::core {
 /// finish on the Netflix-scale dataset within 48 hours in the paper.
 /// Masking to target-item holders and profile crafting are kept identical
 /// to CopyAttack so the comparison isolates the action-space structure.
-class FlatPolicyNetwork final : public AttackStrategy {
+class FlatPolicyNetwork CA_CHECKPOINTED(FlatPolicyNetwork::SaveState,
+                                        FlatPolicyNetwork::LoadState)
+    final : public AttackStrategy {
  public:
   struct Config {
     std::size_t mlp_hidden_dim = 16;
@@ -73,19 +76,26 @@ class FlatPolicyNetwork final : public AttackStrategy {
                                  nn::RnnContext* rnn_ctx) const;
   void UpdatePolicies(const std::vector<StepRecord>& trajectory);
 
-  const data::CrossDomainDataset* dataset_;
-  const math::Matrix* user_embeddings_;
-  const math::Matrix* item_embeddings_;
-  Config config_;
+  const data::CrossDomainDataset* dataset_
+      CA_NOT_CHECKPOINTED("borrowed pointer, rebound at construction");
+  const math::Matrix* user_embeddings_
+      CA_NOT_CHECKPOINTED("borrowed pointer, rebound at construction");
+  const math::Matrix* item_embeddings_
+      CA_NOT_CHECKPOINTED("borrowed pointer, rebound at construction");
+  Config config_ CA_NOT_CHECKPOINTED("configuration, part of the campaign "
+                                     "fingerprint, not mutable state");
 
   std::unique_ptr<nn::Mlp> mlp_;  // state -> n_B logits
   std::unique_ptr<nn::RnnEncoder> rnn_;
   std::unique_ptr<CraftingPolicy> crafting_;
   nn::MovingBaseline baseline_;
 
-  data::ItemId target_item_ = data::kNoItem;
-  std::vector<bool> static_user_mask_;
-  bool eval_mode_ = false;
+  data::ItemId target_item_
+      CA_NOT_CHECKPOINTED("per-target, reset by BeginTargetItem") =
+          data::kNoItem;
+  std::vector<bool> static_user_mask_
+      CA_NOT_CHECKPOINTED("derived from target_item_ in BeginTargetItem");
+  bool eval_mode_ CA_NOT_CHECKPOINTED("transient evaluation toggle") = false;
 };
 
 }  // namespace copyattack::core

@@ -3,12 +3,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/checkpoint.h"
 #include "core/runner.h"
 #include "data/cross_domain.h"
 #include "data/dataset.h"
+#include "util/annotations.h"
 
 namespace copyattack::core {
 
@@ -32,8 +36,10 @@ struct ParallelRunnerOptions {
   CampaignCheckpointOptions checkpoint;
 };
 
-/// Per-shard execution record.
-struct ShardStats {
+/// Per-shard execution record. Round-trips through the shard-stats CSV
+/// (`WriteShardStatsCsv` / `ParseShardStatsCsv`) so campaign-scaling runs
+/// can archive and re-ingest per-shard records across invocations.
+struct ShardStats CA_CHECKPOINTED(WriteShardStatsCsv, ParseShardStatsCsv) {
   std::size_t shard = 0;
   std::size_t total_shards = 1;
   /// Target items owned by this shard (round-robin: global indices
@@ -48,6 +54,17 @@ struct ShardStats {
   CheckpointSource resumed_from = CheckpointSource::kNone;
   double wall_seconds = 0.0;
 };
+
+/// Writes one CSV row per shard record (header first). Round-trips with
+/// `ParseShardStatsCsv`; the scaling perf gate archives these so a later
+/// run can compare per-shard load balance against an earlier one.
+void WriteShardStatsCsv(const std::vector<ShardStats>& shards,
+                        std::ostream& out);
+
+/// Parses the CSV written by `WriteShardStatsCsv`. On malformed input
+/// returns false with a line-numbered message in `*error`.
+bool ParseShardStatsCsv(std::istream& in, std::vector<ShardStats>* shards,
+                        std::string* error);
 
 /// Outcome of one sharded campaign run.
 struct ParallelCampaignResult {

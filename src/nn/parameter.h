@@ -5,17 +5,19 @@
 #include <vector>
 
 #include "math/matrix.h"
+#include "util/annotations.h"
 
 namespace copyattack::nn {
 
 /// A learnable tensor together with its accumulated gradient. Layers own
 /// their parameters; optimizers mutate them through the pointers returned by
 /// each module's `Parameters()`.
-struct Parameter {
+struct Parameter CA_CHECKPOINTED(SaveParameters, LoadParameters) {
   /// Human-readable name used by serialization and debugging ("dense/W").
   std::string name;
   math::Matrix value;
-  math::Matrix grad;
+  math::Matrix grad CA_NOT_CHECKPOINTED(
+      "per-step scratch, zeroed before each backward pass");
 
   /// Allocates value and grad with the given shape (zero-filled).
   Parameter(std::string parameter_name, std::size_t rows, std::size_t cols)

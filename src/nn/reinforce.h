@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace copyattack::nn {
 
 /// Computes discounted returns G_t = sum_k gamma^(k-t) r_k for a whole
@@ -34,7 +36,7 @@ void AddEntropyBonusGrad(const std::vector<float>& probs, double beta,
 
 /// Exponential-moving-average reward baseline used as the REINFORCE
 /// variance reducer: advantage = return - baseline.
-class MovingBaseline {
+class MovingBaseline CA_CHECKPOINTED(SaveState, RestoreState) {
  public:
   /// `momentum` in [0,1): how much of the old baseline to keep per update.
   explicit MovingBaseline(double momentum = 0.9) : momentum_(momentum) {}
@@ -49,19 +51,25 @@ class MovingBaseline {
   /// Serializable snapshot (campaign checkpointing): restoring it resumes
   /// the advantage sequence exactly. `momentum` is configuration, not
   /// state, and is deliberately excluded.
-  struct State {
+  struct State CA_CHECKPOINTED(MovingBaseline::SaveState,
+                               MovingBaseline::RestoreState) {
     double value = 0.0;
     bool initialized = false;
   };
 
-  State SaveState() const { return State{value_, initialized_}; }
+  State SaveState() const {
+    State state;
+    state.value = value_;
+    state.initialized = initialized_;
+    return state;
+  }
   void RestoreState(const State& state) {
     value_ = state.value;
     initialized_ = state.initialized;
   }
 
  private:
-  double momentum_;
+  double momentum_ CA_NOT_CHECKPOINTED("configuration, not stream state");
   double value_ = 0.0;
   bool initialized_ = false;
 };

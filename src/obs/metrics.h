@@ -179,7 +179,9 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mutex_;
+  /// Leaf lock: registration holds it only around map insertion (zero-arg
+  /// annotation = tracked in the lock-order graph).
+  mutable std::mutex mutex_ CA_ACQUIRED_BEFORE();
   // std::map keeps snapshot/export ordering deterministic by name.
   // Registration is guarded; the returned Counter/Gauge/Histogram handles
   // are themselves lock-free (sharded atomics) and outlive the lock.

@@ -56,7 +56,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::BufferForThisThread() {
   buffer->capacity = ring_capacity_;
   // Pre-publication init: the buffer is not yet in buffers_, so no other
   // thread can reach it, and the registry lock held here orders the write
-  // before any reader. analyze:allow(ts-unlocked-field)
+  // before any reader.
   buffer->ring.reserve(ring_capacity_);
   buffer->index = static_cast<std::uint32_t>(buffers_.size());
   buffers_.push_back(std::move(buffer));

@@ -63,7 +63,9 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    mutable std::mutex mutex;
+    /// Leaf lock, nested inside the registry lock by Collect/Clear (the
+    /// reverse nesting would deadlock against Record).
+    mutable std::mutex mutex CA_ACQUIRED_BEFORE();
     std::vector<TraceEvent> ring CA_GUARDED_BY(mutex);
     std::size_t capacity = 0;   ///< fixed at registration (pre-publication)
     std::size_t next CA_GUARDED_BY(mutex) = 0;   ///< ring write position
@@ -73,7 +75,9 @@ class TraceRecorder {
 
   ThreadBuffer& BufferForThisThread();
 
-  mutable std::mutex mutex_;  ///< guards `buffers_` and `ring_capacity_`
+  /// Guards `buffers_` and `ring_capacity_`. Acquired before any
+  /// per-buffer lock (Collect/Clear iterate buffers under it).
+  mutable std::mutex mutex_ CA_ACQUIRED_BEFORE(ThreadBuffer::mutex);
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ CA_GUARDED_BY(mutex_);
   std::size_t ring_capacity_ CA_GUARDED_BY(mutex_) = 8192;
 };

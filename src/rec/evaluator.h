@@ -7,12 +7,13 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "rec/recommender.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace copyattack::rec {
 
 /// Averaged ranking metrics at one cutoff.
-struct TopKMetrics {
+struct TopKMetrics CA_CHECKPOINTED(WriteMetrics, ReadMetrics) {
   double hr = 0.0;
   double ndcg = 0.0;
   std::size_t count = 0;  ///< evaluation pairs aggregated

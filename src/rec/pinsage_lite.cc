@@ -30,7 +30,7 @@ void PinSageLite::InitTraining(const data::Dataset& train, util::Rng& rng) {
   item_user_count_.clear();
   mean_user_aggregate_.clear();
   mean_frozen_ = false;
-  serving_checkpoint_valid_ = false;
+  serving_ckpt_.valid = false;
 }
 
 void PinSageLite::TrainEpoch(const data::Dataset& train, util::Rng& rng) {
@@ -39,7 +39,7 @@ void PinSageLite::TrainEpoch(const data::Dataset& train, util::Rng& rng) {
   // any serving checkpoint built on them are stale; the next BeginServing
   // recomputes them.
   mean_frozen_ = false;
-  serving_checkpoint_valid_ = false;
+  serving_ckpt_.valid = false;
   const std::size_t dim = config_.embedding_dim;
   const float lr = config_.learning_rate;
   const float reg = config_.regularization;
@@ -153,7 +153,7 @@ void PinSageLite::BeginServing(const data::Dataset& current) {
     }
   }
   // A full rebuild supersedes whatever state an older checkpoint captured.
-  serving_checkpoint_valid_ = false;
+  serving_ckpt_.valid = false;
 }
 
 void PinSageLite::ObserveNewUser(const data::Dataset& current,
@@ -167,33 +167,34 @@ void PinSageLite::ObserveNewUser(const data::Dataset& current,
   for (const data::ItemId item : current.UserProfile(user)) {
     math::Axpy(1.0f, rep, item_user_sum_.Row(item), dim);
     ++item_user_count_[item];
-    if (serving_checkpoint_valid_) touched_since_checkpoint_.push_back(item);
+    if (serving_ckpt_.valid) serving_ckpt_.touched.push_back(item);
   }
 }
 
 bool PinSageLite::CheckpointServing() {
   if (!mean_frozen_) return false;  // nothing served yet
   OBS_COUNTER_INC("rec.serving_checkpoints");
-  checkpoint_user_rows_ = user_reps_.rows();
-  checkpoint_item_user_sum_ = item_user_sum_;
-  checkpoint_item_user_count_ = item_user_count_;
-  touched_since_checkpoint_.clear();
-  serving_checkpoint_valid_ = true;
+  serving_ckpt_.valid = false;  // invalid while the snapshot is mid-copy
+  serving_ckpt_.user_rows = user_reps_.rows();
+  serving_ckpt_.touched.clear();
+  serving_ckpt_.item_user_sum = item_user_sum_;
+  serving_ckpt_.item_user_count = item_user_count_;
+  serving_ckpt_.valid = true;
   return true;
 }
 
 bool PinSageLite::RollbackServing() {
-  if (!serving_checkpoint_valid_) return false;
+  if (!serving_ckpt_.valid) return false;
   OBS_COUNTER_INC("rec.serving_rollbacks");
+  user_reps_.TruncateRows(serving_ckpt_.user_rows);
   // Restore only the neighborhood accumulators that injections touched —
   // O(injected interactions), with bit-exact rows memcpy'd back from the
   // snapshot (float accumulation is not reversible by subtraction).
-  for (const data::ItemId item : touched_since_checkpoint_) {
-    item_user_sum_.CopyRowFrom(checkpoint_item_user_sum_, item, item);
-    item_user_count_[item] = checkpoint_item_user_count_[item];
+  for (const data::ItemId item : serving_ckpt_.touched) {
+    item_user_sum_.CopyRowFrom(serving_ckpt_.item_user_sum, item, item);
+    item_user_count_[item] = serving_ckpt_.item_user_count[item];
   }
-  touched_since_checkpoint_.clear();
-  user_reps_.TruncateRows(checkpoint_user_rows_);
+  serving_ckpt_.touched.clear();
   return true;
 }
 

@@ -6,6 +6,7 @@
 
 #include "math/matrix.h"
 #include "rec/recommender.h"
+#include "util/annotations.h"
 
 namespace copyattack::rec {
 
@@ -108,11 +109,15 @@ class PinSageLite final : public Recommender {
   /// Serving-state checkpoint (CheckpointServing/RollbackServing): a copy
   /// of the neighborhood accumulators plus a journal of items touched by
   /// ObserveNewUser since, so rollback restores exactly the touched rows.
-  bool serving_checkpoint_valid_ = false;
-  std::size_t checkpoint_user_rows_ = 0;
-  math::Matrix checkpoint_item_user_sum_;
-  std::vector<std::size_t> checkpoint_item_user_count_;
-  std::vector<data::ItemId> touched_since_checkpoint_;
+  struct ServingCheckpoint CA_CHECKPOINTED(PinSageLite::CheckpointServing,
+                                           PinSageLite::RollbackServing) {
+    bool valid = false;
+    std::size_t user_rows = 0;
+    std::vector<data::ItemId> touched;
+    math::Matrix item_user_sum;
+    std::vector<std::size_t> item_user_count;
+  };
+  ServingCheckpoint serving_ckpt_;
 };
 
 }  // namespace copyattack::rec

@@ -64,12 +64,12 @@ bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
       std::size_t* out;
       bool positive;
     };
-    std::size_t seed = 0;
+    std::size_t seed_value = 0;
     const NumField numbers[] = {
         {"targets", 2, &job.num_targets, true},
         {"budget", 3, &job.budget, true},
         {"episodes", 4, &job.episodes, true},
-        {"seed", 5, &seed, false},
+        {"seed", 5, &seed_value, false},
     };
     for (const NumField& field : numbers) {
       if (!util::ParseSizeT(util::Trim(fields[field.index]), field.out) ||
@@ -82,10 +82,18 @@ bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
                         error);
       }
     }
-    job.seed = static_cast<std::uint64_t>(seed);
+    job.seed = static_cast<std::uint64_t>(seed_value);
     jobs->push_back(std::move(job));
   }
   return true;
+}
+
+void WriteJobsCsv(const std::vector<PromotionJob>& jobs, std::ostream& out) {
+  out << "id,method,targets,budget,episodes,seed\n";
+  for (const PromotionJob& job : jobs) {
+    out << job.id << ',' << job.method << ',' << job.num_targets << ','
+        << job.budget << ',' << job.episodes << ',' << job.seed << '\n';
+  }
 }
 
 void JobQueue::Push(PromotionJob job) {

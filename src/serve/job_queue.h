@@ -7,6 +7,7 @@
 #include <deque>
 #include <istream>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,7 @@ namespace copyattack::serve {
 /// One queued promotion campaign: which attack method to run, how many
 /// cold target items to promote, and with what budget. Jobs arrive on the
 /// attack server's queue from a CSV file or stdin.
-struct PromotionJob {
+struct PromotionJob CA_CHECKPOINTED(WriteJobsCsv, ParseJobsCsv) {
   /// Job name, `[A-Za-z0-9_-]+`; also names the job's checkpoint
   /// directory (`<root>/job_<id>`), hence the restricted charset.
   std::string id;
@@ -41,6 +42,11 @@ struct PromotionJob {
 bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
                   std::string* error);
 
+/// Writes jobs back out in the exact format `ParseJobsCsv` accepts
+/// (header row included) — the round-trip half that lets a server persist
+/// its remaining queue on shutdown.
+void WriteJobsCsv(const std::vector<PromotionJob>& jobs, std::ostream& out);
+
 /// Thread-safe FIFO of promotion jobs feeding the attack server. Any
 /// thread may push; consumers block in `Pop` until a job arrives or the
 /// queue is closed and drained — the standard producer/consumer shutdown
@@ -63,7 +69,9 @@ class JobQueue {
   bool closed() const;
 
  private:
-  mutable std::mutex mutex_;
+  /// Leaf lock: nothing else is acquired while it is held (the zero-arg
+  /// annotation enters it into the lock-order graph with no out-edges).
+  mutable std::mutex mutex_ CA_ACQUIRED_BEFORE();
   std::condition_variable job_available_;
   std::deque<PromotionJob> jobs_ CA_GUARDED_BY(mutex_);
   bool closed_ CA_GUARDED_BY(mutex_) = false;

@@ -54,4 +54,53 @@
 /// Carries no Clang equivalent; enforced by copyattack-analyze alone.
 #define CA_ATOMIC_ONLY
 
+/// ---- State-integrity annotations (checked by copyattack-analyze only) ----
+///
+/// CA_CHECKPOINTED marks a type whose instances participate in the repo's
+/// crash-safe checkpoint/resume contract: every non-static data member must
+/// be referenced by both the save and the load serializer, in the same
+/// order, or carry an explicit CA_NOT_CHECKPOINTED(reason) waiver. The
+/// analyzer's `checkpoint` pass (rules ckpt-missing-member,
+/// ckpt-order-mismatch, ckpt-no-serializer) enforces this, so adding a
+/// field without serializing it fails `ctest -L lint` instead of silently
+/// breaking bit-identical resume.
+///
+/// Placement: after the class name, before any base clause or `final`:
+///
+///   struct RngState CA_CHECKPOINTED(WriteRngState, ReadRngState) { ... };
+///   class CopyAttack CA_CHECKPOINTED(SaveState, LoadState) final { ... };
+///
+/// The two arguments name the save and load functions. With no arguments
+/// they default to SaveState/LoadState; a name may be qualified
+/// (`Owner::Fn`) when the serializer is a method of another class. The
+/// macro expands to nothing — the names are read back out of the source by
+/// the analyzer.
+#define CA_CHECKPOINTED(...)
+
+/// Waives the checkpoint-coverage requirement for one member, with a
+/// mandatory human-readable reason (borrowed pointer, pure configuration,
+/// per-episode transient, ...). Trails the member declaration:
+///
+///   const data::CrossDomainDataset* dataset_
+///       CA_NOT_CHECKPOINTED("borrowed; rebound on load") = nullptr;
+#define CA_NOT_CHECKPOINTED(reason)
+
+/// Declares a lock-ordering edge: while holding this mutex it is legal to
+/// acquire each mutex named in the argument list (`Class::member` spelling
+/// for other classes' mutexes). The analyzer's `lockorder` pass combines
+/// these declared edges with RAII-holder nesting observed in function
+/// bodies; a cycle (lock-order-cycle) or an observed nesting that
+/// contradicts a declared edge (lock-order-contradiction) fails lint, as
+/// does a blocking acquisition of any annotated mutex inside a ParallelFor
+/// body (lock-in-parallel-for). The zero-argument form registers the mutex
+/// with the pass without declaring outgoing edges:
+///
+///   std::mutex mutex_ CA_ACQUIRED_BEFORE(ThreadBuffer::mutex);
+///   std::mutex mutex_ CA_ACQUIRED_BEFORE();  // tracked, leaf order
+///
+/// Deliberately NOT mapped to Clang's acquired_before attribute: qualified
+/// arguments and the zero-argument form are not valid attribute
+/// expressions, and the analyzer needs the exact source spelling anyway.
+#define CA_ACQUIRED_BEFORE(...)
+
 #endif  // COPYATTACK_UTIL_ANNOTATIONS_H_

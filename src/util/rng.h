@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace copyattack::util {
@@ -21,7 +22,7 @@ std::uint64_t DeriveStreamSeed(std::uint64_t base, std::uint64_t stream);
 /// The complete serializable state of an `Rng` stream. Capturing and
 /// restoring it mid-stream resumes the exact draw sequence — the basis of
 /// crash-safe campaign checkpointing (core/checkpoint.h).
-struct RngState {
+struct RngState CA_CHECKPOINTED(WriteRngState, ReadRngState) {
   std::uint64_t words[4] = {0, 0, 0, 0};
   bool has_cached_normal = false;
   double cached_normal = 0.0;
@@ -32,7 +33,7 @@ struct RngState {
 /// state. Every stochastic component of the project draws from an `Rng`
 /// instance that it receives explicitly, which makes experiments exactly
 /// reproducible from a single seed.
-class Rng {
+class Rng CA_CHECKPOINTED(Rng::SaveState, Rng::RestoreState) {
  public:
   /// Constructs a generator from a 64-bit seed. Equal seeds yield equal
   /// streams on every platform.

@@ -82,7 +82,9 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_ CA_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> tasks_executed_ CA_ATOMIC_ONLY{0};
   std::atomic<std::uint64_t> tasks_submitted_ CA_ATOMIC_ONLY{0};
-  mutable std::mutex mutex_;
+  /// Leaf lock: worker and submitter paths never take another lock while
+  /// holding it (zero-arg annotation = tracked in the lock-order graph).
+  mutable std::mutex mutex_ CA_ACQUIRED_BEFORE();
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ CA_GUARDED_BY(mutex_) = 0;

@@ -6,10 +6,12 @@
 // layers.toml parser.
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analyze/layers.h"
+#include "analyze/report.h"
 #include "analyze/structure.h"
 #include "analyze/tokenizer.h"
 #include "gtest/gtest.h"
@@ -199,6 +201,89 @@ TEST(TokenizerTest, AllowanceAppliesToSpannedAndNextLine) {
   EXPECT_FALSE(lexed.Allows(2, "lint:allow", "some-rule"));
 }
 
+TEST(TokenizerTest, Utf8BomIsStrippedBeforeLineOneDirective) {
+  // Editors on some platforms prepend a BOM; without the strip the line-1
+  // `#pragma once` would no longer start at column 0 and header-guard
+  // detection (which anchors at the line start) would misread the file.
+  const LexedFile lexed = LexString(
+      "bom.h", "\xEF\xBB\xBF#pragma once\nint value = 1;\n");
+  ASSERT_TRUE(lexed.errors.empty());
+  EXPECT_EQ(lexed.code_lines[0], "#pragma once");
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(lexed.tokens[0].text, "pragma");
+  EXPECT_TRUE(HasIdentifier(lexed, "value"));
+}
+
+TEST(TokenizerTest, PragmaOnceAndHeaderGuardKeepDirectiveSkeleton) {
+  // The header-guard rule decides `#pragma once` vs `#ifndef GUARD` from
+  // the blanked code_lines view, so both spellings must survive blanking
+  // verbatim and their tokens must be flagged in_directive.
+  const LexedFile pragma_once =
+      LexString("p.h", "#pragma once\nstruct P {};\n");
+  EXPECT_EQ(pragma_once.code_lines[0].rfind("#pragma once", 0), 0u);
+
+  const LexedFile guarded = LexString("g.h",
+                                      "#ifndef COPYATTACK_G_H_\n"
+                                      "#define COPYATTACK_G_H_\n"
+                                      "struct G {};\n"
+                                      "#endif  // COPYATTACK_G_H_\n");
+  EXPECT_EQ(guarded.code_lines[0], "#ifndef COPYATTACK_G_H_");
+  std::vector<std::string> directives;
+  for (const Token& token : guarded.tokens) {
+    if (token.kind == TokenKind::kDirective) directives.push_back(token.text);
+    if (token.text == "COPYATTACK_G_H_") {
+      EXPECT_TRUE(token.in_directive);
+    }
+  }
+  EXPECT_EQ(directives,
+            (std::vector<std::string>{"ifndef", "define", "endif"}));
+}
+
+TEST(TokenizerTest, NestedRawStringsInsideMacroArgumentsStayOpaque) {
+  // Two raw-string arguments of one macro invocation, with parens, quotes
+  // and a `")`-lookalike inside the bodies: the closing delimiter of the
+  // first must not be found inside the second, and nothing inside either
+  // body may surface as an identifier.
+  const LexedFile lexed = LexString(
+      "macro.cc",
+      "CHECK_ROUNDTRIP(R\"a(first (nested \"quoted\") std::rand())a\",\n"
+      "                R\"b(second \") quote-paren time(nullptr))b\");\n"
+      "int after_macro = 7;\n");
+  ASSERT_TRUE(lexed.errors.empty());
+  EXPECT_FALSE(HasIdentifier(lexed, "rand"));
+  EXPECT_FALSE(HasIdentifier(lexed, "time"));
+  EXPECT_FALSE(HasIdentifier(lexed, "nested"));
+  EXPECT_TRUE(HasIdentifier(lexed, "CHECK_ROUNDTRIP"));
+  EXPECT_TRUE(HasIdentifier(lexed, "after_macro"));
+  // Both literals lex as opaque strings on their own physical lines.
+  std::size_t strings = 0;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2u);
+}
+
+TEST(TokenizerTest, AnnotationSplitAcrossLineSpliceIsReassembled) {
+  // A CA_* annotation macro name split by a backslash-newline must lex as
+  // one identifier, and the scanner must still harvest the mutex-order
+  // annotation from the reassembled head.
+  const LexedFile lexed = LexString("splice.h",
+                                    "class Recorder {\n"
+                                    "  std::mutex mu_ CA_ACQUIRED_\\\n"
+                                    "BEFORE(Buffer::mutex);\n"
+                                    "};\n");
+  ASSERT_TRUE(lexed.errors.empty());
+  EXPECT_TRUE(HasIdentifier(lexed, "CA_ACQUIRED_BEFORE"));
+  EXPECT_FALSE(HasIdentifier(lexed, "CA_ACQUIRED_"));
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.mutex_orders.size(), 1u);
+  EXPECT_EQ(structure.mutex_orders[0].class_name, "Recorder");
+  EXPECT_EQ(structure.mutex_orders[0].mutex_name, "mu_");
+  ASSERT_EQ(structure.mutex_orders[0].before.size(), 1u);
+  EXPECT_EQ(structure.mutex_orders[0].before[0], "Buffer::mutex");
+}
+
 TEST(ScannerTest, FindsOutOfClassMethodAndGuardedField) {
   const LexedFile lexed = LexString(
       "worker.cc",
@@ -251,6 +336,98 @@ TEST(ScannerTest, ExportsTypesAliasesEnumeratorsAndMacros) {
   }
 }
 
+TEST(ScannerTest, HarvestsCheckpointedTypeAndFields) {
+  const LexedFile lexed = LexString(
+      "snap.h",
+      "struct Snapshot CA_CHECKPOINTED(WriteSnap, Owner::ReadSnap) {\n"
+      "  std::uint64_t episodes = 0;\n"
+      "  double reward = 0.0;\n"
+      "  double scratch CA_NOT_CHECKPOINTED(\"per-step scratch\") = 0.0;\n"
+      "};\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.checkpointed_types.size(), 1u);
+  const CheckpointedType& type = structure.checkpointed_types[0];
+  EXPECT_EQ(type.class_name, "Snapshot");
+  EXPECT_EQ(type.save_qualifier, "");
+  EXPECT_EQ(type.save_name, "WriteSnap");
+  EXPECT_EQ(type.load_qualifier, "Owner");
+  EXPECT_EQ(type.load_name, "ReadSnap");
+  ASSERT_EQ(structure.checkpoint_fields.size(), 3u);
+  EXPECT_EQ(structure.checkpoint_fields[0].field_name, "episodes");
+  EXPECT_FALSE(structure.checkpoint_fields[0].exempt);
+  EXPECT_EQ(structure.checkpoint_fields[1].field_name, "reward");
+  EXPECT_FALSE(structure.checkpoint_fields[1].exempt);
+  EXPECT_EQ(structure.checkpoint_fields[2].field_name, "scratch");
+  EXPECT_TRUE(structure.checkpoint_fields[2].exempt);
+}
+
+TEST(ScannerTest, CheckpointedWithEmptyArgsDefaultsToSaveLoadState) {
+  const LexedFile lexed =
+      LexString("s.h", "class Rng CA_CHECKPOINTED() {\n"
+                       "  std::uint64_t state_ = 0;\n"
+                       "};\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.checkpointed_types.size(), 1u);
+  EXPECT_EQ(structure.checkpointed_types[0].save_name, "SaveState");
+  EXPECT_EQ(structure.checkpointed_types[0].load_name, "LoadState");
+}
+
+TEST(ScannerTest, InlineMethodBodiesDoNotLeakIntoFieldExtraction) {
+  // Statements inside an inline method must not be misread as member
+  // declarations of the checkpointed class.
+  const LexedFile lexed = LexString(
+      "m.h",
+      "struct Baseline CA_CHECKPOINTED(Save, Load) {\n"
+      "  double Update(double r) { double delta = r - value; return delta; }\n"
+      "  double value = 0.0;\n"
+      "};\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.checkpoint_fields.size(), 1u);
+  EXPECT_EQ(structure.checkpoint_fields[0].field_name, "value");
+}
+
+TEST(ScannerTest, ZeroArgAcquiredBeforeIsTrackedLeaf) {
+  const LexedFile lexed =
+      LexString("p.h", "class Pool {\n"
+                       "  mutable std::mutex mutex_ CA_ACQUIRED_BEFORE();\n"
+                       "};\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.mutex_orders.size(), 1u);
+  EXPECT_EQ(structure.mutex_orders[0].class_name, "Pool");
+  EXPECT_EQ(structure.mutex_orders[0].mutex_name, "mutex_");
+  EXPECT_TRUE(structure.mutex_orders[0].before.empty());
+}
+
+TEST(ReportTest, SarifEmitsRuleIdsAndLocations) {
+  const std::vector<Violation> violations = {
+      {"src/core/a.cc", 12, "ckpt-missing-member", "member 'x' missing"},
+  };
+  std::ostringstream out;
+  EXPECT_EQ(ReportSarif(violations, out), 1u);
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"ckpt-missing-member\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("src/core/a.cc"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+}
+
+TEST(ReportTest, BaselineDiffSplitsFreshGrandfatheredAndStale) {
+  Baseline baseline;
+  baseline[BaselineKey({"a.cc", 1, "rule-x", "msg"})] = 1;
+  baseline[BaselineKey({"gone.cc", 9, "rule-y", "fixed long ago"})] = 1;
+  const std::vector<Violation> violations = {
+      {"a.cc", 42, "rule-x", "msg"},        // line moved: still matches
+      {"b.cc", 7, "rule-z", "brand new"},   // fresh
+  };
+  const BaselineDiff diff = DiffBaseline(violations, baseline);
+  EXPECT_EQ(diff.grandfathered, 1u);
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].file, "b.cc");
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_NE(diff.stale[0].find("gone.cc"), std::string::npos);
+}
+
 TEST(LayersTest, ParsesContractAndValidatesEdges) {
   LayerContract contract;
   std::string error;
@@ -261,13 +438,15 @@ TEST(LayersTest, ParsesContractAndValidatesEdges) {
                                  "[top]\n"
                                  "modules = [\"tools\"]\n"
                                  "[pure]\n"
-                                 "headers = [\"util/annotations.h\"]\n",
+                                 "headers = [\"src/util/annotations.h\"]\n",
                                  &contract, &error))
       << error;
   EXPECT_TRUE(contract.AllowsEdge("util", "obs"));
   EXPECT_FALSE(contract.AllowsEdge("obs", "util"));
   EXPECT_TRUE(contract.AllowsEdge("tools", "util"));
-  EXPECT_TRUE(contract.IsPureHeader("util/annotations.h"));
+  // Pure entries are repo-relative paths, matched against rel_path.
+  EXPECT_TRUE(contract.IsPureHeader("src/util/annotations.h"));
+  EXPECT_FALSE(contract.IsPureHeader("util/annotations.h"));
 
   LayerContract bad;
   EXPECT_FALSE(ParseLayerContract("[modules]\nutil = [\"typo\"]\n", &bad,

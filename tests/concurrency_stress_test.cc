@@ -287,7 +287,12 @@ TEST(JobQueueStressTest, ManyProducersManyConsumersLoseNothing) {
     producers.emplace_back([&queue, p] {
       for (int i = 0; i < kJobsPerProducer; ++i) {
         serve::PromotionJob job;
-        job.id = "p" + std::to_string(p) + "_" + std::to_string(i);
+        // Built by append (GCC 12's -Wrestrict misfires on the
+        // equivalent operator+ chain at -O2).
+        job.id = "p";
+        job.id += std::to_string(p);
+        job.id += '_';
+        job.id += std::to_string(i);
         queue.Push(job);
       }
     });

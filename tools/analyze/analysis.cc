@@ -23,6 +23,8 @@ bool IsExcluded(const std::string& rel_path,
   return false;
 }
 
+}  // namespace
+
 std::string JsonEscape(std::string_view text) {
   std::string out;
   out.reserve(text.size() + 8);
@@ -56,8 +58,6 @@ std::string JsonEscape(std::string_view text) {
   }
   return out;
 }
-
-}  // namespace
 
 const ScannedFile* SourceTree::FindByRelPath(std::string_view rel_path) const {
   for (const ScannedFile& file : files) {
@@ -164,7 +164,8 @@ const std::vector<RuleInfo>& RuleCatalogue() {
       {"iwyu-unused-include", "include",
        "header included but no name it provides is referenced"},
       {"ts-unlocked-field", "thread",
-       "CA_GUARDED_BY field accessed without locking its mutex"},
+       "CA_GUARDED_BY field accessed without locking its mutex (receivers "
+       "freshly make_unique'd in the same body are exempt)"},
       {"ts-atomic-type", "thread",
        "CA_ATOMIC_ONLY field whose declared type is not std::atomic"},
       {"det-raw-entropy", "determinism",
@@ -176,6 +177,25 @@ const std::vector<RuleInfo>& RuleCatalogue() {
        "util::Rng constructed without an explicit seed"},
       {"det-rng-by-value", "determinism",
        "util::Rng taken by value (copies the stream; pass Rng&)"},
+      {"layer-stale-pure-entry", "include",
+       "pure_headers entry names a file that no longer exists in the tree"},
+      {"ckpt-missing-member", "checkpoint",
+       "CA_CHECKPOINTED member absent from the save or load serializer "
+       "body and not waived with CA_NOT_CHECKPOINTED(reason)"},
+      {"ckpt-order-mismatch", "checkpoint",
+       "save and load serializers reference a CA_CHECKPOINTED type's "
+       "members in different orders"},
+      {"ckpt-no-serializer", "checkpoint",
+       "CA_CHECKPOINTED names a save/load function with no definition in "
+       "the tree"},
+      {"lock-order-cycle", "lockorder",
+       "declared + observed mutex acquisition graph contains a cycle"},
+      {"lock-order-contradiction", "lockorder",
+       "observed RAII nesting contradicts a declared CA_ACQUIRED_BEFORE "
+       "edge"},
+      {"lock-in-parallel-for", "lockorder",
+       "blocking acquisition of a CA_ACQUIRED_BEFORE mutex inside a "
+       "ParallelFor body"},
   };
   return kRules;
 }
@@ -196,13 +216,18 @@ std::size_t ReportText(const std::vector<Violation>& violations,
 }
 
 std::size_t ReportJson(const std::vector<Violation>& violations,
-                       const std::vector<std::string>& passes,
+                       const std::vector<PassTiming>& timings,
                        std::size_t files_scanned, std::ostream& out) {
   out << "{\n  \"tool\": \"copyattack-analyze\",\n  \"passes\": [";
-  for (std::size_t i = 0; i < passes.size(); ++i) {
-    out << (i ? ", " : "") << "\"" << JsonEscape(passes[i]) << "\"";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << JsonEscape(timings[i].pass) << "\"";
   }
-  out << "],\n  \"files_scanned\": " << files_scanned
+  out << "],\n  \"timings_ms\": {";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << JsonEscape(timings[i].pass)
+        << "\": " << timings[i].millis;
+  }
+  out << "},\n  \"files_scanned\": " << files_scanned
       << ",\n  \"violations\": [";
   for (std::size_t i = 0; i < violations.size(); ++i) {
     const Violation& v = violations[i];

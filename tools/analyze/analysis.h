@@ -74,11 +74,21 @@ struct RuleInfo {
 };
 const std::vector<RuleInfo>& RuleCatalogue();
 
+/// Wall-clock cost of one pass, reported in the JSON output so a pass
+/// that regresses the sub-second lint budget is visible in CI artifacts.
+struct PassTiming {
+  std::string pass;
+  double millis = 0.0;
+};
+
+/// Minimal JSON string escaping shared by the JSON and SARIF reporters.
+std::string JsonEscape(std::string_view text);
+
 /// Reporters. Both return the number of violations.
 std::size_t ReportText(const std::vector<Violation>& violations,
                        std::size_t files_scanned, std::ostream& out);
 std::size_t ReportJson(const std::vector<Violation>& violations,
-                       const std::vector<std::string>& passes,
+                       const std::vector<PassTiming>& timings,
                        std::size_t files_scanned, std::ostream& out);
 
 }  // namespace copyattack::analyze

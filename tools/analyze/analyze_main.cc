@@ -1,15 +1,20 @@
 // copyattack-analyze: semantic static analysis for the copyattack tree.
 //
 //   copyattack-analyze --root=<repo> [--layers=<toml>] [--pass=a,b,...]
-//                      [--format=text|json] [--exclude=<substr>]...
-//                      [--list-rules] [target dirs...]
+//                      [--format=text|json|sarif] [--baseline=<json>]
+//                      [--exclude=<substr>]... [--list-rules]
+//                      [target dirs...]
 //
 // Passes: include (module layering + cycles + IWYU-lite), thread
 // (CA_GUARDED_BY / CA_REQUIRES / CA_ATOMIC_ONLY discipline), determinism
-// (seed and RNG discipline). Default targets: src tools bench tests
-// examples (whichever exist under the root). Exit codes: 0 clean,
-// 1 violations, 2 usage/configuration error.
+// (seed and RNG discipline), checkpoint (CA_CHECKPOINTED save/load
+// coverage), lockorder (CA_ACQUIRED_BEFORE acquisition graph). Default
+// targets: src tools bench tests examples (whichever exist under the
+// root). With --baseline, grandfathered findings do not fail the run but
+// stale baseline entries do. Exit codes: 0 clean, 1 violations,
+// 2 usage/configuration error.
 
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -18,6 +23,7 @@
 #include "analyze/analysis.h"
 #include "analyze/layers.h"
 #include "analyze/passes.h"
+#include "analyze/report.h"
 #include "analyze/structure.h"
 
 namespace {
@@ -28,6 +34,7 @@ struct Options {
   std::string root = ".";
   std::string layers_path;  // default: <root>/tools/analyze/layers.toml
   std::string format = "text";
+  std::string baseline_path;  // empty = no baseline gating
   std::vector<std::string> passes;  // empty = all
   std::vector<std::string> excludes = {"tools/analyze/fixtures/",
                                        "tools/lint_selftest/"};
@@ -63,6 +70,7 @@ bool ParseArgs(int argc, char** argv, Options* options, std::string* error) {
     if (TakeFlag(arg, "root", &options->root)) continue;
     if (TakeFlag(arg, "layers", &options->layers_path)) continue;
     if (TakeFlag(arg, "format", &options->format)) continue;
+    if (TakeFlag(arg, "baseline", &options->baseline_path)) continue;
     if (TakeFlag(arg, "pass", &value)) {
       options->passes = SplitCsv(value);
       continue;
@@ -81,14 +89,17 @@ bool ParseArgs(int argc, char** argv, Options* options, std::string* error) {
     }
     options->targets.push_back(arg);
   }
-  if (options->format != "text" && options->format != "json") {
-    *error = "--format must be text or json";
+  if (options->format != "text" && options->format != "json" &&
+      options->format != "sarif") {
+    *error = "--format must be text, json, or sarif";
     return false;
   }
   for (const std::string& pass : options->passes) {
-    if (pass != "include" && pass != "thread" && pass != "determinism") {
+    if (pass != "include" && pass != "thread" && pass != "determinism" &&
+        pass != "checkpoint" && pass != "lockorder") {
       *error = "unknown pass: " + pass +
-               " (expected include, thread, determinism)";
+               " (expected include, thread, determinism, checkpoint, "
+               "lockorder)";
       return false;
     }
   }
@@ -165,25 +176,60 @@ int main(int argc, char** argv) {
     structures.push_back(ScanStructure(file.lexed));
   }
 
-  std::vector<std::string> ran;
-  if (PassEnabled(options, "include")) {
+  std::vector<PassTiming> timings;
+  const auto timed = [&](const char* pass, auto&& run) {
+    if (!PassEnabled(options, pass)) return;
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    timings.push_back({pass, elapsed.count()});
+  };
+  timed("include", [&] {
     RunIncludeGraphPass(tree, contract, structures, &violations);
-    ran.push_back("include");
-  }
-  if (PassEnabled(options, "thread")) {
-    RunThreadSafetyPass(tree, structures, &violations);
-    ran.push_back("thread");
-  }
-  if (PassEnabled(options, "determinism")) {
-    RunDeterminismPass(tree, structures, &violations);
-    ran.push_back("determinism");
+  });
+  timed("thread",
+        [&] { RunThreadSafetyPass(tree, structures, &violations); });
+  timed("determinism",
+        [&] { RunDeterminismPass(tree, structures, &violations); });
+  timed("checkpoint",
+        [&] { RunCheckpointPass(tree, structures, &violations); });
+  timed("lockorder",
+        [&] { RunLockOrderPass(tree, structures, &violations); });
+
+  // With a baseline, grandfathered findings still appear in the report but
+  // only fresh findings (and stale entries) decide the exit code.
+  bool baseline_failed = false;
+  std::size_t grandfathered = 0;
+  if (!options.baseline_path.empty()) {
+    Baseline baseline;
+    if (!LoadBaseline(options.baseline_path, &baseline, &error)) {
+      std::cerr << "copyattack-analyze: " << error << "\n";
+      return 2;
+    }
+    BaselineDiff diff = DiffBaseline(violations, std::move(baseline));
+    grandfathered = diff.grandfathered;
+    baseline_failed = !diff.fresh.empty() || !diff.stale.empty();
+    for (const std::string& key : diff.stale) {
+      std::cerr << "copyattack-analyze: stale baseline entry (fixed? delete "
+                   "it): "
+                << key << "\n";
+    }
   }
 
   std::size_t count = 0;
   if (options.format == "json") {
-    count = ReportJson(violations, ran, tree.files.size(), std::cout);
+    count = ReportJson(violations, timings, tree.files.size(), std::cout);
+  } else if (options.format == "sarif") {
+    count = ReportSarif(violations, std::cout);
   } else {
     count = ReportText(violations, tree.files.size(), std::cout);
+  }
+  if (!options.baseline_path.empty()) {
+    std::cerr << "copyattack-analyze: baseline "
+              << (baseline_failed ? "FAIL" : "ok") << " (" << grandfathered
+              << " grandfathered)\n";
+    return baseline_failed ? 1 : 0;
   }
   return count == 0 ? 0 : 1;
 }

@@ -1,0 +1,213 @@
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace copyattack::analyze {
+
+namespace {
+
+/// One serializer-body candidate for a CA_CHECKPOINTED type.
+struct Candidate {
+  std::size_t file = 0;
+  const FunctionDef* def = nullptr;
+};
+
+std::string Spell(const std::string& qualifier, const std::string& name) {
+  return qualifier.empty() ? name : qualifier + "::" + name;
+}
+
+/// First-occurrence order of `members` (as identifier tokens) inside the
+/// function body. String literals are blanked by the lexer, so a member
+/// name inside a log message or CSV header never counts as a reference.
+std::vector<std::string> ReferenceOrder(const ScannedFile& file,
+                                        const FunctionDef& def,
+                                        const std::set<std::string>& members) {
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+    const Token& t = tokens[k];
+    if (t.kind != TokenKind::kIdentifier || t.in_directive) continue;
+    if (members.count(t.text) == 0) continue;
+    if (seen.insert(t.text).second) order.push_back(t.text);
+  }
+  return order;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  if (names.empty()) return "(none)";
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// Resolves a serializer name to a definition body. Qualified names
+/// (`Owner::Fn`) match only methods of `Owner`; unqualified names prefer
+/// methods of the annotated class itself, then free functions, then any
+/// method. Within a tier the body referencing the most tracked members
+/// wins — that is what picks the stream overload of SaveParameters over
+/// the path-taking convenience overload, which references no member at
+/// all. Ties break on (path, line) so reports are deterministic.
+Candidate ResolveSerializer(const SourceTree& tree,
+                            const std::vector<FileStructure>& structures,
+                            const std::string& qualifier,
+                            const std::string& name,
+                            const std::string& own_class,
+                            const std::set<std::string>& members) {
+  std::vector<Candidate> same_class;
+  std::vector<Candidate> free_fns;
+  std::vector<Candidate> others;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const FunctionDef& def : structures[i].functions) {
+      if (def.name != name || def.body_end <= def.body_begin) continue;
+      if (!qualifier.empty()) {
+        if (def.class_name == qualifier) others.push_back({i, &def});
+        continue;
+      }
+      if (def.class_name == own_class) {
+        same_class.push_back({i, &def});
+      } else if (def.class_name.empty()) {
+        free_fns.push_back({i, &def});
+      } else {
+        others.push_back({i, &def});
+      }
+    }
+  }
+  const std::vector<Candidate>* tier = &others;
+  if (qualifier.empty()) {
+    if (!same_class.empty()) {
+      tier = &same_class;
+    } else if (!free_fns.empty()) {
+      tier = &free_fns;
+    }
+  }
+
+  Candidate best;
+  std::size_t best_count = 0;
+  for (const Candidate& cand : *tier) {
+    const std::size_t count =
+        ReferenceOrder(tree.files[cand.file], *cand.def, members).size();
+    bool better = best.def == nullptr || count > best_count;
+    if (!better && count == best_count) {
+      const std::string& best_path = tree.files[best.file].rel_path;
+      const std::string& cand_path = tree.files[cand.file].rel_path;
+      better = cand_path < best_path ||
+               (cand_path == best_path && cand.def->line < best.def->line);
+    }
+    if (better) {
+      best = cand;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RunCheckpointPass(const SourceTree& tree,
+                       const std::vector<FileStructure>& structures,
+                       std::vector<Violation>* violations) {
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const ScannedFile& decl_file = tree.files[i];
+    for (const CheckpointedType& type : structures[i].checkpointed_types) {
+      // The members of an annotated type sit in the same file as the
+      // annotation (the class body follows the head), so pairing by
+      // (file, class name) cannot cross-talk between same-named nested
+      // types in different headers.
+      std::vector<const FieldDecl*> fields;
+      std::set<std::string> tracked;
+      for (const FieldDecl& field : structures[i].checkpoint_fields) {
+        if (field.class_name != type.class_name) continue;
+        fields.push_back(&field);
+        if (!field.exempt) tracked.insert(field.field_name);
+      }
+      if (tracked.empty()) continue;  // nothing checkable
+
+      const std::string save_spelled =
+          Spell(type.save_qualifier, type.save_name);
+      const std::string load_spelled =
+          Spell(type.load_qualifier, type.load_name);
+      const Candidate save =
+          ResolveSerializer(tree, structures, type.save_qualifier,
+                            type.save_name, type.class_name, tracked);
+      const Candidate load =
+          ResolveSerializer(tree, structures, type.load_qualifier,
+                            type.load_name, type.class_name, tracked);
+      if (save.def == nullptr) {
+        AddViolation(decl_file, type.line, "ckpt-no-serializer",
+                     "CA_CHECKPOINTED type '" + type.class_name +
+                         "' names save serializer '" + save_spelled +
+                         "' but no definition was found in the tree",
+                     violations);
+      }
+      if (load.def == nullptr) {
+        AddViolation(decl_file, type.line, "ckpt-no-serializer",
+                     "CA_CHECKPOINTED type '" + type.class_name +
+                         "' names load serializer '" + load_spelled +
+                         "' but no definition was found in the tree",
+                     violations);
+      }
+      if (save.def == nullptr || load.def == nullptr) continue;
+
+      const std::vector<std::string> save_order =
+          ReferenceOrder(tree.files[save.file], *save.def, tracked);
+      const std::vector<std::string> load_order =
+          ReferenceOrder(tree.files[load.file], *load.def, tracked);
+      const std::set<std::string> in_save(save_order.begin(),
+                                          save_order.end());
+      const std::set<std::string> in_load(load_order.begin(),
+                                          load_order.end());
+
+      for (const FieldDecl* field : fields) {
+        if (field->exempt) continue;
+        const bool saved = in_save.count(field->field_name) != 0;
+        const bool loaded = in_load.count(field->field_name) != 0;
+        if (saved && loaded) continue;
+        std::string where;
+        if (!saved) where += "save '" + save_spelled + "'";
+        if (!loaded) {
+          if (!where.empty()) where += " or ";
+          where += "load '" + load_spelled + "'";
+        }
+        AddViolation(decl_file, field->line, "ckpt-missing-member",
+                     "member '" + field->field_name +
+                         "' of CA_CHECKPOINTED type '" + type.class_name +
+                         "' is not referenced in " + where +
+                         "; serialize it or mark it "
+                         "CA_NOT_CHECKPOINTED(reason)",
+                     violations);
+      }
+
+      // Order check over the members both bodies reference (missing ones
+      // are already reported above; re-flagging them here would double
+      // count a single omission).
+      std::vector<std::string> save_common;
+      std::vector<std::string> load_common;
+      for (const std::string& name : save_order) {
+        if (in_load.count(name) != 0) save_common.push_back(name);
+      }
+      for (const std::string& name : load_order) {
+        if (in_save.count(name) != 0) load_common.push_back(name);
+      }
+      if (save_common != load_common) {
+        AddViolation(
+            tree.files[save.file], save.def->line, "ckpt-order-mismatch",
+            "type '" + type.class_name + "': save '" + save_spelled +
+                "' references members in order [" + JoinNames(save_common) +
+                "] but load '" + load_spelled + "' uses [" +
+                JoinNames(load_common) +
+                "]; streams replay byte-for-byte, so the orders must match",
+            violations);
+      }
+    }
+  }
+}
+
+}  // namespace copyattack::analyze

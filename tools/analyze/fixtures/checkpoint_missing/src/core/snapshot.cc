@@ -1,0 +1,16 @@
+#include "core/snapshot.h"
+
+#include <istream>
+#include <ostream>
+
+namespace fixture::core {
+
+void SaveState(const Snapshot& snapshot, std::ostream& out) {
+  out << snapshot.episodes << ' ' << snapshot.reward << '\n';
+}
+
+bool LoadState(std::istream& in, Snapshot* snapshot) {
+  return static_cast<bool>(in >> snapshot->episodes >> snapshot->reward);
+}
+
+}  // namespace fixture::core

@@ -1,0 +1,19 @@
+#include "core/cursor.h"
+
+#include <istream>
+#include <ostream>
+
+namespace fixture::core {
+
+void SaveCursor(const Cursor& cursor, std::ostream& out) {
+  out << cursor.position << ' ' << cursor.generation << '\n';
+}
+
+// Seeded violation: reads the fields in the opposite order from
+// SaveCursor -> ckpt-order-mismatch (every member IS referenced in both
+// bodies, so ckpt-missing-member stays quiet).
+bool LoadCursor(std::istream& in, Cursor* cursor) {
+  return static_cast<bool>(in >> cursor->generation >> cursor->position);
+}
+
+}  // namespace fixture::core

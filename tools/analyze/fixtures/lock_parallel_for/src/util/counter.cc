@@ -1,0 +1,19 @@
+#include "util/counter.h"
+
+namespace fixture::util {
+
+void Counter::Tally(std::size_t n) {
+  // Seeded violation: every worker blocks on the annotated mutex for
+  // every index, serializing the parallel section -> lock-in-parallel-for.
+  ParallelFor(n, 4, [this](std::size_t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+  });
+}
+
+std::size_t Counter::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace fixture::util

@@ -174,7 +174,7 @@ void RunIncludeGraphPass(const SourceTree& tree,
     }
     for (const IncludeEdge& edge : out_edges[i]) {
       const ScannedFile& to = tree.files[edge.to];
-      if (contract.IsPureHeader(SrcRelative(to.rel_path))) continue;
+      if (contract.IsPureHeader(to.rel_path)) continue;
       const std::string to_module = ModuleOf(to.rel_path);
       if (!from_known || from_module.empty() || to_module.empty()) continue;
       if (!contract.AllowsEdge(from_module, to_module)) {
@@ -187,11 +187,26 @@ void RunIncludeGraphPass(const SourceTree& tree,
     }
   }
 
+  // Every pure_headers entry must name a file in the scanned tree; a stale
+  // entry is a standing layering exemption for a path someone could later
+  // reintroduce with includes. No AddViolation: there is no ScannedFile to
+  // carry an allow-comment, and the finding anchors to the manifest itself.
+  for (const std::string& entry : contract.pure_headers) {
+    if (by_rel_path.count(entry) != 0) continue;
+    violations->push_back(
+        {contract.source_path.empty() ? std::string("layers.toml")
+                                      : contract.source_path,
+         1, "layer-stale-pure-entry",
+         "pure_headers entry '" + entry +
+             "' names no file in the scanned tree (entries are "
+             "repo-relative, e.g. src/util/annotations.h)"});
+  }
+
   // Pure headers must be include-free — that is what makes them safe to
   // exempt from layering.
   for (std::size_t i = 0; i < n; ++i) {
     const ScannedFile& file = tree.files[i];
-    if (!contract.IsPureHeader(SrcRelative(file.rel_path))) continue;
+    if (!contract.IsPureHeader(file.rel_path)) continue;
     for (const Token& token : file.lexed.tokens) {
       if (token.kind != TokenKind::kIncludePath) continue;
       AddViolation(file, token.line, "layer-impure-header",

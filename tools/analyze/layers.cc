@@ -63,8 +63,8 @@ bool LayerContract::IsTopModule(const std::string& module) const {
   return Contains(top_modules, module);
 }
 
-bool LayerContract::IsPureHeader(const std::string& src_rel_path) const {
-  return Contains(pure_headers, src_rel_path);
+bool LayerContract::IsPureHeader(const std::string& rel_path) const {
+  return Contains(pure_headers, rel_path);
 }
 
 bool LayerContract::AllowsEdge(const std::string& from,
@@ -155,6 +155,7 @@ bool LoadLayerContract(const std::string& path, LayerContract* contract,
     *error = path + ": " + *error;
     return false;
   }
+  contract->source_path = path;
   return true;
 }
 

@@ -19,14 +19,18 @@ struct LayerContract {
   std::map<std::string, std::vector<std::string>> modules;
   /// Modules allowed to depend on anything (tools, bench, tests, examples).
   std::vector<std::string> top_modules;
-  /// src-relative headers includable from any module. Restricted to
+  /// Repo-relative headers includable from any module. Restricted to
   /// include-free headers (the include pass verifies this), so they can never
-  /// smuggle in a layering edge. Exists for util/annotations.h, which leaf
-  /// modules below util need without creating a util-cycle.
+  /// smuggle in a layering edge. Exists for src/util/annotations.h, which
+  /// leaf modules below util need without creating a util-cycle. Entries
+  /// naming files absent from the scanned tree are flagged
+  /// (layer-stale-pure-entry) so the exemption list cannot rot.
   std::vector<std::string> pure_headers;
+  /// Path the contract was loaded from; stale-entry findings anchor here.
+  std::string source_path;
 
   bool IsTopModule(const std::string& module) const;
-  bool IsPureHeader(const std::string& src_rel_path) const;
+  bool IsPureHeader(const std::string& rel_path) const;
   /// True if files in `from` may include files in `to` per the contract
   /// (same module, top module, or a declared edge).
   bool AllowsEdge(const std::string& from, const std::string& to) const;

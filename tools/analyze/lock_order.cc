@@ -1,0 +1,372 @@
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace copyattack::analyze {
+
+namespace {
+
+constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+bool IsLockHolder(const std::string& text) {
+  return text == "lock_guard" || text == "unique_lock" ||
+         text == "scoped_lock" || text == "shared_lock";
+}
+
+/// One CA_ACQUIRED_BEFORE-annotated mutex: a node of the acquisition
+/// graph, addressed as `Class::member` (or bare member at namespace
+/// scope).
+struct MutexNodeInfo {
+  std::string class_name;
+  std::string mutex_name;
+  std::size_t file = 0;
+  std::size_t line = 0;
+
+  std::string Label() const {
+    return class_name.empty() ? mutex_name
+                              : class_name + "::" + mutex_name;
+  }
+};
+
+/// An acquisition-order edge: while holding `from`, `to` was (or may be)
+/// acquired. Declared edges come from annotation arguments; observed edges
+/// from RAII-holder nesting inside one function body.
+struct OrderEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t file = 0;   ///< site of the inner acquisition / annotation
+  std::size_t line = 0;
+  bool declared = false;
+  std::string context;    ///< enclosing function for observed edges
+};
+
+struct LockGraph {
+  std::vector<MutexNodeInfo> nodes;
+  /// (class, mutex) -> node; resolution helpers below.
+  std::map<std::pair<std::string, std::string>, std::size_t> by_key;
+  std::map<std::string, std::vector<std::size_t>> by_name;
+
+  std::size_t Exact(const std::string& class_name,
+                    const std::string& mutex_name) const {
+    const auto it = by_key.find({class_name, mutex_name});
+    return it == by_key.end() ? kNoNode : it->second;
+  }
+
+  /// A bare identifier names a mutex of the enclosing class first; failing
+  /// that it resolves only if the name is unique tree-wide (four classes
+  /// name their registry mutex `mutex_` — an ambiguous name yields no
+  /// node, and no false edge).
+  std::size_t ResolveBare(const std::string& own_class,
+                          const std::string& mutex_name) const {
+    const std::size_t own = Exact(own_class, mutex_name);
+    if (own != kNoNode) return own;
+    const auto it = by_name.find(mutex_name);
+    if (it != by_name.end() && it->second.size() == 1) {
+      return it->second.front();
+    }
+    return kNoNode;
+  }
+
+  /// `x->mutex` / `x.mutex`: the receiver's type is not knowable at token
+  /// level, so member accesses resolve only via a tree-wide unique name.
+  std::size_t ResolveMember(const std::string& mutex_name) const {
+    const auto it = by_name.find(mutex_name);
+    if (it != by_name.end() && it->second.size() == 1) {
+      return it->second.front();
+    }
+    return kNoNode;
+  }
+
+  /// Annotation-argument spelling: `Class::member` is exact, a bare name
+  /// resolves like a bare identifier in the annotating class.
+  std::size_t ResolveSpec(const std::string& own_class,
+                          const std::string& spec) const {
+    const std::size_t sep = spec.rfind("::");
+    if (sep == std::string::npos) return ResolveBare(own_class, spec);
+    return Exact(spec.substr(0, sep), spec.substr(sep + 2));
+  }
+};
+
+/// One RAII acquisition site inside a function body.
+struct Acquisition {
+  std::size_t node = 0;
+  std::size_t token = 0;  ///< index of the holder-type identifier
+  std::size_t line = 0;
+  std::int64_t depth = 0;  ///< brace depth at the declaration
+};
+
+/// Extracts the acquired-mutex node for the holder whose type identifier
+/// sits at `i`, or kNoNode if the argument does not resolve to an
+/// annotated mutex. Mirrors the thread pass's argument scan, but keeps the
+/// receiver shape (`m` vs `x->m`) because resolution differs.
+std::size_t AcquiredNode(const std::vector<Token>& tokens, std::size_t i,
+                         std::size_t body_end, const LockGraph& graph,
+                         const std::string& own_class,
+                         std::size_t* close_paren) {
+  std::size_t j = i + 1;
+  while (j < body_end && tokens[j].text != "(" && tokens[j].text != ";") {
+    ++j;
+  }
+  if (j >= body_end || tokens[j].text != "(") return kNoNode;
+  std::size_t last_ident = kNoNode;
+  int depth = 0;
+  for (; j < body_end; ++j) {
+    if (tokens[j].text == "(") ++depth;
+    if (tokens[j].text == ")" && --depth == 0) break;
+    if (tokens[j].kind == TokenKind::kIdentifier) last_ident = j;
+  }
+  if (close_paren != nullptr) *close_paren = j;
+  if (last_ident == kNoNode) return kNoNode;
+  const bool member_access =
+      last_ident >= 1 && (tokens[last_ident - 1].text == "." ||
+                          tokens[last_ident - 1].text == "->");
+  return member_access ? graph.ResolveMember(tokens[last_ident].text)
+                       : graph.ResolveBare(own_class,
+                                           tokens[last_ident].text);
+}
+
+std::string CycleMessage(const std::vector<std::size_t>& cycle,
+                         const std::map<std::pair<std::size_t, std::size_t>,
+                                        OrderEdge>& edges,
+                         const SourceTree& tree, const LockGraph& graph) {
+  std::string message = "lock-order cycle: ";
+  for (std::size_t k = 0; k < cycle.size(); ++k) {
+    const std::size_t from = cycle[k];
+    const std::size_t to = cycle[(k + 1) % cycle.size()];
+    const auto it = edges.find({from, to});
+    message += graph.nodes[from].Label() + " -> ";
+    if (it != edges.end()) {
+      const OrderEdge& edge = it->second;
+      message += "(";
+      message += edge.declared ? "declared at " : "acquired at ";
+      message += tree.files[edge.file].rel_path + ":" +
+                 std::to_string(edge.line) + ") ";
+    }
+  }
+  message += graph.nodes[cycle.front()].Label();
+  return message;
+}
+
+}  // namespace
+
+void RunLockOrderPass(const SourceTree& tree,
+                      const std::vector<FileStructure>& structures,
+                      std::vector<Violation>* violations) {
+  LockGraph graph;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const MutexOrder& order : structures[i].mutex_orders) {
+      const auto key = std::make_pair(order.class_name, order.mutex_name);
+      if (graph.by_key.count(key) != 0) continue;
+      graph.by_key[key] = graph.nodes.size();
+      graph.by_name[order.mutex_name].push_back(graph.nodes.size());
+      graph.nodes.push_back(
+          {order.class_name, order.mutex_name, i, order.line});
+    }
+  }
+  if (graph.nodes.empty()) return;
+
+  // Declared edges from annotation arguments.
+  std::map<std::pair<std::size_t, std::size_t>, OrderEdge> edges;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const MutexOrder& order : structures[i].mutex_orders) {
+      const std::size_t from =
+          graph.Exact(order.class_name, order.mutex_name);
+      if (from == kNoNode) continue;
+      for (const std::string& spec : order.before) {
+        const std::size_t to = graph.ResolveSpec(order.class_name, spec);
+        if (to == kNoNode || to == from) continue;
+        edges.emplace(std::make_pair(from, to),
+                      OrderEdge{from, to, i, order.line, true, ""});
+      }
+    }
+  }
+
+  // Observed edges: RAII-holder nesting within each function body, plus
+  // the ParallelFor check. A holder stays active until the brace depth of
+  // its declaration closes.
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const ScannedFile& file = tree.files[i];
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (const FunctionDef& def : structures[i].functions) {
+      if (def.body_end <= def.body_begin) continue;
+      const std::string context = def.class_name.empty()
+                                      ? def.name
+                                      : def.class_name + "::" + def.name;
+
+      // Token ranges of ParallelFor(...) call arguments in this body: the
+      // loop lambda runs on pool workers, where blocking on an annotated
+      // mutex serializes the parallel section (and, for the pool's own
+      // mutex, can deadlock a worker against the submitter).
+      std::vector<std::pair<std::size_t, std::size_t>> parallel_for;
+      for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+        if (tokens[k].kind != TokenKind::kIdentifier ||
+            tokens[k].text != "ParallelFor") {
+          continue;
+        }
+        std::size_t j = k + 1;
+        if (j >= def.body_end || tokens[j].text != "(") continue;
+        int depth = 0;
+        for (; j < def.body_end; ++j) {
+          if (tokens[j].text == "(") ++depth;
+          if (tokens[j].text == ")" && --depth == 0) break;
+        }
+        parallel_for.emplace_back(k + 1, j);
+      }
+
+      std::vector<Acquisition> active;
+      std::int64_t depth = 0;
+      for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+        const Token& t = tokens[k];
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "{") ++depth;
+          if (t.text == "}") {
+            --depth;
+            while (!active.empty() && active.back().depth > depth) {
+              active.pop_back();
+            }
+          }
+          continue;
+        }
+        if (t.kind != TokenKind::kIdentifier || !IsLockHolder(t.text)) {
+          continue;
+        }
+        std::size_t close = k;
+        const std::size_t node = AcquiredNode(
+            tokens, k, def.body_end, graph, def.class_name, &close);
+        if (node == kNoNode) {
+          k = close;
+          continue;
+        }
+        for (const auto& range : parallel_for) {
+          if (k > range.first && k < range.second) {
+            AddViolation(
+                file, t.line, "lock-in-parallel-for",
+                "blocking acquisition of annotated mutex '" +
+                    graph.nodes[node].Label() +
+                    "' inside a ParallelFor body (in " + context +
+                    "); workers must not contend on ordered locks",
+                violations);
+            break;
+          }
+        }
+        for (const Acquisition& held : active) {
+          if (held.node == node) continue;
+          const auto key = std::make_pair(held.node, node);
+          if (edges.count(key) == 0) {
+            edges.emplace(key, OrderEdge{held.node, node, i, t.line, false,
+                                         context});
+          }
+          // An observed nesting that contradicts a declared edge is
+          // reported even when the reverse observation never happens —
+          // the annotation is the contract.
+          const auto declared = edges.find({node, held.node});
+          if (declared != edges.end() && declared->second.declared) {
+            // Built by append (GCC 12's -Wrestrict misfires on the
+            // equivalent operator+ chain at -O2).
+            std::string message = "'";
+            message += graph.nodes[node].Label();
+            message += "' acquired while '";
+            message += graph.nodes[held.node].Label();
+            message += "' is held (in " + context + ", outer lock at line " +
+                       std::to_string(held.line) + "), but " +
+                       tree.files[declared->second.file].rel_path + ":" +
+                       std::to_string(declared->second.line) +
+                       " declares the opposite order via CA_ACQUIRED_BEFORE";
+            AddViolation(file, t.line, "lock-order-contradiction", message,
+                         violations);
+          }
+        }
+        active.push_back(Acquisition{node, k, t.line, depth});
+        k = close;
+      }
+    }
+  }
+
+  // Cycle detection over the combined declared + observed graph.
+  // Contradictions already reported above are pruned first so one
+  // mistake does not surface as both a contradiction and a cycle.
+  std::map<std::size_t, std::vector<std::size_t>> adjacency;
+  for (const auto& [key, edge] : edges) {
+    const auto reverse = edges.find({key.second, key.first});
+    if (reverse != edges.end() && edge.declared != reverse->second.declared &&
+        !edge.declared) {
+      continue;  // the observed half of a reported contradiction
+    }
+    adjacency[key.first].push_back(key.second);
+  }
+
+  const std::size_t n = graph.nodes.size();
+  std::vector<int> state(n, 0);
+  std::vector<std::size_t> path;
+  std::set<std::string> reported;
+  struct Frame {
+    std::size_t node;
+    // Not `next`: that name collides with a CA_GUARDED_BY field of
+    // TraceRecorder's ThreadBuffer, and the thread pass matches guarded
+    // fields by name tree-wide.
+    std::size_t next_edge = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<Frame> stack{{root, 0}};
+    state[root] = 1;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto it = adjacency.find(frame.node);
+      const std::size_t degree =
+          it == adjacency.end() ? 0 : it->second.size();
+      if (frame.next_edge >= degree) {
+        state[frame.node] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t next = it->second[frame.next_edge++];
+      if (state[next] == 1) {
+        std::vector<std::size_t> cycle(
+            std::find(path.begin(), path.end(), next), path.end());
+        std::size_t pivot = 0;
+        for (std::size_t k = 1; k < cycle.size(); ++k) {
+          if (graph.nodes[cycle[k]].Label() <
+              graph.nodes[cycle[pivot]].Label()) {
+            pivot = k;
+          }
+        }
+        std::rotate(cycle.begin(),
+                    cycle.begin() + static_cast<std::ptrdiff_t>(pivot),
+                    cycle.end());
+        std::string canonical;
+        for (const std::size_t member : cycle) {
+          canonical += graph.nodes[member].Label() + ";";
+        }
+        if (reported.insert(canonical).second) {
+          const auto back_edge = edges.find({frame.node, next});
+          const std::size_t at_file = back_edge != edges.end()
+                                          ? back_edge->second.file
+                                          : graph.nodes[next].file;
+          const std::size_t at_line = back_edge != edges.end()
+                                          ? back_edge->second.line
+                                          : graph.nodes[next].line;
+          AddViolation(tree.files[at_file], at_line, "lock-order-cycle",
+                       CycleMessage(cycle, edges, tree, graph), violations);
+        }
+        continue;
+      }
+      if (state[next] == 0) {
+        state[next] = 1;
+        path.push_back(next);
+        stack.push_back(Frame{next, 0});
+      }
+    }
+  }
+}
+
+}  // namespace copyattack::analyze

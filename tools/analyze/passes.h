@@ -43,6 +43,26 @@ void RunDeterminismPass(const SourceTree& tree,
                         const std::vector<FileStructure>& structures,
                         std::vector<Violation>* violations);
 
+/// Checkpoint-coverage pass: every non-static data member of a
+/// CA_CHECKPOINTED type must be referenced by both its save and load
+/// serializer bodies, in the same order, unless waived with
+/// CA_NOT_CHECKPOINTED(reason). Protects the bit-identical kill-and-resume
+/// guarantee from silently unserialized new fields.
+/// Rules: ckpt-missing-member, ckpt-order-mismatch, ckpt-no-serializer.
+void RunCheckpointPass(const SourceTree& tree,
+                       const std::vector<FileStructure>& structures,
+                       std::vector<Violation>* violations);
+
+/// Lock-order pass: builds a repo-wide mutex acquisition graph from
+/// CA_ACQUIRED_BEFORE annotations plus RAII-holder nesting observed inside
+/// function bodies, then rejects cycles, observed nestings that contradict
+/// a declared edge, and blocking acquisitions of annotated mutexes inside
+/// ParallelFor bodies.
+/// Rules: lock-order-cycle, lock-order-contradiction, lock-in-parallel-for.
+void RunLockOrderPass(const SourceTree& tree,
+                      const std::vector<FileStructure>& structures,
+                      std::vector<Violation>* violations);
+
 }  // namespace copyattack::analyze
 
 #endif  // COPYATTACK_TOOLS_ANALYZE_PASSES_H_

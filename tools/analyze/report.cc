@@ -1,0 +1,272 @@
+#include "analyze/report.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace copyattack::analyze {
+
+namespace {
+
+/// Minimal JSON reader for the baseline schema. Handles objects, arrays,
+/// strings with standard escapes, and skips insignificant whitespace —
+/// nothing else, because the baseline writer (a human with an editor, or
+/// a jq one-liner over the JSON report) never produces anything else.
+class BaselineParser {
+ public:
+  explicit BaselineParser(const std::string& text) : text_(text) {}
+
+  bool Parse(Baseline* baseline, std::string* error) {
+    SkipSpace();
+    if (!Expect('{', error)) return false;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return AtEnd(error);
+    }
+    std::string key;
+    if (!ParseString(&key, error)) return false;
+    if (key != "entries") {
+      *error = "expected top-level key \"entries\", got \"" + key + "\"";
+      return false;
+    }
+    SkipSpace();
+    if (!Expect(':', error)) return false;
+    SkipSpace();
+    if (!Expect('[', error)) return false;
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+    } else {
+      while (true) {
+        if (!ParseEntry(baseline, error)) return false;
+        SkipSpace();
+        if (Peek() == ',') {
+          ++pos_;
+          SkipSpace();
+          continue;
+        }
+        if (!Expect(']', error)) return false;
+        break;
+      }
+    }
+    SkipSpace();
+    if (!Expect('}', error)) return false;
+    return AtEnd(error);
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c, std::string* error) {
+    if (Peek() != c) {
+      *error = std::string("expected '") + c + "' at offset " +
+               std::to_string(pos_);
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool AtEnd(std::string* error) {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing content at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    SkipSpace();
+    if (!Expect('"', error)) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            *error = "truncated \\u escape";
+            return false;
+          }
+          unsigned value = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              *error = "bad \\u escape";
+              return false;
+            }
+          }
+          // The reporter only ever escapes control bytes, so a plain
+          // narrow append is lossless for everything it round-trips.
+          *out += static_cast<char>(value & 0xFF);
+          break;
+        }
+        default:
+          *error = std::string("unsupported escape \\") + esc;
+          return false;
+      }
+    }
+    *error = "unterminated string";
+    return false;
+  }
+
+  bool ParseEntry(Baseline* baseline, std::string* error) {
+    SkipSpace();
+    if (!Expect('{', error)) return false;
+    std::string file;
+    std::string rule;
+    std::string message;
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first && !Expect(',', error)) return false;
+      first = false;
+      std::string key;
+      std::string value;
+      if (!ParseString(&key, error)) return false;
+      SkipSpace();
+      if (!Expect(':', error)) return false;
+      if (!ParseString(&value, error)) return false;
+      if (key == "file") file = value;
+      else if (key == "rule") rule = value;
+      else if (key == "message") message = value;
+      else {
+        *error = "unknown baseline entry key \"" + key + "\"";
+        return false;
+      }
+      SkipSpace();
+      if (Peek() == ',') continue;
+    }
+    if (file.empty() || rule.empty()) {
+      *error = "baseline entry needs non-empty \"file\" and \"rule\"";
+      return false;
+    }
+    Violation v{file, 0, rule, message};
+    ++(*baseline)[BaselineKey(v)];
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t ReportSarif(const std::vector<Violation>& violations,
+                        std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"copyattack-analyze\",\n"
+      << "          \"informationUri\": "
+         "\"https://arxiv.org/abs/2005.08147\",\n"
+      << "          \"rules\": [";
+  const std::vector<RuleInfo>& rules = RuleCatalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i ? "," : "") << "\n            {\"id\": \""
+        << JsonEscape(rules[i].id) << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(rules[i].summary) << "\"}, \"properties\": {\"pass\": \""
+        << JsonEscape(rules[i].pass) << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    // SARIF regions are 1-based; `io` findings carry line 0 (whole file).
+    const std::size_t line = v.line == 0 ? 1 : v.line;
+    out << (i ? "," : "") << "\n        {\"ruleId\": \""
+        << JsonEscape(v.rule) << "\", \"level\": \"error\", "
+        << "\"message\": {\"text\": \"" << JsonEscape(v.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << JsonEscape(v.file)
+        << "\"}, \"region\": {\"startLine\": " << line << "}}}]}";
+  }
+  out << "\n      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return violations.size();
+}
+
+std::string BaselineKey(const Violation& violation) {
+  return violation.file + "|" + violation.rule + "|" + violation.message;
+}
+
+bool LoadBaseline(const std::string& path, Baseline* baseline,
+                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open baseline: " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  BaselineParser parser(text);
+  if (!parser.Parse(baseline, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+BaselineDiff DiffBaseline(const std::vector<Violation>& violations,
+                          Baseline baseline) {
+  BaselineDiff diff;
+  for (const Violation& v : violations) {
+    const auto it = baseline.find(BaselineKey(v));
+    if (it != baseline.end() && it->second > 0) {
+      --it->second;
+      ++diff.grandfathered;
+    } else {
+      diff.fresh.push_back(v);
+    }
+  }
+  for (const auto& [key, remaining] : baseline) {
+    for (std::size_t k = 0; k < remaining; ++k) diff.stale.push_back(key);
+  }
+  return diff;
+}
+
+}  // namespace copyattack::analyze

@@ -1,0 +1,56 @@
+#ifndef COPYATTACK_TOOLS_ANALYZE_REPORT_H_
+#define COPYATTACK_TOOLS_ANALYZE_REPORT_H_
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+
+/// SARIF output and baseline diffing for copyattack-analyze.
+///
+/// SARIF (Static Analysis Results Interchange Format 2.1.0) is what CI
+/// code-scanning UIs ingest; `--format=sarif` emits one run with the full
+/// rule catalogue as the tool driver and one result per violation.
+///
+/// The baseline (`tools/analyze/baseline.json`, `--baseline=<path>`)
+/// grandfathers known findings so a new pass can land with existing debt
+/// tracked instead of blocking: a finding matching a baseline entry is
+/// reported but does not fail the run; a finding NOT in the baseline
+/// fails; a baseline entry the analyzer no longer emits also fails
+/// (stale-entry burn-down hygiene — delete the entry with the fix).
+/// Matching is by (file, rule, message), deliberately line-insensitive so
+/// unrelated edits shifting a grandfathered finding do not churn the file.
+
+namespace copyattack::analyze {
+
+/// Writes SARIF 2.1.0; returns the number of violations.
+std::size_t ReportSarif(const std::vector<Violation>& violations,
+                        std::ostream& out);
+
+/// The line-insensitive identity used for baseline matching.
+std::string BaselineKey(const Violation& violation);
+
+/// Multiset of baseline keys (identical findings may legitimately repeat).
+using Baseline = std::map<std::string, std::size_t>;
+
+/// Parses a baseline file: `{"entries": [{"file":..., "rule":...,
+/// "message":...}, ...]}`. A strict subset of JSON — unknown keys are
+/// errors so typos cannot silently un-grandfather a finding.
+bool LoadBaseline(const std::string& path, Baseline* baseline,
+                  std::string* error);
+
+struct BaselineDiff {
+  std::vector<Violation> fresh;        ///< not grandfathered: fail
+  std::size_t grandfathered = 0;       ///< matched an entry: tracked
+  std::vector<std::string> stale;      ///< entry no longer emitted: fail
+};
+
+BaselineDiff DiffBaseline(const std::vector<Violation>& violations,
+                          Baseline baseline);
+
+}  // namespace copyattack::analyze
+
+#endif  // COPYATTACK_TOOLS_ANALYZE_REPORT_H_

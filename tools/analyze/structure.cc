@@ -55,6 +55,7 @@ class Scanner {
           CloseBrace(i);
           head_start_ = i + 1;
         } else if (t.text == ";") {
+          if (InCheckpointedClass()) MaybeField(HeadIndices(i));
           head_start_ = i + 1;
         }
         continue;
@@ -73,10 +74,18 @@ class Scanner {
     Kind kind;
     std::string name;
     std::size_t function_index = kNone;
+    bool checkpointed = false;  ///< class head carried CA_CHECKPOINTED
   };
 
   Scope::Kind InnermostKind() const {
     return scopes_.empty() ? Scope::kNamespace : scopes_.back().kind;
+  }
+
+  /// True when member declarations at the current nesting level belong to a
+  /// CA_CHECKPOINTED class (field extraction is active).
+  bool InCheckpointedClass() const {
+    return !scopes_.empty() && scopes_.back().kind == Scope::kClass &&
+           scopes_.back().checkpointed;
   }
 
   std::string CurrentClassName() const {
@@ -160,16 +169,26 @@ class Scanner {
       return;
     }
     if (class_kw != kNone) {
-      Push(Scope::kClass, ClassNameFromHead(head, class_kw));
+      std::string class_name = ClassNameFromHead(head, class_kw);
+      const bool checkpointed = MaybeCheckpointedType(head, class_name);
+      Push(Scope::kClass, std::move(class_name));
+      scopes_.back().checkpointed = checkpointed;
       return;
     }
 
     // Brace initializers: `x = {...}`, `f({...})`, `arr[{...}]`, and
     // constructor-init-list members `: member_{...}` / `, member_{...}`.
+    // In a CA_CHECKPOINTED class a brace-initialized member (`words[4] =
+    // {0,0,0,0};`, `Matrix m{...};`) reaches end-of-declarator here — the
+    // later `;` sees an empty head — so extraction runs on this head.
     const Token& last = tokens_[head.back()];
     if (last.kind == TokenKind::kPunct &&
         (last.text == "=" || last.text == "," || last.text == "(" ||
          last.text == "[" || last.text == "<")) {
+      if (outer == Scope::kClass && InCheckpointedClass() &&
+          last.text == "=") {
+        MaybeField({head.begin(), head.end() - 1});
+      }
       Push(Scope::kBlock);
       return;
     }
@@ -194,6 +213,12 @@ class Scanner {
       const std::size_t index = result_.functions.size() - 1;
       Push(Scope::kFunction, result_.functions[index].name, index);
       return;
+    }
+    // Direct brace init of a member (`Matrix m{...};`) — still a declarator
+    // end for field extraction.
+    if (outer == Scope::kClass && InCheckpointedClass() &&
+        last.kind == TokenKind::kIdentifier) {
+      MaybeField(head);
     }
     Push(Scope::kBlock);
   }
@@ -334,6 +359,184 @@ class Scanner {
     return last;
   }
 
+  /// Parses the paren group opening at raw token index `paren` into
+  /// depth-1, comma-separated arguments, each the concatenation of its
+  /// identifier / `::` tokens ("mutex_", "ThreadBuffer::mutex"). String
+  /// literals (blanked by the lexer) and nested groups contribute nothing.
+  std::vector<std::string> ParseAnnotationArgs(std::size_t paren) const {
+    std::vector<std::string> args;
+    if (paren == kNone || paren >= tokens_.size() ||
+        tokens_[paren].text != "(") {
+      return args;
+    }
+    std::string current;
+    std::int64_t depth = 0;
+    for (std::size_t i = paren; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.in_directive) continue;
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(") {
+          ++depth;
+        } else if (t.text == ")") {
+          if (--depth == 0) break;
+        } else if (t.text == "," && depth == 1) {
+          if (!current.empty()) args.push_back(std::move(current));
+          current.clear();
+        } else if (t.text == "::" && depth == 1) {
+          current += "::";
+        }
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier && depth == 1) current += t.text;
+    }
+    if (!current.empty()) args.push_back(std::move(current));
+    return args;
+  }
+
+  static void SplitQualified(const std::string& spelled,
+                             std::string* qualifier, std::string* name) {
+    const std::size_t sep = spelled.rfind("::");
+    if (sep == std::string::npos) {
+      *name = spelled;
+      return;
+    }
+    *qualifier = spelled.substr(0, sep);
+    *name = spelled.substr(sep + 2);
+  }
+
+  /// Records a CA_CHECKPOINTED annotation found in a class head (it sits
+  /// after the class name, before any base clause). Returns whether the
+  /// class is checkpointed so the scope can arm field extraction.
+  bool MaybeCheckpointedType(const std::vector<std::size_t>& head,
+                             const std::string& class_name) {
+    for (std::size_t h = 0; h < head.size(); ++h) {
+      if (tokens_[head[h]].text != "CA_CHECKPOINTED") continue;
+      CheckpointedType type;
+      type.class_name = class_name;
+      type.line = tokens_[head[h]].line;
+      type.save_name = "SaveState";
+      type.load_name = "LoadState";
+      const std::vector<std::string> args =
+          ParseAnnotationArgs(NextCodeToken(head[h]));
+      if (!args.empty()) {
+        SplitQualified(args[0], &type.save_qualifier, &type.save_name);
+      }
+      if (args.size() >= 2) {
+        SplitQualified(args[1], &type.load_qualifier, &type.load_name);
+      }
+      result_.checkpointed_types.push_back(std::move(type));
+      return true;
+    }
+    return false;
+  }
+
+  /// Field extraction for CA_CHECKPOINTED classes. `head` is the token run
+  /// of one member declaration (terminated by `;` or by a brace
+  /// initializer's `{`, with a trailing `=` already dropped). Extracts the
+  /// declarator name, erring toward skipping anything that is not plainly
+  /// a data member — method declarations, nested types, aliases, statics —
+  /// so the checkpoint pass never reports a member that does not exist.
+  void MaybeField(std::vector<std::size_t> head) {
+    while (head.size() >= 2 && tokens_[head[1]].text == ":" &&
+           (tokens_[head[0]].text == "public" ||
+            tokens_[head[0]].text == "private" ||
+            tokens_[head[0]].text == "protected")) {
+      head.erase(head.begin(), head.begin() + 2);
+    }
+    while (!head.empty() && tokens_[head[0]].text == "mutable") {
+      head.erase(head.begin());
+    }
+    if (head.empty()) return;
+    const std::string& first = tokens_[head[0]].text;
+    if (first == "static" || first == "using" || first == "typedef" ||
+        first == "friend" || first == "template" || first == "enum" ||
+        first == "class" || first == "struct" || first == "union" ||
+        first == "virtual" || first == "explicit") {
+      return;
+    }
+    for (const std::size_t h : head) {
+      if (tokens_[h].text == "operator") return;
+    }
+
+    // The declarator proper: everything before a top-level `=`. Top-level
+    // `:` (bit-field) or `,` (multi-declarator) shapes are skipped rather
+    // than half-parsed.
+    std::vector<std::size_t> decl;
+    {
+      std::int64_t depth = 0;
+      for (const std::size_t h : head) {
+        const Token& t = tokens_[h];
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+          if ((t.text == ")" || t.text == "]" || t.text == ">") && depth > 0)
+            --depth;
+          if (depth == 0 && t.text == "=") break;
+          if (depth == 0 && (t.text == ":" || t.text == ",")) return;
+        }
+        decl.push_back(h);
+      }
+    }
+
+    // Strip trailing annotation macro groups and array extents; anything
+    // else parenthesized at the tail is a function declaration.
+    bool exempt = false;
+    while (!decl.empty()) {
+      const Token& last = tokens_[decl.back()];
+      if (last.kind == TokenKind::kIdentifier &&
+          last.text == "CA_ATOMIC_ONLY") {
+        decl.pop_back();
+        continue;
+      }
+      if (last.text == ")" || last.text == "]") {
+        const std::string open = last.text == ")" ? "(" : "[";
+        std::int64_t depth = 0;
+        std::size_t h = decl.size();
+        bool matched = false;
+        while (h > 0) {
+          --h;
+          const std::string& text = tokens_[decl[h]].text;
+          if (text == last.text) ++depth;
+          if (text == open && --depth == 0) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) return;
+        if (last.text == ")") {
+          if (h == 0) return;
+          const Token& macro = tokens_[decl[h - 1]];
+          if (macro.kind != TokenKind::kIdentifier ||
+              macro.text.rfind("CA_", 0) != 0) {
+            return;  // parameter list, not an annotation
+          }
+          if (macro.text == "CA_NOT_CHECKPOINTED") exempt = true;
+          decl.erase(decl.begin() + static_cast<std::ptrdiff_t>(h - 1),
+                     decl.end());
+        } else {
+          decl.erase(decl.begin() + static_cast<std::ptrdiff_t>(h),
+                     decl.end());
+        }
+        continue;
+      }
+      break;
+    }
+    if (decl.size() < 2) return;  // a member needs at least type + name
+    const Token& name = tokens_[decl.back()];
+    if (name.kind != TokenKind::kIdentifier) return;
+    if (name.text == "const" || name.text == "noexcept" ||
+        name.text == "override" || name.text == "final" ||
+        name.text == "default" || name.text == "delete" ||
+        IsFundamentalTypeWord(name.text) || IsControlWord(name.text)) {
+      return;
+    }
+    FieldDecl field;
+    field.class_name = CurrentClassName();
+    field.field_name = name.text;
+    field.exempt = exempt;
+    field.line = name.line;
+    result_.checkpoint_fields.push_back(std::move(field));
+  }
+
   std::size_t PrevCodeToken(std::size_t i) const {
     while (i > 0) {
       --i;
@@ -370,8 +573,26 @@ class Scanner {
     const bool guarded = text == "CA_GUARDED_BY";
     const bool atomic_only = text == "CA_ATOMIC_ONLY";
     const bool requires_anno = text == "CA_REQUIRES";
-    if (!guarded && !atomic_only && !requires_anno) return;
+    const bool acquired_before = text == "CA_ACQUIRED_BEFORE";
+    if (!guarded && !atomic_only && !requires_anno && !acquired_before) {
+      return;
+    }
     if (InnermostKind() != Scope::kClass) return;  // heads handle the rest
+
+    if (acquired_before) {
+      const std::size_t mutex_pos = PrevCodeToken(i);
+      if (mutex_pos == kNone ||
+          tokens_[mutex_pos].kind != TokenKind::kIdentifier) {
+        return;
+      }
+      MutexOrder order;
+      order.class_name = CurrentClassName();
+      order.mutex_name = tokens_[mutex_pos].text;
+      order.before = ParseAnnotationArgs(NextCodeToken(i));
+      order.line = tokens_[i].line;
+      result_.mutex_orders.push_back(std::move(order));
+      return;
+    }
 
     if (guarded || atomic_only) {
       const std::size_t field_pos = PrevCodeToken(i);

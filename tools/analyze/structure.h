@@ -48,10 +48,46 @@ struct MethodRequires {
   std::vector<std::string> mutexes;
 };
 
+/// One non-static data member of a class whose head carried
+/// CA_CHECKPOINTED. Harvested by the field-extraction layer; `exempt` is
+/// set when the declaration trails a CA_NOT_CHECKPOINTED(reason).
+struct FieldDecl {
+  std::string class_name;
+  std::string field_name;
+  bool exempt = false;
+  std::size_t line = 0;
+};
+
+/// A type marked CA_CHECKPOINTED(save, load) — the checkpoint pass checks
+/// its members against the named serializer bodies. Names may be qualified
+/// (`Owner::Fn`), split here into qualifier + unqualified name; empty
+/// argument list defaults to SaveState/LoadState.
+struct CheckpointedType {
+  std::string class_name;
+  std::string save_qualifier;  ///< empty = unqualified
+  std::string save_name;
+  std::string load_qualifier;
+  std::string load_name;
+  std::size_t line = 0;
+};
+
+/// A mutex member annotated CA_ACQUIRED_BEFORE(...). `before` lists the
+/// declared successors as written (bare or `Class::member`); empty means
+/// tracked-only (leaf of the declared order).
+struct MutexOrder {
+  std::string class_name;
+  std::string mutex_name;
+  std::vector<std::string> before;
+  std::size_t line = 0;
+};
+
 struct FileStructure {
   std::vector<FunctionDef> functions;
   std::vector<AnnotatedField> fields;
   std::vector<MethodRequires> declared_requires;
+  std::vector<FieldDecl> checkpoint_fields;
+  std::vector<CheckpointedType> checkpointed_types;
+  std::vector<MutexOrder> mutex_orders;
   /// Names this file makes available to includers: macro names, type names
   /// (definitions and forward declarations), enumerators, aliases, and
   /// namespace/class-scope entity names. Used by the IWYU-lite check; kept

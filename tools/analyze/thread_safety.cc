@@ -54,6 +54,32 @@ std::set<std::string> LockedMutexes(const std::vector<Token>& tokens,
   return locked;
 }
 
+/// Locals initialized from `std::make_unique` in this body. A member
+/// access through such a pointer is pre-publication initialization: no
+/// other thread can reach the object until it is stored somewhere shared,
+/// so guarded fields written through it need no lock evidence. Like the
+/// lock evidence this is function-granular — publication almost always
+/// ends the constructing function, so the window where the exemption is
+/// too generous (mutate-after-publish in the same body) is negligible for
+/// a heuristic pass.
+std::set<std::string> FreshReceivers(const std::vector<Token>& tokens,
+                                     std::size_t body_begin,
+                                     std::size_t body_end) {
+  std::set<std::string> fresh;
+  for (std::size_t i = body_begin + 1; i < body_end; ++i) {
+    if (tokens[i].text != "make_unique") continue;
+    std::size_t j = i;  // walk back over an optional std:: qualifier
+    if (j >= 2 && tokens[j - 1].text == "::" && tokens[j - 2].text == "std") {
+      j -= 2;
+    }
+    if (j >= 2 && tokens[j - 1].text == "=" &&
+        tokens[j - 2].kind == TokenKind::kIdentifier) {
+      fresh.insert(tokens[j - 2].text);
+    }
+  }
+  return fresh;
+}
+
 }  // namespace
 
 void RunThreadSafetyPass(const SourceTree& tree,
@@ -103,6 +129,8 @@ void RunThreadSafetyPass(const SourceTree& tree,
       if (req != required.end()) {
         evidence.insert(req->second.begin(), req->second.end());
       }
+      const std::set<std::string> fresh =
+          FreshReceivers(tokens, def.body_begin, def.body_end);
 
       std::set<std::string> flagged;  // one report per field per function
       for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
@@ -114,6 +142,11 @@ void RunThreadSafetyPass(const SourceTree& tree,
         const bool member_access =
             k >= 1 &&
             (tokens[k - 1].text == "." || tokens[k - 1].text == "->");
+        if (member_access && k >= 2 &&
+            tokens[k - 2].kind == TokenKind::kIdentifier &&
+            fresh.count(tokens[k - 2].text) != 0) {
+          continue;  // freshly make_unique'd receiver: pre-publication
+        }
         bool applies = member_access;
         bool satisfied = false;
         for (const AnnotatedField& field : found->second) {

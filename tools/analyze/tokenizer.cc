@@ -22,10 +22,18 @@ bool IsDigit(char c) { return c >= '0' && c <= '9'; }
 /// Normalizes line endings: CRLF and lone CR both become `\n`, so line
 /// counting and per-line blanking behave identically for files edited on
 /// any platform (satisfying the CRLF cases in the tokenizer test suite).
+/// A leading UTF-8 BOM is dropped too — editors on some platforms prepend
+/// one, and without the strip a line-1 `#include`/`#pragma` is no longer
+/// at line start and the whole directive lexes as punctuation soup.
 std::string NormalizeNewlines(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
+  std::size_t begin = 0;
+  if (raw.size() >= 3 && raw[0] == '\xEF' && raw[1] == '\xBB' &&
+      raw[2] == '\xBF') {
+    begin = 3;
+  }
+  for (std::size_t i = begin; i < raw.size(); ++i) {
     if (raw[i] == '\r') {
       out.push_back('\n');
       if (i + 1 < raw.size() && raw[i + 1] == '\n') ++i;

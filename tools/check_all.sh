@@ -57,8 +57,17 @@ mkdir -p build/reports
 ./build/tools/analyze/copyattack-analyze --root=. --format=json \
   > build/reports/analyze_report.json \
   || { cat build/reports/analyze_report.json >&2; exit 1; }
-./build/tools/analyze/copyattack-analyze --root=.
-echo "analyze report archived at build/reports/analyze_report.json"
+# SARIF for CI code-scanning upload. Archived unconditionally (the file is
+# useful evidence either way); the exit status still gates.
+./build/tools/analyze/copyattack-analyze --root=. --format=sarif \
+  > build/reports/analyze.sarif \
+  || { echo "check_all: analyze (sarif) FAILED" >&2; exit 1; }
+# Baseline hard gate: fresh findings fail, and so do stale baseline.json
+# entries the analyzer no longer emits (burn-down hygiene — delete the
+# entry with the fix). Grandfathered findings are tracked, not fatal.
+./build/tools/analyze/copyattack-analyze --root=. \
+  --baseline=tools/analyze/baseline.json
+echo "analyze reports archived at build/reports/analyze_report.json and build/reports/analyze.sarif"
 
 # 2. Release wall: everything except the stress label (stress is TSan's
 # job; see below).
