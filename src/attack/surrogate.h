@@ -1,0 +1,75 @@
+#ifndef COPYATTACK_ATTACK_SURROGATE_H_
+#define COPYATTACK_ATTACK_SURROGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/types.h"
+#include "math/matrix.h"
+#include "rec/matrix_factorization.h"
+
+namespace copyattack::attack {
+
+/// Training budget of the attacker's local surrogate. The surrogate is
+/// trained once per (dataset, config) from a fixed seed, so every shard of
+/// a sharded campaign — and every resume of a checkpointed one — derives
+/// the identical model; attack outcomes stay bit-identical across shard
+/// counts and kill-and-resume without the surrogate ever being part of a
+/// checkpoint.
+struct SurrogateConfig {
+  std::size_t embedding_dim = 8;
+  /// BPR epochs over the observable interactions. Deliberately small: the
+  /// surrogate only has to rank items roughly like the target model does,
+  /// and its cost is pure attacker overhead (`attack.surrogate_epochs`
+  /// counts it toward --telemetry_out).
+  std::size_t epochs = 12;
+  /// Fixed training seed — NOT derived from the campaign seed, see above.
+  std::uint64_t seed = 0x5A11E27ULL;
+};
+
+/// The attacker's local stand-in for the black-box target recommender
+/// (arXiv:2008.04876's "surrogate then transfer" setup): a BPR matrix
+/// factorization fitted on the target-domain interactions the attacker can
+/// scrape from the platform. Strategies craft or rank profiles against
+/// this model and only spend real oracle queries on the transfer.
+///
+/// Read-only after construction; one instance is shared by every
+/// per-target strategy the factory creates.
+class TargetSurrogate {
+ public:
+  /// Trains the surrogate on `observable` (the attacker's scrape of the
+  /// target domain).
+  TargetSurrogate(const data::Dataset& observable,
+                  const SurrogateConfig& config);
+
+  const math::Matrix& item_embeddings() const {
+    return mf_.item_embeddings();
+  }
+  const math::Matrix& user_embeddings() const {
+    return mf_.user_embeddings();
+  }
+  std::size_t embedding_dim() const { return mf_.embedding_dim(); }
+  std::size_t num_items() const { return item_embeddings().rows(); }
+
+  /// Fold-in embedding of an arbitrary profile (mean of its items'
+  /// embeddings — the same fold-in the MF model applies to new users).
+  std::vector<float> FoldInProfile(const data::Profile& profile) const;
+
+  /// Surrogate preference score of a virtual user vector for `item`.
+  float Score(const std::vector<float>& user_vec, data::ItemId item) const;
+
+  /// Mean user embedding over the trained (genuine) users — the rank-one
+  /// summary the influence estimate projects candidate profiles onto.
+  const std::vector<float>& mean_user_embedding() const {
+    return mean_user_embedding_;
+  }
+
+ private:
+  rec::MatrixFactorization mf_;
+  std::vector<float> mean_user_embedding_;
+};
+
+}  // namespace copyattack::attack
+
+#endif  // COPYATTACK_ATTACK_SURROGATE_H_

@@ -3,6 +3,9 @@
 #include <memory>
 #include <utility>
 
+#include "attack/influence.h"
+#include "attack/surrogate.h"
+#include "attack/surrogate_transfer.h"
 #include "core/baselines.h"
 #include "core/copy_attack.h"
 #include "core/flat_policy.h"
@@ -13,6 +16,16 @@
 #include "util/rng.h"
 
 namespace copyattack::serve {
+
+const std::vector<std::string>& RegisteredMethods() {
+  static const std::vector<std::string> methods = {
+      "RandomAttack",       "TargetAttack40",
+      "TargetAttack70",     "TargetAttack100",
+      "PolicyNetwork",      "CopyAttack",
+      "CopyAttack-Masking", "CopyAttack-Length",
+      "SurrogateTransfer",  "Influence"};
+  return methods;
+}
 
 StrategySpec MakeStrategyFactory(const data::CrossDomainDataset& dataset,
                                  const core::SourceArtifacts& artifacts,
@@ -49,6 +62,32 @@ StrategySpec MakeStrategyFactory(const data::CrossDomainDataset& dataset,
           &dataset, &artifacts.tree, &artifacts.mf.user_embeddings(),
           &artifacts.mf.item_embeddings(), config, seed);
     };
+  } else if (method == "SurrogateTransfer" ||
+             method == "surrogate_transfer") {
+    // The surrogate trains here, once, from a fixed seed (attack/
+    // surrogate.h): every per-target strategy of the campaign — on every
+    // shard, and again after a resume — shares the identical read-only
+    // model, so the method stays bit-identical across shard counts and
+    // kill-and-resume.
+    auto surrogate = std::make_shared<const attack::TargetSurrogate>(
+        dataset.target, attack::SurrogateConfig{});
+    spec.factory = [&dataset, surrogate](std::uint64_t seed) {
+      return std::make_unique<attack::SurrogateTransferAttack>(
+          &dataset, surrogate, attack::SurrogateTransferConfig{}, seed);
+    };
+  } else if (method == "Influence" || method == "influence") {
+    auto surrogate = std::make_shared<const attack::TargetSurrogate>(
+        dataset.target, attack::SurrogateConfig{});
+    spec.factory = [&dataset, surrogate](std::uint64_t seed) {
+      return std::make_unique<attack::InfluenceAttack>(
+          &dataset, surrogate, attack::InfluenceConfig{}, seed);
+    };
+  }
+  if (!spec.factory) {
+    spec.error = "unknown --method '" + method + "'; registered methods:";
+    for (const std::string& name : RegisteredMethods()) {
+      spec.error += ' ' + name;
+    }
   }
   return spec;
 }
@@ -76,7 +115,7 @@ JobReport AttackServer::RunJob(const PromotionJob& job) {
   const StrategySpec spec =
       MakeStrategyFactory(dataset_, artifacts_, job.method);
   if (!spec.factory) {
-    report.error = "unknown method '" + job.method + "'";
+    report.error = spec.error;
     ++jobs_failed_;
     OBS_COUNTER_INC("server.job_failures");
     CA_LOG(Warning) << "server: job " << job.id << " rejected: "

@@ -20,14 +20,27 @@ struct StrategySpec {
   /// False for the non-learning baselines (RandomAttack, TargetAttack*):
   /// they play exactly one episode per target.
   bool learns = true;
+  /// Set when the method name is unknown: names the offender and lists
+  /// every registered method so the caller's error is actionable.
+  std::string error;
 };
+
+/// The method names `MakeStrategyFactory` resolves, in registry order.
+/// Snake-case aliases ("surrogate_transfer", "influence") are accepted by
+/// the factory but not listed twice.
+const std::vector<std::string>& RegisteredMethods();
 
 /// Resolves an attack-method name ("CopyAttack", "CopyAttack-Masking",
 /// "CopyAttack-Length", "PolicyNetwork", "RandomAttack",
-/// "TargetAttack40/70/100") to its strategy factory over the shared
+/// "TargetAttack40/70/100", "SurrogateTransfer"/"surrogate_transfer",
+/// "Influence"/"influence") to its strategy factory over the shared
 /// per-dataset artifacts — the single dispatch table behind both the
 /// `attack` CLI command and the attack server. `dataset` and `artifacts`
-/// are captured by reference and must outlive the returned factory.
+/// are captured by reference and must outlive the returned factory. The
+/// surrogate-based methods train the attacker's local model here, once,
+/// from a fixed seed; every per-target strategy shares it read-only. On an
+/// unknown name the returned spec has a null factory and `error` lists the
+/// registered methods.
 StrategySpec MakeStrategyFactory(const data::CrossDomainDataset& dataset,
                                  const core::SourceArtifacts& artifacts,
                                  const std::string& method);

@@ -148,7 +148,10 @@ TEST(CliTest, AttackServerDrainsQueueCsvAndReportsFailures) {
   EXPECT_NE(output.find("serving 2 promotion jobs"), std::string::npos);
   EXPECT_NE(output.find("promo-a:TargetAttack40"), std::string::npos);
   EXPECT_NE(output.find("campaigns/s"), std::string::npos);
-  EXPECT_NE(output.find("unknown method 'NoSuchMethod'"), std::string::npos);
+  EXPECT_NE(output.find("unknown --method 'NoSuchMethod'"), std::string::npos);
+  // The rejection must teach: it lists every registered method name.
+  EXPECT_NE(output.find("registered methods:"), std::string::npos);
+  EXPECT_NE(output.find("SurrogateTransfer"), std::string::npos);
   EXPECT_NE(output.find("served 1 jobs, 1 failed"), std::string::npos);
   std::remove(queue_path.c_str());
   RemoveWorld(prefix);

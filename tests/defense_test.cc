@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/crafting.h"
+#include "defense/adaptive_detector.h"
 #include "defense/detectors.h"
 #include "defense/profile_features.h"
 #include "rec/matrix_factorization.h"
@@ -166,6 +167,64 @@ TEST(DetectorDeathTest, ScoreBeforeFitAborts) {
   ZScoreDetector detector;
   ProfileFeatures f{};
   EXPECT_DEATH(detector.Score(f), "Fit must be called");
+}
+
+TEST_F(DefenseFixture, AdaptiveDetectorSeparatesItsTrainingAttacker) {
+  const auto real = RealFeatures(80);
+  const auto fake = FabricatedFeatures(60);
+  // Train on one half of the attack profiles, evaluate on the other —
+  // the arms-race protocol, so the detector is never scored on rows it
+  // trained on.
+  std::vector<ProfileFeatures> fit_half, eval_half;
+  for (std::size_t i = 0; i < fake.size(); ++i) {
+    (i % 2 == 0 ? fit_half : eval_half).push_back(fake[i]);
+  }
+  AdaptiveDetector adaptive;
+  adaptive.FitAdaptive(real, fit_half);
+  EXPECT_TRUE(adaptive.supervised());
+
+  const DetectionReport supervised_report =
+      EvaluateDetector(adaptive, real, eval_half);
+  ZScoreDetector zscore;
+  zscore.Fit(real);
+  const DetectionReport zscore_report =
+      EvaluateDetector(zscore, real, eval_half);
+  // Retraining on the attacker's own profiles must not LOSE separability
+  // relative to the unsupervised baseline (the defender's second move).
+  EXPECT_GT(supervised_report.auc, 0.75);
+  EXPECT_GE(supervised_report.auc, zscore_report.auc - 0.05);
+}
+
+TEST_F(DefenseFixture, AdaptiveDetectorFitIsDeterministic) {
+  const auto real = RealFeatures(60);
+  const auto fake = FabricatedFeatures(40);
+  AdaptiveDetector a, b;
+  a.FitAdaptive(real, fake);
+  b.FitAdaptive(real, fake);
+  ASSERT_EQ(a.weights().size(), b.weights().size());
+  for (std::size_t i = 0; i < a.weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights()[i], b.weights()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST_F(DefenseFixture, AdaptiveDetectorFallsBackToUnsupervised) {
+  const auto real = RealFeatures(80);
+  AdaptiveDetector adaptive;
+  adaptive.Fit(real);  // no attack profiles yet: z-score semantics
+  EXPECT_FALSE(adaptive.supervised());
+  const auto fake = FabricatedFeatures(40);
+  ZScoreDetector zscore;
+  zscore.Fit(real);
+  const DetectionReport fallback = EvaluateDetector(adaptive, real, fake);
+  const DetectionReport baseline = EvaluateDetector(zscore, real, fake);
+  EXPECT_DOUBLE_EQ(fallback.auc, baseline.auc);
+}
+
+TEST(AdaptiveDetectorDeathTest, ScoreBeforeFitAborts) {
+  AdaptiveDetector detector;
+  ProfileFeatures f{};
+  EXPECT_DEATH(detector.Score(f), "Fit");
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "core/parallel_runner.h"
 #include "core/runner.h"
 #include "fault/fault_injector.h"
+#include "serve/attack_server.h"
 #include "test_helpers.h"
 #include "test_seed.h"
 
@@ -92,15 +93,33 @@ void ExpectResultsEqual(const ParallelCampaignResult& a,
             b.aggregate.avg_profiles_injected);
 }
 
+ParallelCampaignResult RunShardedWith(
+    const TinyWorld& world, const StrategyFactory& factory,
+    const std::vector<data::ItemId>& targets, const CampaignConfig& config,
+    const ParallelRunnerOptions& options) {
+  const ParallelCampaignRunner runner(world.world.dataset,
+                                      world.split.train,
+                                      world.ModelFactory(), factory,
+                                      options);
+  return runner.Run(targets, config);
+}
+
 ParallelCampaignResult RunSharded(const TinyWorld& world,
                                   const std::vector<data::ItemId>& targets,
                                   const CampaignConfig& config,
                                   const ParallelRunnerOptions& options) {
-  const ParallelCampaignRunner runner(world.world.dataset,
-                                      world.split.train,
-                                      world.ModelFactory(),
-                                      CopyAttackFactory(world), options);
-  return runner.Run(targets, config);
+  return RunShardedWith(world, CopyAttackFactory(world), targets, config,
+                        options);
+}
+
+/// Resolves an attack-zoo method exactly as the CLI and server do, so the
+/// determinism contract is tested on the real registration path.
+StrategyFactory ZooFactory(const TinyWorld& world,
+                           const std::string& method) {
+  const serve::StrategySpec spec = serve::MakeStrategyFactory(
+      world.world.dataset, world.artifacts, method);
+  EXPECT_TRUE(spec.factory) << spec.error;
+  return spec.factory;
 }
 
 TEST(ParallelRunner, JobsOneBitIdenticalToSequentialRunner) {
@@ -260,6 +279,79 @@ TEST(ParallelRunner, KillAndResumeMatchesUninterruptedRun) {
   EXPECT_FALSE(resumed.aggregate.aborted);
   EXPECT_NE(resumed.aggregate.resumed_from, CheckpointSource::kNone);
   ExpectResultsEqual(uninterrupted, resumed);
+}
+
+// The attack-zoo strategies (ISSUE 8) enter the same sharded-runner
+// determinism contract as CopyAttack: outcomes invariant to the shard
+// count, including under a PR-5 fault schedule.
+TEST(ParallelRunner, AttackZooShardInvarianceUnderFaultSchedule) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 3);
+  ASSERT_GE(targets.size(), 2U);
+  CampaignConfig config = SmallCampaign();
+  config.env.fault =
+      fault::FaultScheduleConfig::Light(testhelpers::TestSeed(61));
+  config.env.resilience.enabled = true;
+  config.env.resilience.seed = testhelpers::TestSeed(67);
+
+  ParallelRunnerOptions one;
+  one.jobs = 1;
+  one.shards = 1;
+  ParallelRunnerOptions many;
+  many.jobs = 2;
+  many.shards = targets.size();
+
+  for (const std::string method : {"SurrogateTransfer", "Influence"}) {
+    SCOPED_TRACE(method);
+    const StrategyFactory factory = ZooFactory(world, method);
+    const ParallelCampaignResult r1 =
+        RunShardedWith(world, factory, targets, config, one);
+    const ParallelCampaignResult rn =
+        RunShardedWith(world, factory, targets, config, many);
+    ExpectResultsEqual(r1, rn);
+  }
+}
+
+// Kill-and-resume bit-equality for the zoo strategies: the abort lands
+// mid-target (episodes=2 per target, abort after 3), so the resumed run
+// must rebuild each strategy via SaveState/LoadState and continue the
+// exact trajectory — under an active fault schedule.
+TEST(ParallelRunner, AttackZooKillAndResumeMatchesUninterruptedRun) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 3);
+  ASSERT_GE(targets.size(), 2U);
+  CampaignConfig config = SmallCampaign();
+  config.env.fault =
+      fault::FaultScheduleConfig::Light(testhelpers::TestSeed(61));
+  config.env.resilience.enabled = true;
+  config.env.resilience.seed = testhelpers::TestSeed(67);
+
+  ParallelRunnerOptions plain;
+  plain.jobs = 1;
+  plain.shards = 2;
+
+  for (const std::string method : {"SurrogateTransfer", "Influence"}) {
+    SCOPED_TRACE(method);
+    const StrategyFactory factory = ZooFactory(world, method);
+    const std::string dir = FreshDir("zoo_resume_" + method);
+    const ParallelCampaignResult uninterrupted =
+        RunShardedWith(world, factory, targets, config, plain);
+
+    ParallelRunnerOptions crash = plain;
+    crash.checkpoint.dir = dir;
+    crash.checkpoint.abort_after_episodes = 3;
+    const ParallelCampaignResult aborted =
+        RunShardedWith(world, factory, targets, config, crash);
+    EXPECT_TRUE(aborted.aggregate.aborted);
+
+    ParallelRunnerOptions resume = plain;
+    resume.checkpoint.dir = dir;
+    resume.checkpoint.resume = true;
+    const ParallelCampaignResult resumed =
+        RunShardedWith(world, factory, targets, config, resume);
+    EXPECT_FALSE(resumed.aggregate.aborted);
+    ExpectResultsEqual(uninterrupted, resumed);
+  }
 }
 
 TEST(ParallelRunner, ShardStatsCsvRoundTrips) {

@@ -126,6 +126,7 @@ TEST(MakeStrategyFactoryTest, ResolvesEveryKnownMethod) {
       {"TargetAttack70", false},    {"TargetAttack100", false},
       {"PolicyNetwork", true},      {"CopyAttack", true},
       {"CopyAttack-Masking", true}, {"CopyAttack-Length", true},
+      {"SurrogateTransfer", true},  {"Influence", true},
   };
   for (const auto& test_case : cases) {
     const StrategySpec spec = MakeStrategyFactory(
@@ -139,6 +140,41 @@ TEST(MakeStrategyFactoryTest, ResolvesEveryKnownMethod) {
   EXPECT_FALSE(static_cast<bool>(
       MakeStrategyFactory(world.world.dataset, world.artifacts, "Nope")
           .factory));
+}
+
+TEST(MakeStrategyFactoryTest, ResolvesSnakeCaseZooAliases) {
+  const TinyWorld& world = SharedTinyWorld();
+  const struct {
+    const char* alias;
+    const char* canonical;
+  } cases[] = {
+      {"surrogate_transfer", "SurrogateTransfer"},
+      {"influence", "Influence"},
+  };
+  for (const auto& test_case : cases) {
+    const StrategySpec spec = MakeStrategyFactory(
+        world.world.dataset, world.artifacts, test_case.alias);
+    ASSERT_TRUE(static_cast<bool>(spec.factory)) << test_case.alias;
+    EXPECT_EQ(spec.factory(1)->name(), test_case.canonical);
+  }
+}
+
+TEST(MakeStrategyFactoryTest, UnknownMethodErrorListsRegisteredNames) {
+  const TinyWorld& world = SharedTinyWorld();
+  const StrategySpec spec =
+      MakeStrategyFactory(world.world.dataset, world.artifacts, "Nope");
+  EXPECT_FALSE(static_cast<bool>(spec.factory));
+  EXPECT_NE(spec.error.find("unknown --method 'Nope'"), std::string::npos)
+      << spec.error;
+  // The message must enumerate every registered method so a typo'd CLI
+  // flag or job row is self-diagnosing.
+  for (const std::string& name : RegisteredMethods()) {
+    EXPECT_NE(spec.error.find(name), std::string::npos) << name;
+  }
+  // A resolvable method never carries an error.
+  EXPECT_TRUE(MakeStrategyFactory(world.world.dataset, world.artifacts,
+                                  "CopyAttack")
+                  .error.empty());
 }
 
 ServerConfig TestServerConfig() {

@@ -98,6 +98,41 @@ cp "${telemetry_tmp}/telemetry/"{metrics.csv,summary.json,trace.json} \
   build/reports/telemetry_smoke/
 echo "telemetry smoke OK (artifacts archived at build/reports/telemetry_smoke/)"
 
+# 2c. Arms-race smoke + bench baseline gate (ISSUE 8): run the tiny
+# strategy-zoo x detector-zoo frontier end to end and schema-check its CSV
+# (all 9 cells present), then regenerate the deterministic
+# defense-detectability bench and compare it against the committed
+# baseline with a tolerance so metric drift is caught, not just crashes.
+step "arms race smoke + bench baseline gate"
+bench_tmp="$(mktemp -d)"
+(cd "${bench_tmp}" && "${repo_root}/build/bench/bench_arms_race" \
+  --config=tiny >/dev/null)
+frontier="${bench_tmp}/bench_results/arms_race_frontier.csv"
+if [[ ! -s "${frontier}" ]]; then
+  echo "check_all: arms-race smoke FAILED: missing ${frontier}" >&2
+  exit 1
+fi
+expected_header="strategy,detector,hr20,auc,recall_at_5fpr,profiles"
+if [[ "$(head -n1 "${frontier}")" != "${expected_header}" ]]; then
+  echo "check_all: arms-race smoke FAILED: bad frontier header" >&2
+  exit 1
+fi
+for cell in "CopyAttack,ZScore" "CopyAttack,kNN" "CopyAttack,Adaptive" \
+            "SurrogateTransfer,ZScore" "SurrogateTransfer,kNN" \
+            "SurrogateTransfer,Adaptive" "Influence,ZScore" \
+            "Influence,kNN" "Influence,Adaptive"; do
+  if ! grep -q "^${cell}," "${frontier}"; then
+    echo "check_all: arms-race smoke FAILED: missing cell ${cell}" >&2
+    exit 1
+  fi
+done
+cp "${frontier}" build/reports/arms_race_frontier_tiny.csv
+(cd "${bench_tmp}" && "${repo_root}/build/bench/bench_defense" >/dev/null)
+./build/tools/csv_compare bench_results/defense_detectability.csv \
+  "${bench_tmp}/bench_results/defense_detectability.csv" --tol=0.15
+rm -rf "${bench_tmp}"
+echo "arms race smoke OK (9/9 cells; defense baseline within tolerance)"
+
 if [[ "${quick}" == "1" ]]; then
   step "OK (quick: sanitizer presets skipped)"
   exit 0

@@ -35,7 +35,10 @@ util::FlagParser MakeParser() {
       .Define("seed", "7", "generate/attack: RNG seed")
       .Define("max-epochs", "40", "train: epoch cap")
       .Define("patience", "5", "train: early-stopping patience")
-      .Define("method", "CopyAttack", "attack: method name")
+      .Define("method", "CopyAttack",
+              "attack: method name (CopyAttack[-Masking|-Length], "
+              "PolicyNetwork, RandomAttack, TargetAttack40/70/100, "
+              "surrogate_transfer, influence)")
       .Define("targets", "10", "attack: number of cold target items")
       .Define("budget", "30", "attack: profile budget per episode")
       .Define("episodes", "15", "attack: training episodes (learning methods)")
@@ -204,7 +207,7 @@ int CmdAttack(const util::FlagParser& parser, std::ostream& out) {
   const serve::StrategySpec spec =
       serve::MakeStrategyFactory(dataset, artifacts, method);
   if (!spec.factory) {
-    out << "error: unknown --method " << method << '\n';
+    out << "error: " << spec.error << '\n';
     return 2;
   }
   if (!spec.learns) campaign.episodes = 1;

@@ -26,7 +26,9 @@ namespace copyattack::tools {
 ///       Runs one attacking method over sampled cold target items and
 ///       prints the WithoutAttack reference row plus the method's row.
 ///       Methods: RandomAttack, TargetAttack40/70/100, PolicyNetwork,
-///       CopyAttack, CopyAttack-Masking, CopyAttack-Length.
+///       CopyAttack, CopyAttack-Masking, CopyAttack-Length,
+///       SurrogateTransfer (alias surrogate_transfer), Influence
+///       (alias influence).
 ///       --faults injects deterministic oracle faults (and enables the
 ///       retry/circuit-breaker client); --checkpoint_dir turns on
 ///       crash-safe checkpointing, --resume continues from it. --jobs

@@ -1,0 +1,164 @@
+// csv_compare: tolerance-gated CSV regression check for the bench recipe
+// harness (ISSUE 8 satellite; first step toward the ROADMAP's
+// recipe-harness item).
+//
+// usage: csv_compare <baseline.csv> <candidate.csv> [--tol=0.15]
+//
+// Rules:
+//   * headers must match exactly (same columns, same order);
+//   * rows are keyed by their non-numeric fields (in column order), so row
+//     order may differ but every baseline key must exist in the candidate
+//     and vice versa;
+//   * numeric fields must agree within the absolute tolerance;
+//   * non-numeric fields of matching keys must be identical.
+//
+// Exit status: 0 on match, 1 on any divergence (each printed to stderr),
+// 2 on usage/IO errors. The tolerance is absolute, sized for the metric
+// columns of the bench CSVs (AUCs, hit ratios — all in [0, 1]).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace {
+
+bool ParseNumber(const std::string& field, double* value) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtod(field.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Concatenation of the row's non-numeric fields — the stable identity of
+/// a bench CSV row (e.g. "copied-raw" or "SurrogateTransfer|ZScore").
+std::string RowKey(const std::vector<std::string>& row) {
+  std::string key;
+  for (const std::string& field : row) {
+    double ignored;
+    if (ParseNumber(field, &ignored)) continue;
+    key += field;
+    key += '|';
+  }
+  return key;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path;
+  double tolerance = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tol=", 0) == 0) {
+      if (!ParseNumber(arg.substr(6), &tolerance) || tolerance < 0.0) {
+        std::fprintf(stderr, "csv_compare: bad --tol value '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: csv_compare <baseline.csv> <candidate.csv> "
+                   "[--tol=T]\n");
+      return 2;
+    }
+  }
+  if (candidate_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: csv_compare <baseline.csv> <candidate.csv> "
+                 "[--tol=T]\n");
+    return 2;
+  }
+
+  using copyattack::util::ReadCsv;
+  std::vector<std::string> baseline_header, candidate_header;
+  std::vector<std::vector<std::string>> baseline_rows, candidate_rows;
+  if (!ReadCsv(baseline_path, &baseline_header, &baseline_rows)) {
+    std::fprintf(stderr, "csv_compare: cannot read %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadCsv(candidate_path, &candidate_header, &candidate_rows)) {
+    std::fprintf(stderr, "csv_compare: cannot read %s\n",
+                 candidate_path.c_str());
+    return 2;
+  }
+
+  int divergences = 0;
+  if (baseline_header != candidate_header) {
+    std::fprintf(stderr, "csv_compare: header mismatch\n");
+    ++divergences;
+  }
+
+  std::map<std::string, std::vector<std::string>> candidates;
+  for (const auto& row : candidate_rows) candidates[RowKey(row)] = row;
+  std::map<std::string, bool> seen;
+  for (const auto& [key, row] : candidates) seen[key] = false;
+
+  for (const auto& row : baseline_rows) {
+    const std::string key = RowKey(row);
+    const auto it = candidates.find(key);
+    if (it == candidates.end()) {
+      std::fprintf(stderr, "csv_compare: row '%s' missing from %s\n",
+                   key.c_str(), candidate_path.c_str());
+      ++divergences;
+      continue;
+    }
+    seen[key] = true;
+    const std::vector<std::string>& other = it->second;
+    if (other.size() != row.size()) {
+      std::fprintf(stderr, "csv_compare: row '%s' arity differs\n",
+                   key.c_str());
+      ++divergences;
+      continue;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      double expected, actual;
+      const bool numeric = ParseNumber(row[c], &expected);
+      if (numeric != ParseNumber(other[c], &actual)) {
+        std::fprintf(stderr,
+                     "csv_compare: row '%s' col %zu type differs "
+                     "('%s' vs '%s')\n",
+                     key.c_str(), c, row[c].c_str(), other[c].c_str());
+        ++divergences;
+      } else if (numeric) {
+        if (std::fabs(expected - actual) > tolerance) {
+          std::fprintf(stderr,
+                       "csv_compare: row '%s' col %zu: |%s - %s| > %g\n",
+                       key.c_str(), c, row[c].c_str(), other[c].c_str(),
+                       tolerance);
+          ++divergences;
+        }
+      } else if (row[c] != other[c]) {
+        std::fprintf(stderr,
+                     "csv_compare: row '%s' col %zu: '%s' != '%s'\n",
+                     key.c_str(), c, row[c].c_str(), other[c].c_str());
+        ++divergences;
+      }
+    }
+  }
+  for (const auto& [key, was_seen] : seen) {
+    if (!was_seen) {
+      std::fprintf(stderr, "csv_compare: unexpected extra row '%s' in %s\n",
+                   key.c_str(), candidate_path.c_str());
+      ++divergences;
+    }
+  }
+
+  if (divergences > 0) {
+    std::fprintf(stderr, "csv_compare: %d divergence(s) beyond tol=%g\n",
+                 divergences, tolerance);
+    return 1;
+  }
+  std::printf("csv_compare: %s matches %s within tol=%g\n",
+              candidate_path.c_str(), baseline_path.c_str(), tolerance);
+  return 0;
+}
