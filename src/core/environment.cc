@@ -14,6 +14,7 @@ AttackEnvironment::AttackEnvironment(const data::CrossDomainDataset& dataset,
                                      const data::Dataset& target_train,
                                      rec::Recommender* model,
                                      const EnvConfig& config)
+    CA_COLD_OK("one-time per-target setup: copies the training data")
     : dataset_(dataset),
       target_train_(target_train),
       model_(model),
@@ -56,7 +57,7 @@ void AttackEnvironment::GeneratePretendProfiles() {
   }
 }
 
-void AttackEnvironment::Reset(data::ItemId target_item) {
+void AttackEnvironment::Reset(data::ItemId target_item) CA_HOT_PATH {
   OBS_SPAN("env.reset");
   OBS_SCOPED_TIMER_US("env.reset_us");
   CA_CHECK_LT(target_item, target_train_.num_items());
@@ -107,9 +108,21 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
           candidate_rng));
     }
   }
-  black_box_ =
-      std::make_unique<rec::BlackBoxRecommender>(model_, polluted_.get());
-  // Layer the fault stack over the fresh oracle. Each episode gets its own
+  RebuildOracleStack(episodes_begun_++);
+}
+
+void AttackEnvironment::RebuildOracleStack(std::uint64_t episode_index)
+    CA_COLD_OK("O(1) per-episode decorator wiring, off the step loop") {
+  // The concrete recommender only holds borrowed pointers and atomic
+  // meters, so creating it once and resetting the meters per episode is
+  // bit-identical to the old fresh-construction-per-Reset — minus the
+  // per-episode allocation on the campaign hot path.
+  if (black_box_ == nullptr) {
+    black_box_ =
+        std::make_unique<rec::BlackBoxRecommender>(model_, polluted_.get());
+  }
+  black_box_->ResetCounters();
+  // Layer the fault stack over the oracle. Each episode gets its own
   // decorators with per-episode-derived seeds: the fault and jitter
   // streams depend only on (configured seed, episode index), never on how
   // many draws last episode consumed — which is what makes checkpointed
@@ -117,8 +130,6 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
   oracle_ = black_box_.get();
   fault_injector_.reset();
   resilient_.reset();
-  batched_.reset();
-  const std::uint64_t episode_index = episodes_begun_++;
   if (config_.fault.enabled) {
     fault::FaultScheduleConfig schedule = config_.fault;
     schedule.seed =
@@ -139,10 +150,17 @@ void AttackEnvironment::Reset(data::ItemId target_item) {
     // Outermost layer: query rounds batch through it. The blocked fast
     // path is only legal when nothing sits between the wrapper and the
     // in-process oracle; with fault decorators the batch forwards per
-    // query so their draw sequences stay bit-identical.
-    rec::BlackBoxRecommender* fast =
-        oracle_ == black_box_.get() ? black_box_.get() : nullptr;
-    batched_ = std::make_unique<rec::BatchedBlackBox>(oracle_, fast);
+    // query so their draw sequences stay bit-identical. Without
+    // decorators the wrapper's wiring never changes (black_box_ is
+    // created once, above), so it is built once and reused; with them it
+    // is rebuilt to point at this episode's fresh decorators.
+    const bool has_decorators =
+        config_.fault.enabled || config_.resilience.enabled;
+    if (batched_ == nullptr || has_decorators) {
+      rec::BlackBoxRecommender* fast =
+          oracle_ == black_box_.get() ? black_box_.get() : nullptr;
+      batched_ = std::make_unique<rec::BatchedBlackBox>(oracle_, fast);
+    }
     oracle_ = batched_.get();
   }
 }
@@ -240,7 +258,7 @@ bool AttackEnvironment::TryRawHitRatio(double* out) {
 }
 
 AttackEnvironment::StepResult AttackEnvironment::Step(
-    data::Profile crafted_profile) {
+    data::Profile crafted_profile) CA_HOT_PATH {
   OBS_SPAN("env.step");
   CA_CHECK(!done_) << "Step on a finished episode";
   CA_CHECK(black_box_ != nullptr) << "Reset must be called first";

@@ -200,6 +200,13 @@ class AttackEnvironment {
   /// profiles — plausible accounts the attacker registered beforehand).
   void GeneratePretendProfiles();
 
+  /// (Re)points `oracle_` at the outermost layer of the decorator stack
+  /// for the episode with the given index. The concrete recommender is
+  /// created once and its meters reset per episode; fault/resilience
+  /// decorators are rebuilt each episode because their streams derive
+  /// from (configured seed, episode index).
+  void RebuildOracleStack(std::uint64_t episode_index);
+
   const data::CrossDomainDataset& dataset_;
   const data::Dataset& target_train_;
   rec::Recommender* model_;

@@ -80,7 +80,7 @@ TargetPlayResult PlayTargetItem(const data::CrossDomainDataset& dataset,
                                 data::ItemId item, std::size_t global_index,
                                 const CampaignConfig& config,
                                 const TargetPlayHooks& hooks,
-                                std::string* method_name) {
+                                std::string* method_name) CA_HOT_PATH {
   OBS_SPAN("campaign.target_item");
   OBS_COUNTER_INC("campaign.target_items");
   const std::uint64_t item_seed = config.seed + 1000003ULL * global_index;
@@ -93,7 +93,11 @@ TargetPlayResult PlayTargetItem(const data::CrossDomainDataset& dataset,
   AttackEnvironment env(dataset, target_train, model.get(), env_config);
 
   strategy->BeginTargetItem(item);
-  util::Rng episode_rng(item_seed ^ 0xBEEFCAFEULL);
+  // Stream 1 of the item seed: stream 0 is the environment's own rng_,
+  // and DeriveStreamSeed keeps the two collision-free by construction
+  // (the old `item_seed ^ constant` mixing could collide with another
+  // item's stream under an adversarial base seed).
+  util::Rng episode_rng(util::DeriveStreamSeed(item_seed, 1));
   std::size_t first_episode = 0;
   if (hooks.resume != nullptr && hooks.resume->active) {
     // Mid-target resume: restore the strategy's learned state, the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace copyattack::math {
@@ -34,7 +35,7 @@ inline bool RanksBetter(const HeapEntry& a, const HeapEntry& b) {
 }  // namespace
 
 std::vector<std::size_t> TopKIndices(const float* scores, std::size_t n,
-                                     std::size_t k) {
+                                     std::size_t k) CA_HOT_PATH {
   if (k >= n) {
     // Full argsort: the heap degenerates to a total sort anyway, and the
     // index-array path reuses the reference comparator directly.
@@ -74,7 +75,7 @@ std::vector<std::size_t> TopKIndices(const float* scores, std::size_t n,
 }
 
 std::vector<std::size_t> TopKIndices(const std::vector<float>& scores,
-                                     std::size_t k) {
+                                     std::size_t k) CA_HOT_PATH {
   return TopKIndices(scores.data(), scores.size(), k);
 }
 
@@ -94,7 +95,7 @@ std::vector<std::size_t> TopKIndicesBySort(const std::vector<float>& scores,
 }
 
 void TopKPerRow(const float* scores, std::size_t rows, std::size_t cols,
-                std::size_t k, std::size_t* out) {
+                std::size_t k, std::size_t* out) CA_HOT_PATH {
   CA_CHECK_LE(k, cols);
   CA_CHECK(out != nullptr);
   for (std::size_t r = 0; r < rows; ++r) {

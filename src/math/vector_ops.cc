@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace copyattack::math {
@@ -17,7 +18,7 @@ namespace copyattack::math {
 // run to run.
 
 float Dot(const float* __restrict a, const float* __restrict b,
-          std::size_t n) {
+          std::size_t n) CA_HOT_PATH {
   float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -32,14 +33,14 @@ float Dot(const float* __restrict a, const float* __restrict b,
 }
 
 void Axpy(float alpha, const float* __restrict x, float* __restrict y,
-          std::size_t n) {
+          std::size_t n) CA_HOT_PATH {
   // No reduction here; the restrict qualifiers alone let the compiler emit
   // packed fma/mul-add without a runtime overlap check.
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
 float SquaredDistance(const float* __restrict a, const float* __restrict b,
-                      std::size_t n) {
+                      std::size_t n) CA_HOT_PATH {
   float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {

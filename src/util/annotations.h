@@ -103,4 +103,31 @@
 /// expressions, and the analyzer needs the exact source spelling anyway.
 #define CA_ACQUIRED_BEFORE(...)
 
+/// ---- Hot-path purity annotations (checked by copyattack-analyze only) ----
+///
+/// CA_HOT_PATH marks a function definition as a hot-path root: the
+/// analyzer's `hotpath` pass walks the call graph from every root and
+/// requires each function it reaches to be *pure* in the latency sense —
+/// no explicit allocation (`new`, make_unique/make_shared, malloc), no
+/// blocking lock acquisition, no `throw`, no stream/file IO. This is the
+/// machine-checked form of the PR-1 performance contract (0.1 µs episode
+/// resets, ~2 µs injections): a future edit that sneaks an allocation into
+/// the episode loop fails `ctest -L lint` instead of a perf bisect.
+///
+/// Placement: after the parameter list of the *definition* (the analyzer
+/// only sees bodies), before the opening brace:
+///
+///   void AttackEnvironment::Reset(data::ItemId target_item) CA_HOT_PATH {
+#define CA_HOT_PATH
+
+/// Exempts one function from hot-path purity with a mandatory reason. The
+/// walk still *reaches* a CA_COLD_OK function but neither scans its body
+/// nor continues through its callees — use it for work that is genuinely
+/// off the steady-state path (config-gated slow paths, per-target setup,
+/// fault-handling machinery) and say why:
+///
+///   void AttackEnvironment::RebuildOracleStack(std::uint64_t episode)
+///       CA_COLD_OK("decorators are config-gated; steady state reuses them") {
+#define CA_COLD_OK(reason)
+
 #endif  // COPYATTACK_UTIL_ANNOTATIONS_H_

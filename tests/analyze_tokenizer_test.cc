@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analysis.h"
+#include "analyze/callgraph.h"
 #include "analyze/layers.h"
 #include "analyze/report.h"
 #include "analyze/structure.h"
@@ -452,6 +454,269 @@ TEST(LayersTest, ParsesContractAndValidatesEdges) {
   EXPECT_FALSE(ParseLayerContract("[modules]\nutil = [\"typo\"]\n", &bad,
                                   &error));
   EXPECT_NE(error.find("typo"), std::string::npos);
+}
+
+// ---- Call-expression tokenization (ISSUE 9) -------------------------------
+// The call-graph builder keys off exact token shapes: `::` and `->` must
+// stay single punct tokens, template argument lists must not swallow the
+// call's `(`, and calls nested in macro arguments must still be visible.
+
+std::vector<std::string> PunctTexts(const LexedFile& lexed) {
+  std::vector<std::string> out;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kPunct) out.push_back(token.text);
+  }
+  return out;
+}
+
+TEST(TokenizerTest, QualifiedCallKeepsScopeResolutionAtomic) {
+  const LexedFile lexed =
+      LexString("call.cc", "int x = ns::Widget::Make(1);\n");
+  const std::vector<std::string> punct = PunctTexts(lexed);
+  // `::` lexes as one token, never `:` `:` — the builder walks back over
+  // ident `::` pairs to recover the qualifier chain.
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), "::"), 2);
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), ":"), 0);
+}
+
+TEST(TokenizerTest, ArrowChainsLexAsSingleArrowTokens) {
+  const LexedFile lexed =
+      LexString("chain.cc", "auto v = a->b()->c(d->e);\n");
+  const std::vector<std::string> punct = PunctTexts(lexed);
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), "->"), 3);
+  // No stray `-` `>` pairs from mis-splitting the arrows.
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), "-"), 0);
+}
+
+TEST(TokenizerTest, AngleBracketsLexAsSingleCharTokens) {
+  const LexedFile lexed = LexString(
+      "tmpl.cc",
+      "auto a = Make<int, 4>(x);\n"
+      "auto b = total << Make(y);\n");
+  const std::vector<std::string> punct = PunctTexts(lexed);
+  // The lexer never fuses shifts: `<<` is `<` `<`. SkipTemplateArgs
+  // relies on this — a shift expression's angles never balance, so it
+  // cannot be mistaken for a template argument list.
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), "<<"), 0);
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), "<"), 3);
+  EXPECT_EQ(std::count(punct.begin(), punct.end(), ">"), 1);
+}
+
+TEST(TokenizerTest, OperatorCallSpellingsAreVisible) {
+  const LexedFile lexed = LexString(
+      "op.cc",
+      "int a = obj.operator()(1);\n"
+      "bool eq = Lhs::operator==(l, r);\n");
+  EXPECT_TRUE(HasIdentifier(lexed, "operator"));
+  // `operator()` contributes its own paren pair plus the argument list's.
+  const std::vector<std::string> punct = PunctTexts(lexed);
+  EXPECT_GE(std::count(punct.begin(), punct.end(), "("), 3);
+}
+
+TEST(TokenizerTest, CallsInsideMacroArgumentsRemainVisible) {
+  const LexedFile lexed = LexString(
+      "macro.cc", "void F() { CA_CHECK(Validate(x)) << Render(y); }\n");
+  // Macro names lex as plain identifiers; the nested calls keep their
+  // `name (` shape for the extractor.
+  EXPECT_TRUE(HasIdentifier(lexed, "CA_CHECK"));
+  EXPECT_TRUE(HasIdentifier(lexed, "Validate"));
+  EXPECT_TRUE(HasIdentifier(lexed, "Render"));
+}
+
+TEST(StructureTest, HotPathAnnotationsLandOnTheFunction) {
+  const LexedFile lexed = LexString(
+      "hot.cc",
+      "float Score(int n) CA_HOT_PATH { return 1.0f; }\n"
+      "void Rebuild() CA_COLD_OK(\"episode setup\") { }\n"
+      "void Plain() { }\n");
+  const FileStructure structure = ScanStructure(lexed);
+  ASSERT_EQ(structure.functions.size(), 3u);
+  EXPECT_TRUE(structure.functions[0].hot_path);
+  EXPECT_FALSE(structure.functions[0].cold_ok);
+  EXPECT_TRUE(structure.functions[1].cold_ok);
+  EXPECT_FALSE(structure.functions[2].hot_path);
+  EXPECT_FALSE(structure.functions[2].cold_ok);
+}
+
+TEST(StructureTest, RecordsDefinedClassesIncludingPureInterfaces) {
+  const LexedFile lexed = LexString(
+      "iface.h",
+      "class Strategy {\n"
+      " public:\n"
+      "  virtual ~Strategy() = default;\n"
+      "  virtual double Run(int episodes) = 0;\n"
+      "};\n");
+  const FileStructure structure = ScanStructure(lexed);
+  EXPECT_EQ(structure.classes.count("Strategy"), 1u);
+}
+
+// ---- Call-graph construction (ISSUE 9) ------------------------------------
+
+struct BuiltGraph {
+  SourceTree tree;
+  std::vector<FileStructure> structures;
+  CallGraph graph;
+};
+
+BuiltGraph BuildFrom(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  BuiltGraph built;
+  for (const auto& [path, content] : files) {
+    built.tree.files.push_back({path, LexString(path, content)});
+  }
+  for (const ScannedFile& file : built.tree.files) {
+    built.structures.push_back(ScanStructure(file.lexed));
+  }
+  built.graph = BuildCallGraph(built.tree, built.structures);
+  return built;
+}
+
+std::size_t NodeByDisplay(const CallGraph& graph, const std::string& name) {
+  for (std::size_t n = 0; n < graph.nodes.size(); ++n) {
+    if (graph.Display(n) == name) return n;
+  }
+  return CallGraph::kNoNode;
+}
+
+bool HasEdge(const CallGraph& graph, const std::string& from,
+             const std::string& to) {
+  const std::size_t a = NodeByDisplay(graph, from);
+  const std::size_t b = NodeByDisplay(graph, to);
+  if (a == CallGraph::kNoNode || b == CallGraph::kNoNode) return false;
+  const auto& out = graph.edges[a];
+  return std::find(out.begin(), out.end(), b) != out.end();
+}
+
+TEST(CallGraphTest, ResolvesMemberCallsThroughTypedLocals) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/widget.h",
+       "class Widget {\n"
+       " public:\n"
+       "  int Poke() { return 1; }\n"
+       "};\n"},
+      {"src/core/use.cc",
+       "#include \"widget.h\"\n"
+       "int Use() {\n"
+       "  Widget w;\n"
+       "  return w.Poke();\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(HasEdge(built.graph, "Use", "Widget::Poke"));
+}
+
+TEST(CallGraphTest, InterfaceReceiverFansOutToImplementations) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/strategy.h",
+       "class Strategy {\n"
+       " public:\n"
+       "  virtual double Run(int n) = 0;\n"
+       "};\n"},
+      {"src/core/impls.cc",
+       "#include \"strategy.h\"\n"
+       "class Greedy : public Strategy {\n"
+       " public:\n"
+       "  double Run(int n) override { return 1.0; }\n"
+       "};\n"
+       "class Random : public Strategy {\n"
+       " public:\n"
+       "  double Run(int n) override { return 2.0; }\n"
+       "};\n"
+       "double Drive(int n) {\n"
+       "  std::unique_ptr<Strategy> strategy = MakeStrategy();\n"
+       "  return strategy->Run(n);\n"
+       "}\n"},
+  });
+  // No Strategy::Run definition exists, so the call over-approximates to
+  // every same-name method — the token-level model of virtual dispatch.
+  EXPECT_TRUE(HasEdge(built.graph, "Drive", "Greedy::Run"));
+  EXPECT_TRUE(HasEdge(built.graph, "Drive", "Random::Run"));
+}
+
+TEST(CallGraphTest, ConstructionShapesResolveToTheCtor) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/maker.cc",
+       "class Widget {\n"
+       " public:\n"
+       "  Widget(int n) { }\n"
+       "};\n"
+       "void Stack() { Widget w(3); }\n"
+       "void Heap() { auto p = std::make_unique<Widget>(4); }\n"},
+  });
+  EXPECT_TRUE(HasEdge(built.graph, "Stack", "Widget"));
+  EXPECT_TRUE(HasEdge(built.graph, "Heap", "Widget"));
+}
+
+TEST(CallGraphTest, AmbiguousCallsCountAsUnresolvedWithReason) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/amb.cc",
+       "class A { public: int Go() { return 1; } };\n"
+       "class B { public: int Go() { return 2; } };\n"
+       "int Use(int which) { return untyped->Go(); }\n"},
+  });
+  EXPECT_GE(built.graph.stats.unresolved_calls, 1u);
+  const std::size_t use = NodeByDisplay(built.graph, "Use");
+  ASSERT_NE(use, CallGraph::kNoNode);
+  bool found = false;
+  for (const CallSite& site : built.graph.nodes[use].calls) {
+    if (site.name == "Go") {
+      EXPECT_TRUE(site.targets.empty());
+      EXPECT_FALSE(site.why_unresolved.empty());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CallGraphTest, ExternalCallsDoNotCountAsUnresolved) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/ext.cc",
+       "void Use() { std::sort(v.begin(), v.end()); }\n"},
+  });
+  EXPECT_GE(built.graph.stats.external_calls, 1u);
+  EXPECT_EQ(built.graph.stats.unresolved_calls, 0u);
+}
+
+TEST(CallGraphTest, ReachStopsAtBarrierAndRendersPath) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/chain.cc",
+       "void Leaf() { }\n"
+       "void Cold() { Leaf(); }\n"
+       "void Mid() { Cold(); }\n"
+       "void Root() { Mid(); }\n"},
+  });
+  const std::size_t root = NodeByDisplay(built.graph, "Root");
+  const std::size_t cold = NodeByDisplay(built.graph, "Cold");
+  const std::size_t leaf = NodeByDisplay(built.graph, "Leaf");
+  ASSERT_NE(root, CallGraph::kNoNode);
+  std::vector<std::size_t> parent;
+  built.graph.Reach({root}, /*use_reverse=*/false,
+                    [&](std::size_t n) { return n == cold; }, &parent);
+  // The barrier node is reached (reported at the frontier) but not
+  // expanded: nothing past it is visited.
+  EXPECT_NE(parent[cold], CallGraph::kNoNode);
+  EXPECT_EQ(parent[leaf], CallGraph::kNoNode);
+  EXPECT_EQ(built.graph.PathFrom(parent, cold), "Root -> Mid -> Cold");
+}
+
+TEST(CallGraphTest, TemplateCallsResolveAcrossArgumentList) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/tmpl.cc",
+       "template <typename T, int N>\n"
+       "int Make(int x) { return x + N; }\n"
+       "int Use(int x) { return Make<int, 4>(x); }\n"
+       "int Shift(int total, int y) { return total << Make(y); }\n"},
+  });
+  EXPECT_TRUE(HasEdge(built.graph, "Use", "Make"));
+  EXPECT_TRUE(HasEdge(built.graph, "Shift", "Make"));
+}
+
+TEST(CallGraphTest, MacroArgumentCallsBecomeEdges) {
+  const BuiltGraph built = BuildFrom({
+      {"src/core/mac.cc",
+       "bool Validate(int x) { return x > 0; }\n"
+       "void F(int x) { CA_CHECK(Validate(x)); }\n"},
+  });
+  EXPECT_TRUE(HasEdge(built.graph, "F", "Validate"));
 }
 
 }  // namespace

@@ -196,6 +196,30 @@ const std::vector<RuleInfo>& RuleCatalogue() {
       {"lock-in-parallel-for", "lockorder",
        "blocking acquisition of a CA_ACQUIRED_BEFORE mutex inside a "
        "ParallelFor body"},
+      {"oracle-direct-call", "oracle",
+       "src/ code outside the allowlisted modules calls a metered oracle "
+       "entry point or seam method directly, bypassing the "
+       "ResilientBlackBox/BatchedBlackBox decorator stack"},
+      {"oracle-unmetered-path", "oracle",
+       "src/ function reaches a direct oracle call transitively without "
+       "passing through an allowlisted gateway"},
+      {"hot-path-alloc", "hotpath",
+       "explicit allocation (new / make_unique / make_shared / malloc) in "
+       "a function reachable from a CA_HOT_PATH root"},
+      {"hot-path-lock", "hotpath",
+       "blocking lock acquisition in a function reachable from a "
+       "CA_HOT_PATH root"},
+      {"hot-path-throw", "hotpath",
+       "throw expression in a function reachable from a CA_HOT_PATH root"},
+      {"hot-path-io", "hotpath",
+       "stream or file IO in a function reachable from a CA_HOT_PATH root"},
+      {"rng-adhoc-seed", "rng",
+       "util::Rng in stream-scoped campaign code constructed from an "
+       "arithmetically mixed seed instead of util::DeriveStreamSeed or "
+       "restored state"},
+      {"rng-fork-in-stream", "rng",
+       "Rng::Fork in stream-scoped campaign code (draw-order dependent; "
+       "breaks shard/resume invariance — derive a stream seed instead)"},
   };
   return kRules;
 }
@@ -217,7 +241,8 @@ std::size_t ReportText(const std::vector<Violation>& violations,
 
 std::size_t ReportJson(const std::vector<Violation>& violations,
                        const std::vector<PassTiming>& timings,
-                       std::size_t files_scanned, std::ostream& out) {
+                       std::size_t files_scanned,
+                       const CallGraphStats* callgraph, std::ostream& out) {
   out << "{\n  \"tool\": \"copyattack-analyze\",\n  \"passes\": [";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     out << (i ? ", " : "") << "\"" << JsonEscape(timings[i].pass) << "\"";
@@ -227,8 +252,16 @@ std::size_t ReportJson(const std::vector<Violation>& violations,
     out << (i ? ", " : "") << "\"" << JsonEscape(timings[i].pass)
         << "\": " << timings[i].millis;
   }
-  out << "},\n  \"files_scanned\": " << files_scanned
-      << ",\n  \"violations\": [";
+  out << "},\n  \"files_scanned\": " << files_scanned;
+  if (callgraph != nullptr) {
+    out << ",\n  \"callgraph\": {\"functions\": " << callgraph->functions
+        << ", \"call_sites\": " << callgraph->call_sites
+        << ", \"resolved_edges\": " << callgraph->resolved_edges
+        << ", \"external_calls\": " << callgraph->external_calls
+        << ", \"unresolved_calls\": " << callgraph->unresolved_calls
+        << ", \"unresolved_rate\": " << callgraph->unresolved_rate << "}";
+  }
+  out << ",\n  \"violations\": [";
   for (std::size_t i = 0; i < violations.size(); ++i) {
     const Violation& v = violations[i];
     out << (i ? "," : "") << "\n    {\"file\": \"" << JsonEscape(v.file)

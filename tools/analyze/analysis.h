@@ -81,15 +81,34 @@ struct PassTiming {
   double millis = 0.0;
 };
 
+/// Resolution accounting of the call-graph layer (tools/analyze/callgraph).
+/// Emitted as the `callgraph` object of the JSON report whenever a
+/// graph-based pass ran, so the soundness of those passes is a number in
+/// CI artifacts, not folklore. `unresolved_rate` is
+/// unresolved / max(1, call_sites - external): external calls (std::,
+/// libc — nothing in-tree to resolve against) are excluded from the
+/// denominator by design.
+struct CallGraphStats {
+  std::size_t functions = 0;
+  std::size_t call_sites = 0;
+  std::size_t resolved_edges = 0;
+  std::size_t external_calls = 0;
+  std::size_t unresolved_calls = 0;
+  double unresolved_rate = 0.0;
+};
+
 /// Minimal JSON string escaping shared by the JSON and SARIF reporters.
 std::string JsonEscape(std::string_view text);
 
-/// Reporters. Both return the number of violations.
+/// Reporters. Both return the number of violations. `callgraph` may be
+/// null (no graph-based pass ran); when set, its stats are emitted as a
+/// top-level JSON object.
 std::size_t ReportText(const std::vector<Violation>& violations,
                        std::size_t files_scanned, std::ostream& out);
 std::size_t ReportJson(const std::vector<Violation>& violations,
                        const std::vector<PassTiming>& timings,
-                       std::size_t files_scanned, std::ostream& out);
+                       std::size_t files_scanned,
+                       const CallGraphStats* callgraph, std::ostream& out);
 
 }  // namespace copyattack::analyze
 

@@ -8,11 +8,14 @@
 // Passes: include (module layering + cycles + IWYU-lite), thread
 // (CA_GUARDED_BY / CA_REQUIRES / CA_ATOMIC_ONLY discipline), determinism
 // (seed and RNG discipline), checkpoint (CA_CHECKPOINTED save/load
-// coverage), lockorder (CA_ACQUIRED_BEFORE acquisition graph). Default
-// targets: src tools bench tests examples (whichever exist under the
-// root). With --baseline, grandfathered findings do not fail the run but
-// stale baseline entries do. Exit codes: 0 clean, 1 violations,
-// 2 usage/configuration error.
+// coverage), lockorder (CA_ACQUIRED_BEFORE acquisition graph), oracle
+// (metered-oracle access via the call graph), hotpath (CA_HOT_PATH purity),
+// rng (DeriveStreamSeed provenance in stream-scoped campaign code). The
+// call graph is built once, on demand, when any graph-based pass runs; its
+// resolution stats land in the JSON report. Default targets: src tools
+// bench tests examples (whichever exist under the root). With --baseline,
+// grandfathered findings do not fail the run but stale baseline entries
+// do. Exit codes: 0 clean, 1 violations, 2 usage/configuration error.
 
 #include <chrono>
 #include <filesystem>
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "analyze/analysis.h"
+#include "analyze/callgraph.h"
 #include "analyze/layers.h"
 #include "analyze/passes.h"
 #include "analyze/report.h"
@@ -29,6 +33,29 @@
 namespace {
 
 using namespace copyattack::analyze;  // tool entry point, not library code
+
+/// The one registry of valid pass names: drives --pass validation (and its
+/// error message) and PassEnabled, so the two can never drift apart.
+constexpr const char* kPassNames[] = {
+    "include", "thread", "determinism", "checkpoint",
+    "lockorder", "oracle", "hotpath", "rng",
+};
+
+bool IsKnownPass(const std::string& pass) {
+  for (const char* name : kPassNames) {
+    if (pass == name) return true;
+  }
+  return false;
+}
+
+std::string KnownPassList() {
+  std::string out;
+  for (const char* name : kPassNames) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
 
 struct Options {
   std::string root = ".";
@@ -95,11 +122,9 @@ bool ParseArgs(int argc, char** argv, Options* options, std::string* error) {
     return false;
   }
   for (const std::string& pass : options->passes) {
-    if (pass != "include" && pass != "thread" && pass != "determinism" &&
-        pass != "checkpoint" && pass != "lockorder") {
-      *error = "unknown pass: " + pass +
-               " (expected include, thread, determinism, checkpoint, "
-               "lockorder)";
+    if (!IsKnownPass(pass)) {
+      *error = "unknown pass: " + pass + " (expected " + KnownPassList() +
+               ")";
       return false;
     }
   }
@@ -197,6 +222,29 @@ int main(int argc, char** argv) {
   timed("lockorder",
         [&] { RunLockOrderPass(tree, structures, &violations); });
 
+  // Graph-based passes (ISSUE 9). The call graph is built once, timed as
+  // its own entry, and only when at least one of them is enabled.
+  CallGraph graph;
+  bool graph_built = false;
+  const bool graph_wanted = PassEnabled(options, "oracle") ||
+                            PassEnabled(options, "hotpath") ||
+                            PassEnabled(options, "rng");
+  if (graph_wanted) {
+    const auto start = std::chrono::steady_clock::now();
+    graph = BuildCallGraph(tree, structures);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    timings.push_back({"callgraph", elapsed.count()});
+    graph_built = true;
+  }
+  timed("oracle",
+        [&] { RunOracleAccessPass(tree, contract, graph, &violations); });
+  timed("hotpath",
+        [&] { RunHotPathPass(tree, graph, structures, &violations); });
+  timed("rng", [&] {
+    RunRngProvenancePass(tree, contract, graph, structures, &violations);
+  });
+
   // With a baseline, grandfathered findings still appear in the report but
   // only fresh findings (and stale entries) decide the exit code.
   bool baseline_failed = false;
@@ -219,7 +267,8 @@ int main(int argc, char** argv) {
 
   std::size_t count = 0;
   if (options.format == "json") {
-    count = ReportJson(violations, timings, tree.files.size(), std::cout);
+    count = ReportJson(violations, timings, tree.files.size(),
+                       graph_built ? &graph.stats : nullptr, std::cout);
   } else if (options.format == "sarif") {
     count = ReportSarif(violations, std::cout);
   } else {

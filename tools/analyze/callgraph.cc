@@ -1,0 +1,585 @@
+#include "analyze/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace copyattack::analyze {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool IsKeywordLike(const std::string& text) {
+  // Words that lex as identifiers but can never be an in-tree callee.
+  static const std::set<std::string> kWords = {
+      "if",          "for",      "while",    "switch",   "do",
+      "else",        "try",      "catch",    "return",   "sizeof",
+      "alignof",     "alignas",  "decltype", "noexcept", "throw",
+      "static_assert", "new",    "delete",   "this",     "operator",
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+      "void",        "bool",     "char",     "int",      "short",
+      "long",        "signed",   "unsigned", "float",    "double",
+      "auto",        "defined",  "assert",   "co_await", "co_return",
+      "co_yield",    "typeid",   "requires", "template", "typename",
+  };
+  return kWords.count(text) != 0;
+}
+
+/// ALL_CAPS identifiers are macro invocations (CA_CHECK, OBS_SPAN, ...):
+/// their expansions are invisible to a token-level graph, so they are
+/// skipped entirely rather than inflating the unresolved count.
+bool LooksLikeMacro(const std::string& text) {
+  if (text.size() < 2) return false;
+  bool has_upper = false;
+  for (const char c : text) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_upper = true;
+  }
+  return has_upper;
+}
+
+/// Index over every definition in the tree.
+struct DefIndex {
+  /// (class, name) -> node ids (overloads share an entry).
+  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
+      by_class_and_name;
+  /// name -> node ids across all classes and free functions.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  /// Classes that own at least one definition in the tree.
+  std::set<std::string> known_classes;
+  /// Member name (trailing `_` convention) -> owning class. Only kept when
+  /// the mapping is unambiguous tree-wide; ambiguous names resolve to "".
+  std::map<std::string, std::string> member_types;
+};
+
+/// Extracts `type member_;`-shaped declarations: an identifier ending in
+/// `_` followed by a declarator terminator, with a known class name among
+/// the few preceding tokens of the same declaration. Smart-pointer
+/// declarations (`std::unique_ptr<Foo> bar_;`) resolve to the pointee.
+void HarvestMemberTypes(const std::vector<Token>& tokens,
+                        const std::set<std::string>& known_classes,
+                        std::map<std::string, std::string>* member_types) {
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.in_directive || t.kind != TokenKind::kIdentifier) continue;
+    if (t.text.size() < 2 || t.text.back() != '_') continue;
+    const std::string& next = tokens[i + 1].text;
+    if (next != ";" && next != "=" && next != "{" &&
+        tokens[i + 1].text.rfind("CA_", 0) != 0) {
+      continue;
+    }
+    // Walk back through the declaration for the nearest known class name.
+    std::string type;
+    for (std::size_t back = 0, j = i; back < 10 && j > 0; ++back) {
+      --j;
+      const Token& p = tokens[j];
+      if (p.in_directive) continue;
+      if (p.kind == TokenKind::kPunct &&
+          (p.text == ";" || p.text == "{" || p.text == "}" ||
+           p.text == "(" || p.text == ",")) {
+        break;
+      }
+      if (p.kind == TokenKind::kIdentifier &&
+          known_classes.count(p.text) != 0) {
+        type = p.text;
+        break;
+      }
+    }
+    if (type.empty()) continue;
+    const auto it = member_types->find(t.text);
+    if (it == member_types->end()) {
+      (*member_types)[t.text] = type;
+    } else if (it->second != type) {
+      it->second = "";  // ambiguous across classes: unusable
+    }
+  }
+}
+
+/// Local/parameter types of one function: scans [head_begin, body_end) for
+/// `Class [*&const]* name` and `unique_ptr/shared_ptr<Class> name` shapes.
+std::map<std::string, std::string> LocalTypes(
+    const std::vector<Token>& tokens, const FunctionDef& def,
+    const std::set<std::string>& known_classes) {
+  std::map<std::string, std::string> locals;
+  const std::size_t end = std::min(def.body_end, tokens.size());
+  for (std::size_t i = def.head_begin; i + 1 < end; ++i) {
+    const Token& t = tokens[i];
+    if (t.in_directive || t.kind != TokenKind::kIdentifier) continue;
+
+    std::string type;
+    std::size_t j = i + 1;
+    if (known_classes.count(t.text) != 0) {
+      type = t.text;
+    } else if ((t.text == "unique_ptr" || t.text == "shared_ptr") &&
+               j < end && tokens[j].text == "<") {
+      // unique_ptr<ns::Class> — take the last identifier before `>`.
+      std::string pointee;
+      for (++j; j < end && tokens[j].text != ">" && tokens[j].text != ";";
+           ++j) {
+        if (tokens[j].kind == TokenKind::kIdentifier) pointee = tokens[j].text;
+      }
+      if (j >= end || tokens[j].text != ">" ||
+          known_classes.count(pointee) == 0) {
+        continue;
+      }
+      type = pointee;
+      ++j;
+    } else {
+      continue;
+    }
+
+    while (j < end && tokens[j].kind == TokenKind::kPunct &&
+           (tokens[j].text == "*" || tokens[j].text == "&" ||
+            tokens[j].text == "&&")) {
+      ++j;
+    }
+    while (j < end && tokens[j].kind == TokenKind::kIdentifier &&
+           tokens[j].text == "const") {
+      ++j;
+    }
+    if (j >= end || tokens[j].kind != TokenKind::kIdentifier) continue;
+    const std::string& var = tokens[j].text;
+    if (IsKeywordLike(var) || known_classes.count(var) != 0) continue;
+    // Must be a declaration, not an expression: the variable is followed by
+    // an initializer/terminator, and the type is not preceded by `.`/`->`
+    // (a member access). A leading `::` is fine — that is how namespace
+    // qualification spells the type (`std::unique_ptr`, `core::Env`).
+    if (j + 1 < end) {
+      const std::string& after = tokens[j + 1].text;
+      if (after != ";" && after != "=" && after != "(" && after != "{" &&
+          after != "," && after != ")") {
+        continue;
+      }
+    }
+    if (i > 0) {
+      const std::string& before = tokens[i - 1].text;
+      if (before == "." || before == "->") continue;
+    }
+    locals.emplace(var, type);
+  }
+  return locals;
+}
+
+/// If tokens[i] is `<`, returns the index one past its balanced `>` when
+/// the run looks like template arguments (bounded, no `;`, depth-closed);
+/// otherwise kNone. The tokenizer emits single-char angle tokens (`a >>
+/// b` is `>` `>`), so nested closers and shift expressions both walk one
+/// bracket at a time — an unbalanced shift simply never closes and falls
+/// out as kNone.
+std::size_t SkipTemplateArgs(const std::vector<Token>& tokens,
+                             std::size_t i) {
+  if (i >= tokens.size() || tokens[i].text != "<") return kNone;
+  int depth = 0;
+  const std::size_t limit = std::min(tokens.size(), i + 64);
+  for (std::size_t j = i; j < limit; ++j) {
+    const std::string& text = tokens[j].text;
+    if (text == ";" || text == "{" || text == "}") return kNone;
+    if (text == "<") ++depth;
+    if (text == ">" && --depth == 0) return j + 1;
+  }
+  return kNone;
+}
+
+class Builder {
+ public:
+  Builder(const SourceTree& tree,
+          const std::vector<FileStructure>& structures)
+      : tree_(tree), structures_(structures) {}
+
+  CallGraph Build() {
+    CollectNodes();
+    BuildIndex();
+    for (std::size_t n = 0; n < graph_.nodes.size(); ++n) ExtractCalls(n);
+    BuildEdges();
+    Finalize();
+    return std::move(graph_);
+  }
+
+ private:
+  void CollectNodes() {
+    for (std::size_t f = 0; f < tree_.files.size(); ++f) {
+      const std::vector<FunctionDef>& defs = structures_[f].functions;
+      for (std::size_t d = 0; d < defs.size(); ++d) {
+        CallGraphNode node;
+        node.file_index = f;
+        node.function_index = d;
+        node.name = defs[d].name;
+        node.class_name = defs[d].class_name;
+        node.line = defs[d].line;
+        node.hot_path = defs[d].hot_path;
+        node.cold_ok = defs[d].cold_ok;
+        graph_.nodes.push_back(std::move(node));
+      }
+    }
+  }
+
+  void BuildIndex() {
+    for (std::size_t n = 0; n < graph_.nodes.size(); ++n) {
+      const CallGraphNode& node = graph_.nodes[n];
+      index_.by_name[node.name].push_back(n);
+      index_.by_class_and_name[{node.class_name, node.name}].push_back(n);
+      if (!node.class_name.empty()) {
+        index_.known_classes.insert(node.class_name);
+      }
+    }
+    // Classes with no in-tree method definition (pure interfaces) still
+    // type receivers — their calls fan out to every same-name method.
+    for (const FileStructure& structure : structures_) {
+      index_.known_classes.insert(structure.classes.begin(),
+                                  structure.classes.end());
+    }
+    for (const ScannedFile& file : tree_.files) {
+      HarvestMemberTypes(file.lexed.tokens, index_.known_classes,
+                         &index_.member_types);
+    }
+  }
+
+  const FunctionDef& DefOf(std::size_t n) const {
+    const CallGraphNode& node = graph_.nodes[n];
+    return structures_[node.file_index].functions[node.function_index];
+  }
+
+  /// Methods of `cls` named `name`; when the class has no such definition
+  /// (pure virtual / interface), fans out to every same-name method of any
+  /// class — the token-level over-approximation of virtual dispatch.
+  std::vector<std::size_t> MethodTargets(const std::string& cls,
+                                         const std::string& name) const {
+    const auto exact = index_.by_class_and_name.find({cls, name});
+    if (exact != index_.by_class_and_name.end()) return exact->second;
+    const auto any = index_.by_name.find(name);
+    if (any == index_.by_name.end()) return {};
+    std::vector<std::size_t> methods;
+    for (const std::size_t n : any->second) {
+      if (!graph_.nodes[n].class_name.empty()) methods.push_back(n);
+    }
+    return methods;
+  }
+
+  void ExtractCalls(std::size_t n) {
+    CallGraphNode& node = graph_.nodes[n];
+    const FunctionDef& def = DefOf(n);
+    const std::vector<Token>& tokens =
+        tree_.files[node.file_index].lexed.tokens;
+    const std::map<std::string, std::string> locals =
+        LocalTypes(tokens, def, index_.known_classes);
+    const std::size_t end = std::min(def.body_end, tokens.size());
+
+    for (std::size_t i = def.body_begin + 1; i < end; ++i) {
+      const Token& t = tokens[i];
+      if (t.in_directive || t.kind != TokenKind::kIdentifier) continue;
+      if (IsKeywordLike(t.text) || LooksLikeMacro(t.text)) continue;
+
+      // The callee name must be followed by `(`, optionally via `<...>`.
+      std::size_t open = i + 1;
+      if (open < end && tokens[open].text == "<") {
+        const std::size_t past = SkipTemplateArgs(tokens, open);
+        if (past == kNone) continue;
+        open = past;
+      }
+      if (open >= end || tokens[open].text != "(") continue;
+
+      // Declaration, not call: `Class name(args)` handled at the *type*
+      // token (constructor shape below); skip the name token itself when
+      // directly preceded by a known class (possibly through */&).
+      CallSite site;
+      site.line = t.line;
+      site.token = i;
+      site.name = t.text;
+
+      const std::string prev = i > 0 ? tokens[i - 1].text : "";
+      if (prev == "::") {
+        if (i >= 2 && tokens[i - 2].kind == TokenKind::kIdentifier) {
+          site.qualifier = tokens[i - 2].text;
+        }
+      } else if (prev == "." || prev == "->") {
+        site.member_call = true;
+        if (i >= 2 && tokens[i - 2].kind == TokenKind::kIdentifier) {
+          site.receiver = tokens[i - 2].text;
+        }
+      } else if (i > 0 && tokens[i - 1].kind == TokenKind::kIdentifier &&
+                 index_.known_classes.count(tokens[i - 1].text) != 0) {
+        continue;  // `Class name(` — a declaration; ctor handled on `Class`
+      }
+
+      // Constructor shapes: `KnownClass(args)` temporary or
+      // `KnownClass var(args)` declaration (tokens[open] is `(` only in
+      // the temporary form; the declaration form is caught here instead).
+      if (!site.member_call && site.qualifier.empty() &&
+          index_.known_classes.count(t.text) != 0) {
+        ResolveCtor(&site);
+        if (!site.targets.empty()) node.calls.push_back(std::move(site));
+        continue;
+      }
+      // `KnownClass var(args)` — tokens[i+1] is an identifier, not `(`;
+      // handled separately because `open` above required `(`.
+      Resolve(node, locals, &site);
+      node.calls.push_back(std::move(site));
+    }
+
+    // Second sweep for `KnownClass var(args...)` constructor declarations
+    // and make_unique/make_shared<T>(...) — both create a T.
+    for (std::size_t i = def.body_begin + 1; i + 2 < end; ++i) {
+      const Token& t = tokens[i];
+      if (t.in_directive || t.kind != TokenKind::kIdentifier) continue;
+      const bool is_make =
+          t.text == "make_unique" || t.text == "make_shared";
+      if (is_make) {
+        std::string pointee;
+        if (tokens[i + 1].text == "<") {
+          const std::size_t past = SkipTemplateArgs(tokens, i + 1);
+          for (std::size_t j = i + 2; past != kNone && j + 1 < past; ++j) {
+            if (tokens[j].kind == TokenKind::kIdentifier) {
+              pointee = tokens[j].text;
+            }
+          }
+        }
+        if (index_.known_classes.count(pointee) != 0) {
+          CallSite site;
+          site.line = t.line;
+          site.token = i;
+          site.name = pointee;
+          ResolveCtor(&site);
+          if (!site.targets.empty()) node.calls.push_back(std::move(site));
+        }
+        continue;
+      }
+      if (index_.known_classes.count(t.text) == 0) continue;
+      if (tokens[i + 1].kind != TokenKind::kIdentifier) continue;
+      if (IsKeywordLike(tokens[i + 1].text)) continue;
+      const std::string& after = tokens[i + 2].text;
+      if (after != "(" && after != "{") continue;
+      if (i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->" ||
+                    tokens[i - 1].text == "::")) {
+        continue;
+      }
+      CallSite site;
+      site.line = t.line;
+      site.token = i;
+      site.name = t.text;
+      ResolveCtor(&site);
+      if (!site.targets.empty()) node.calls.push_back(std::move(site));
+    }
+  }
+
+  void ResolveCtor(CallSite* site) {
+    const auto it = index_.by_class_and_name.find({site->name, site->name});
+    if (it != index_.by_class_and_name.end()) site->targets = it->second;
+    // No in-tree ctor definition (implicit/defaulted): silently external.
+    site->external = site->targets.empty();
+  }
+
+  void Resolve(const CallGraphNode& caller,
+               const std::map<std::string, std::string>& locals,
+               CallSite* site) {
+    const auto candidates = index_.by_name.find(site->name);
+    if (candidates == index_.by_name.end()) {
+      site->external = true;  // std::, libc, lambdas, member functors
+      return;
+    }
+
+    if (!site->qualifier.empty()) {
+      // `Q::name(` — Q is a class (static/explicitly-qualified method) or
+      // a namespace (free function).
+      if (index_.known_classes.count(site->qualifier) != 0) {
+        site->targets = MethodTargets(site->qualifier, site->name);
+        if (site->targets.empty()) {
+          site->why_unresolved =
+              "no definition of " + site->qualifier + "::" + site->name;
+        }
+        return;
+      }
+      const auto free_fns =
+          index_.by_class_and_name.find({"", site->name});
+      if (free_fns != index_.by_class_and_name.end()) {
+        site->targets = free_fns->second;
+        return;
+      }
+      UniqueNameFallback(candidates->second, site);
+      return;
+    }
+
+    if (site->member_call) {
+      std::string cls;
+      if (site->receiver == "this") {
+        cls = caller.class_name;
+      } else if (!site->receiver.empty()) {
+        const auto local = locals.find(site->receiver);
+        if (local != locals.end()) {
+          cls = local->second;
+        } else {
+          const auto member = index_.member_types.find(site->receiver);
+          if (member != index_.member_types.end() &&
+              !member->second.empty()) {
+            cls = member->second;
+          }
+        }
+      }
+      if (!cls.empty()) {
+        site->targets = MethodTargets(cls, site->name);
+        if (site->targets.empty()) {
+          site->why_unresolved =
+              "no method " + site->name + " on receiver type " + cls;
+        }
+        return;
+      }
+      UniqueNameFallback(candidates->second, site);
+      if (site->targets.empty() && site->why_unresolved.empty()) {
+        site->why_unresolved = "untyped receiver `" + site->receiver + "`";
+      }
+      return;
+    }
+
+    // Unqualified: a sibling method of the caller's class, then a free
+    // function, then the unique-name fallback.
+    if (!caller.class_name.empty()) {
+      const auto sibling =
+          index_.by_class_and_name.find({caller.class_name, site->name});
+      if (sibling != index_.by_class_and_name.end()) {
+        site->targets = sibling->second;
+        return;
+      }
+    }
+    const auto free_fns = index_.by_class_and_name.find({"", site->name});
+    if (free_fns != index_.by_class_and_name.end()) {
+      site->targets = free_fns->second;
+      return;
+    }
+    UniqueNameFallback(candidates->second, site);
+  }
+
+  /// Last tier: when every in-tree definition of the name lives in one
+  /// class, the call can only mean that (modulo shadowing by external
+  /// code, which the stats keep honest about).
+  void UniqueNameFallback(const std::vector<std::size_t>& candidates,
+                          CallSite* site) {
+    std::set<std::string> owners;
+    for (const std::size_t n : candidates) {
+      owners.insert(graph_.nodes[n].class_name);
+    }
+    if (owners.size() == 1) {
+      site->targets = candidates;
+      return;
+    }
+    site->why_unresolved = "ambiguous: " +
+                           std::to_string(candidates.size()) +
+                           " definitions of " + site->name + " in " +
+                           std::to_string(owners.size()) + " classes";
+  }
+
+  void BuildEdges() {
+    graph_.edges.assign(graph_.nodes.size(), {});
+    graph_.reverse.assign(graph_.nodes.size(), {});
+    for (std::size_t n = 0; n < graph_.nodes.size(); ++n) {
+      std::set<std::size_t> callees;
+      for (const CallSite& site : graph_.nodes[n].calls) {
+        for (const std::size_t target : site.targets) {
+          if (target != n) callees.insert(target);
+        }
+      }
+      for (const std::size_t callee : callees) {
+        graph_.edges[n].push_back(callee);
+        graph_.reverse[callee].push_back(n);
+      }
+    }
+  }
+
+  void Finalize() {
+    CallGraphStats& stats = graph_.stats;
+    stats.functions = graph_.nodes.size();
+    for (const CallGraphNode& node : graph_.nodes) {
+      for (const CallSite& site : node.calls) {
+        ++stats.call_sites;
+        if (site.external) {
+          ++stats.external_calls;
+        } else if (site.targets.empty()) {
+          ++stats.unresolved_calls;
+        }
+      }
+    }
+    for (const std::vector<std::size_t>& out : graph_.edges) {
+      stats.resolved_edges += out.size();
+    }
+    const std::size_t resolvable =
+        stats.call_sites > stats.external_calls
+            ? stats.call_sites - stats.external_calls
+            : 1;
+    stats.unresolved_rate =
+        static_cast<double>(stats.unresolved_calls) /
+        static_cast<double>(resolvable == 0 ? 1 : resolvable);
+  }
+
+  const SourceTree& tree_;
+  const std::vector<FileStructure>& structures_;
+  DefIndex index_;
+  CallGraph graph_;
+};
+
+}  // namespace
+
+std::string CallGraph::Display(std::size_t node) const {
+  const CallGraphNode& n = nodes[node];
+  if (n.class_name.empty() || n.class_name == n.name) return n.name;
+  std::string out = n.class_name;
+  out += "::";
+  out += n.name;
+  return out;
+}
+
+const std::string& CallGraph::FileOf(const SourceTree& tree,
+                                     std::size_t node) const {
+  return tree.files[nodes[node].file_index].rel_path;
+}
+
+void CallGraph::Reach(const std::vector<std::size_t>& roots,
+                      bool use_reverse,
+                      const std::function<bool(std::size_t)>& barrier,
+                      std::vector<std::size_t>* parent) const {
+  parent->assign(nodes.size(), kNoNode);
+  std::deque<std::size_t> queue;
+  for (const std::size_t root : roots) {
+    if ((*parent)[root] != kNoNode) continue;
+    (*parent)[root] = root;
+    queue.push_back(root);
+  }
+  const std::vector<std::vector<std::size_t>>& adj =
+      use_reverse ? reverse : edges;
+  while (!queue.empty()) {
+    const std::size_t n = queue.front();
+    queue.pop_front();
+    if (barrier && barrier(n) && (*parent)[n] != n) continue;
+    for (const std::size_t next : adj[n]) {
+      if ((*parent)[next] != kNoNode) continue;
+      (*parent)[next] = n;
+      queue.push_back(next);
+    }
+  }
+}
+
+std::string CallGraph::PathFrom(const std::vector<std::size_t>& parent,
+                                std::size_t node, std::size_t limit) const {
+  std::vector<std::size_t> chain = {node};
+  std::size_t cur = node;
+  while (parent[cur] != cur && parent[cur] != kNoNode &&
+         chain.size() < limit) {
+    cur = parent[cur];
+    chain.push_back(cur);
+  }
+  std::string out;
+  const bool truncated = parent[cur] != cur;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    if (it == chain.rbegin() && truncated) out += "... -> ";
+    out += Display(*it);
+  }
+  return out;
+}
+
+CallGraph BuildCallGraph(const SourceTree& tree,
+                         const std::vector<FileStructure>& structures) {
+  return Builder(tree, structures).Build();
+}
+
+}  // namespace copyattack::analyze

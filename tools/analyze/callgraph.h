@@ -1,0 +1,99 @@
+#ifndef COPYATTACK_TOOLS_ANALYZE_CALLGRAPH_H_
+#define COPYATTACK_TOOLS_ANALYZE_CALLGRAPH_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+#include "analyze/structure.h"
+
+/// Call-graph construction over the tokenizer + scope scanner: the semantic
+/// layer under the oracle-access, hot-path-purity and rng-provenance passes.
+///
+/// Nodes are the function *definitions* the structure scanner found across
+/// the whole tree. Call sites are extracted from each body by matching
+/// `name(`, `name<...>(`, `Qualifier::name(`, `recv.name(` / `recv->name(`
+/// and `KnownClass var(args)` constructor shapes, then resolved against the
+/// definition index through a small tier ladder (exact class+name match,
+/// receiver typing from locals/parameters/members, virtual-dispatch
+/// fan-out, unique-name fallback). Everything the ladder cannot place is
+/// counted, not dropped: `CallGraphStats` separates *external* calls (no
+/// in-tree definition — std::, libc, macros that lex like calls) from
+/// *unresolved* ones (in-tree candidates exist but the receiver or overload
+/// was ambiguous), so the soundness of every downstream pass is measurable
+/// from the JSON report rather than assumed.
+
+namespace copyattack::analyze {
+
+/// One extracted call expression inside a function body.
+struct CallSite {
+  std::size_t line = 0;
+  std::size_t token = 0;   ///< index of the callee-name token in its file
+  std::string name;        ///< callee as spelled ("Query", "TopKPerRow")
+  std::string qualifier;   ///< `Q` of `Q::name(`; empty otherwise
+  std::string receiver;    ///< `r` of `r.name(` / `r->name(`; "this" incl.
+  bool member_call = false;
+  /// Resolved callee node ids. More than one means overload or virtual
+  /// fan-out (every plausible target, by design — the passes built on the
+  /// graph are reachability checks and must over- rather than under-
+  /// approximate).
+  std::vector<std::size_t> targets;
+  /// Why resolution failed ("" when `targets` is non-empty or the call is
+  /// external). Reported through the stats, and available to passes that
+  /// want to surface their own blind spots.
+  std::string why_unresolved;
+  bool external = false;  ///< no in-tree definition matches the name
+};
+
+/// One function definition (a graph node).
+struct CallGraphNode {
+  std::size_t file_index = 0;      ///< into SourceTree::files / structures
+  std::size_t function_index = 0;  ///< into FileStructure::functions
+  std::string name;
+  std::string class_name;  ///< empty for free functions
+  std::size_t line = 0;
+  bool hot_path = false;
+  bool cold_ok = false;
+  std::vector<CallSite> calls;
+};
+
+struct CallGraph {
+  std::vector<CallGraphNode> nodes;
+  /// Resolved edges, deduplicated: edges[n] = callee node ids.
+  std::vector<std::vector<std::size_t>> edges;
+  /// Reverse adjacency: reverse[n] = caller node ids.
+  std::vector<std::vector<std::size_t>> reverse;
+  CallGraphStats stats;
+
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+  /// "Class::Name" or "Name" — the spelling used in pass messages.
+  std::string Display(std::size_t node) const;
+
+  /// Root-relative path of the file defining `node`.
+  const std::string& FileOf(const SourceTree& tree, std::size_t node) const;
+
+  /// BFS from `roots` over `edges` (or `reverse`). Nodes where `barrier`
+  /// returns true are *reached* (they appear in `parent`) but not expanded
+  /// — the shape every pass needs for CA_COLD_OK / allowlist semantics.
+  /// `parent[n]` is the predecessor node id (kNoNode for roots and
+  /// unreached nodes); roots map to themselves.
+  void Reach(const std::vector<std::size_t>& roots, bool use_reverse,
+             const std::function<bool(std::size_t)>& barrier,
+             std::vector<std::size_t>* parent) const;
+
+  /// Walks `parent` back from `node` to its root, rendering up to `limit`
+  /// hops as "Root -> ... -> Node" for violation messages.
+  std::string PathFrom(const std::vector<std::size_t>& parent,
+                       std::size_t node, std::size_t limit = 5) const;
+};
+
+/// Builds the graph. `structures` must be index-aligned with `tree.files`.
+CallGraph BuildCallGraph(const SourceTree& tree,
+                         const std::vector<FileStructure>& structures);
+
+}  // namespace copyattack::analyze
+
+#endif  // COPYATTACK_TOOLS_ANALYZE_CALLGRAPH_H_

@@ -1,0 +1,26 @@
+#include "rec/oracle.h"
+
+namespace fixture::attack {
+
+// VIOLATION oracle-direct-call: a strategy probing the concrete
+// recommender without spending query budget.
+int ProbeWithoutMeter(rec::BlackBoxRecommender* oracle, int user) {
+  return oracle->QueryTopK(user, 20);
+}
+
+// VIOLATION oracle-direct-call: unmetered injection.
+int RogueInject(rec::BlackBoxRecommender* oracle, int profile) {
+  return oracle->InjectUser(profile);
+}
+
+// VIOLATION oracle-unmetered-path: reaches the oracle only through the
+// rogue probe above.
+int RunRogueCampaign(rec::BlackBoxRecommender* oracle) {
+  int total = 0;
+  for (int user = 0; user < 8; ++user) {
+    total += ProbeWithoutMeter(oracle, user);
+  }
+  return total;
+}
+
+}  // namespace fixture::attack

@@ -1,0 +1,11 @@
+#include "rec/oracle.h"
+
+namespace fixture::core {
+
+// Sanctioned gateway (allow_files): calling the oracle here is the
+// correct shape, and callers of the gateway must NOT be flagged.
+int MeteredQuery(rec::BlackBoxRecommender* oracle, int user, int k) {
+  return oracle->QueryTopK(user, k);
+}
+
+}  // namespace fixture::core

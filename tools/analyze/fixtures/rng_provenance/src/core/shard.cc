@@ -1,0 +1,35 @@
+#include "util/rng.h"
+
+namespace fixture::core {
+
+// VIOLATION rng-adhoc-seed: XOR mixing collides across shards.
+std::uint64_t PlayShard(std::uint64_t shard_seed) {
+  util::Rng episode_rng(shard_seed ^ 0xBEEFCAFEULL);
+  return episode_rng.Next();
+}
+
+// VIOLATION rng-adhoc-seed: multiplicative mixing, same problem.
+std::uint64_t PlayItem(std::uint64_t base, std::uint64_t index) {
+  util::Rng item_rng(base + 1000003ULL * index);
+  return item_rng.Next();
+}
+
+// VIOLATION rng-fork-in-stream: forked streams depend on draw order.
+std::uint64_t SplitStream(util::Rng& rng) {
+  util::Rng child = rng.Fork();
+  return child.Next();
+}
+
+// Clean: DeriveStreamSeed is the sanctioned derivation.
+std::uint64_t DerivedOk(std::uint64_t base) {
+  util::Rng rng(util::DeriveStreamSeed(base, 2));
+  return rng.Next();
+}
+
+// Clean: a bare base seed names a stream without mixing one.
+std::uint64_t PlainOk(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return rng.Next();
+}
+
+}  // namespace fixture::core

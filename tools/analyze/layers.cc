@@ -59,6 +59,18 @@ bool Contains(const std::vector<std::string>& haystack,
 
 }  // namespace
 
+bool OracleContract::IsOracleClass(const std::string& name) const {
+  return Contains(classes, name);
+}
+
+bool OracleContract::IsEntryPoint(const std::string& name) const {
+  return Contains(entry_points, name);
+}
+
+bool OracleContract::IsSeamMethod(const std::string& name) const {
+  return Contains(seam_methods, name);
+}
+
 bool LayerContract::IsTopModule(const std::string& module) const {
   return Contains(top_modules, module);
 }
@@ -121,6 +133,23 @@ bool ParseLayerContract(const std::string& text, LayerContract* contract,
       contract->top_modules = std::move(items);
     } else if (section == "pure" && key == "headers") {
       contract->pure_headers = std::move(items);
+    } else if (section == "oracle" && key == "classes") {
+      contract->oracle.classes = std::move(items);
+      contract->oracle.configured = true;
+    } else if (section == "oracle" && key == "entry_points") {
+      contract->oracle.entry_points = std::move(items);
+      contract->oracle.configured = true;
+    } else if (section == "oracle" && key == "seam_methods") {
+      contract->oracle.seam_methods = std::move(items);
+      contract->oracle.configured = true;
+    } else if (section == "oracle" && key == "allow_modules") {
+      contract->oracle.allow_modules = std::move(items);
+      contract->oracle.configured = true;
+    } else if (section == "oracle" && key == "allow_files") {
+      contract->oracle.allow_files = std::move(items);
+      contract->oracle.configured = true;
+    } else if (section == "rng" && key == "stream_scoped") {
+      contract->rng_stream_scoped = std::move(items);
     } else {
       *error = "line " + std::to_string(line_number) + ": unknown entry `" +
                key + "` in section [" + section + "]";

@@ -13,6 +13,24 @@
 
 namespace copyattack::analyze {
 
+/// The metered-oracle contract ([oracle] section, optional): which classes
+/// form the black-box decorator stack, which method names are its metered
+/// entry points / decorator seams, and which modules/files are sanctioned
+/// to talk to it directly. Absent section = oracle pass inert (fixture
+/// trees and downstream users opt in explicitly).
+struct OracleContract {
+  bool configured = false;
+  std::vector<std::string> classes;       ///< decorator-stack class names
+  std::vector<std::string> entry_points;  ///< innermost metered methods
+  std::vector<std::string> seam_methods;  ///< interface seam method names
+  std::vector<std::string> allow_modules; ///< modules that may call directly
+  std::vector<std::string> allow_files;   ///< rel paths that may call directly
+
+  bool IsOracleClass(const std::string& name) const;
+  bool IsEntryPoint(const std::string& name) const;
+  bool IsSeamMethod(const std::string& name) const;
+};
+
 struct LayerContract {
   /// module -> modules its files may include from (directly). A module under
   /// src/ that is absent here is a violation: the contract must be total.
@@ -28,6 +46,12 @@ struct LayerContract {
   std::vector<std::string> pure_headers;
   /// Path the contract was loaded from; stale-entry findings anchor here.
   std::string source_path;
+  /// Optional [oracle] section (metered-oracle enforcement).
+  OracleContract oracle;
+  /// Optional [rng] stream_scoped entries: path prefixes of sharded /
+  /// checkpointed campaign code where every util::Rng seed must come from
+  /// util::DeriveStreamSeed or restored state. Empty = rng pass inert.
+  std::vector<std::string> rng_stream_scoped;
 
   bool IsTopModule(const std::string& module) const;
   bool IsPureHeader(const std::string& rel_path) const;

@@ -4,12 +4,15 @@
 #include <vector>
 
 #include "analyze/analysis.h"
+#include "analyze/callgraph.h"
 #include "analyze/layers.h"
 #include "analyze/structure.h"
 
-/// The three copyattack-analyze passes. Each receives the whole scanned
-/// tree plus the per-file structures (computed once, index-aligned with
-/// `tree.files`) and appends suppression-filtered violations.
+/// The copyattack-analyze passes. Each receives the whole scanned tree
+/// plus the per-file structures (computed once, index-aligned with
+/// `tree.files`) and appends suppression-filtered violations. The three
+/// graph-based passes additionally take the CallGraph built once over the
+/// same structures.
 
 namespace copyattack::analyze {
 
@@ -62,6 +65,41 @@ void RunCheckpointPass(const SourceTree& tree,
 void RunLockOrderPass(const SourceTree& tree,
                       const std::vector<FileStructure>& structures,
                       std::vector<Violation>* violations);
+
+/// Oracle-access pass: every path from src/ code to the metered black-box
+/// oracle must traverse the decorator stack declared in layers.toml's
+/// [oracle] section. Direct calls to an entry point (QueryTopK*, InjectUser)
+/// or to a seam method (Query/Inject/QueryBatch) on an oracle-typed
+/// receiver, from outside the allowlisted modules/files, are findings —
+/// as are their transitive src/ callers. Inert when [oracle] is absent.
+/// Rules: oracle-direct-call, oracle-unmetered-path.
+void RunOracleAccessPass(const SourceTree& tree,
+                         const LayerContract& contract,
+                         const CallGraph& graph,
+                         std::vector<Violation>* violations);
+
+/// Hot-path purity pass: walks the call graph from every CA_HOT_PATH
+/// definition; each src/ function reached (CA_COLD_OK ones excepted) may
+/// not allocate explicitly, acquire a blocking lock, throw, or perform
+/// stream/file IO. Machine-checks the PR-1 episode-loop latency contract.
+/// Rules: hot-path-alloc, hot-path-lock, hot-path-throw, hot-path-io.
+void RunHotPathPass(const SourceTree& tree, const CallGraph& graph,
+                    const std::vector<FileStructure>& structures,
+                    std::vector<Violation>* violations);
+
+/// RNG-provenance pass: inside the [rng] stream_scoped path prefixes
+/// (sharded/checkpointed campaign code), every util::Rng construction must
+/// derive its seed via util::DeriveStreamSeed (directly, or through a
+/// function whose body calls it) or take a plain base seed unchanged;
+/// arithmetic seed mixing and Rng::Fork are findings because they break
+/// the bit-identical shard/resume guarantees. Inert when stream_scoped is
+/// empty.
+/// Rules: rng-adhoc-seed, rng-fork-in-stream.
+void RunRngProvenancePass(const SourceTree& tree,
+                          const LayerContract& contract,
+                          const CallGraph& graph,
+                          const std::vector<FileStructure>& structures,
+                          std::vector<Violation>* violations);
 
 }  // namespace copyattack::analyze
 

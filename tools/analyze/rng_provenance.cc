@@ -1,0 +1,159 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+
+/// RNG stream provenance (ISSUE 9): the sharded campaign runner's
+/// bit-identical guarantee (outcomes invariant to shard/thread count, and
+/// across kill-and-resume) holds only because every random stream in
+/// campaign code is derived as DeriveStreamSeed(base, stream_index) —
+/// never by ad-hoc XOR/multiply mixing (collision-prone across shards) and
+/// never by Fork() (draw-order dependent, so two interleavings of the same
+/// campaign would diverge). The [rng] stream_scoped prefixes in
+/// layers.toml name the files under that contract.
+///
+/// Policy (DESIGN.md §15): a *plain* base seed — a bare identifier or
+/// member chain like `job.seed` — is allowed (it names a stream, it does
+/// not mix one); any constructor argument containing arithmetic operators
+/// or numeric literals needs DeriveStreamSeed provenance, either lexically
+/// in the argument or through a called function whose body uses it (one
+/// call-graph hop of dataflow).
+
+namespace copyattack::analyze {
+
+namespace {
+
+bool IsStreamScoped(const LayerContract& contract,
+                    const std::string& rel_path) {
+  for (const std::string& prefix : contract.rng_stream_scoped) {
+    if (rel_path.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Shift operators lex as two single-char angles and are not listed here;
+/// a shifted seed in practice always carries a numeric literal, which the
+/// kNumber check catches on its own.
+bool IsMixingPunct(const std::string& text) {
+  return text == "^" || text == "+" || text == "-" || text == "*" ||
+         text == "%" || text == "|" || text == "&";
+}
+
+/// True when `name` resolves (unique-name) to a definition whose body
+/// mentions DeriveStreamSeed — the "blessed wrapper" provenance tier.
+bool BodyDerivesStream(const SourceTree& tree, const CallGraph& graph,
+                       const std::vector<FileStructure>& structures,
+                       const std::string& name) {
+  for (std::size_t n = 0; n < graph.nodes.size(); ++n) {
+    if (graph.nodes[n].name != name) continue;
+    const CallGraphNode& node = graph.nodes[n];
+    const FunctionDef& def =
+        structures[node.file_index].functions[node.function_index];
+    const std::vector<Token>& tokens =
+        tree.files[node.file_index].lexed.tokens;
+    const std::size_t end =
+        def.body_end < tokens.size() ? def.body_end : tokens.size();
+    for (std::size_t i = def.body_begin + 1; i < end; ++i) {
+      if (tokens[i].kind == TokenKind::kIdentifier &&
+          tokens[i].text == "DeriveStreamSeed") {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunRngProvenancePass(const SourceTree& tree,
+                          const LayerContract& contract,
+                          const CallGraph& graph,
+                          const std::vector<FileStructure>& structures,
+                          std::vector<Violation>* violations) {
+  if (contract.rng_stream_scoped.empty()) return;
+
+  for (std::size_t f = 0; f < tree.files.size(); ++f) {
+    const ScannedFile& file = tree.files[f];
+    if (!IsStreamScoped(contract, file.rel_path)) continue;
+    const std::vector<Token>& tokens = file.lexed.tokens;
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.in_directive || t.kind != TokenKind::kIdentifier) continue;
+
+      // Rng::Fork in stream-scoped code: draw-order dependent by
+      // construction, so shard invariance dies with it.
+      if (t.text == "Fork" && i > 0 &&
+          (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
+          tokens[i + 1].text == "(") {
+        AddViolation(file, t.line, "rng-fork-in-stream",
+                     "Rng::Fork in stream-scoped campaign code; forked "
+                     "streams depend on draw order — derive the stream "
+                     "with util::DeriveStreamSeed(base, index) instead",
+                     violations);
+        continue;
+      }
+
+      // `Rng name(args...)` / `Rng name{args...}` constructions.
+      if (t.text != "Rng") continue;
+      if (i > 0 && tokens[i - 1].text == "::" && i >= 2 &&
+          tokens[i - 2].text == "Rng") {
+        continue;  // out-of-class definition qualifier
+      }
+      std::size_t open = i + 1;
+      std::string var;
+      if (tokens[open].kind == TokenKind::kIdentifier) {
+        var = tokens[open].text;
+        ++open;
+      }
+      if (open >= tokens.size() ||
+          (tokens[open].text != "(" && tokens[open].text != "{")) {
+        continue;
+      }
+      const std::string close = tokens[open].text == "(" ? ")" : "}";
+      const std::string& opener = tokens[open].text;
+
+      // Scan the argument tokens for provenance and for mixing.
+      bool derives = false;
+      bool mixes = false;
+      std::string wrapper;  // first called identifier inside the args
+      int depth = 0;
+      for (std::size_t j = open; j < tokens.size(); ++j) {
+        const Token& a = tokens[j];
+        if (a.text == opener) {
+          ++depth;
+          continue;
+        }
+        if (a.text == close && --depth == 0) break;
+        if (a.kind == TokenKind::kIdentifier) {
+          if (a.text == "DeriveStreamSeed") derives = true;
+          if (wrapper.empty() && j + 1 < tokens.size() &&
+              tokens[j + 1].text == "(") {
+            wrapper = a.text;
+          }
+          continue;
+        }
+        if (a.kind == TokenKind::kNumber) mixes = true;
+        if (a.kind == TokenKind::kPunct && IsMixingPunct(a.text)) {
+          mixes = true;
+        }
+      }
+      if (derives || !mixes) continue;
+      if (!wrapper.empty() &&
+          BodyDerivesStream(tree, graph, structures, wrapper)) {
+        continue;
+      }
+      AddViolation(
+          file, t.line, "rng-adhoc-seed",
+          "Rng `" + (var.empty() ? std::string("<temporary>") : var) +
+              "` is seeded by ad-hoc arithmetic in stream-scoped campaign "
+              "code; use util::DeriveStreamSeed(base, stream_index) so "
+              "shard and resume streams stay collision-free and "
+              "bit-identical",
+          violations);
+    }
+  }
+}
+
+}  // namespace copyattack::analyze

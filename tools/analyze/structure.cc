@@ -170,6 +170,7 @@ class Scanner {
     }
     if (class_kw != kNone) {
       std::string class_name = ClassNameFromHead(head, class_kw);
+      if (!class_name.empty()) result_.classes.insert(class_name);
       const bool checkpointed = MaybeCheckpointedType(head, class_name);
       Push(Scope::kClass, std::move(class_name));
       scopes_.back().checkpointed = checkpointed;
@@ -326,6 +327,11 @@ class Scanner {
         if (!mutex.empty()) def->requires_mutexes.push_back(mutex);
       }
     }
+    for (const std::size_t h : head) {
+      if (tokens_[h].text == "CA_HOT_PATH") def->hot_path = true;
+      if (tokens_[h].text == "CA_COLD_OK") def->cold_ok = true;
+    }
+    def->head_begin = head.front();
     return true;
   }
 

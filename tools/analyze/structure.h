@@ -24,11 +24,16 @@ struct FunctionDef {
   bool is_ctor = false;
   bool is_dtor = false;
   std::size_t line = 0;        ///< line of the body's opening brace
+  std::size_t head_begin = 0;  ///< first token index of the declaration head
   std::size_t body_begin = 0;  ///< token index of `{`
   std::size_t body_end = 0;    ///< token index of matching `}` (exclusive
                                ///< range is [body_begin + 1, body_end))
   /// Mutexes named in CA_REQUIRES(...) on this definition's head.
   std::vector<std::string> requires_mutexes;
+  /// Head carried CA_HOT_PATH: a root of the hot-path purity walk.
+  bool hot_path = false;
+  /// Head carried CA_COLD_OK(reason): reached but never scanned/expanded.
+  bool cold_ok = false;
 };
 
 /// A field carrying a CA_GUARDED_BY or CA_ATOMIC_ONLY annotation.
@@ -94,6 +99,10 @@ struct FileStructure {
   /// deliberately generous so that check under-reports rather than flags a
   /// header that is genuinely used.
   std::set<std::string> exported;
+  /// Every class/struct/union this file *defines* (a brace body was seen),
+  /// including pure interfaces with no method definitions. The call-graph
+  /// builder needs these to type receivers declared as interface pointers.
+  std::set<std::string> classes;
 };
 
 FileStructure ScanStructure(const LexedFile& file);

@@ -57,6 +57,25 @@ mkdir -p build/reports
 ./build/tools/analyze/copyattack-analyze --root=. --format=json \
   > build/reports/analyze_report.json \
   || { cat build/reports/analyze_report.json >&2; exit 1; }
+# Analyzer latency budget: the whole point of running it first is that it
+# fails in seconds. The per-pass timings_ms block in the JSON report keeps
+# that honest — if the summed pass time crosses the budget, a pass has
+# regressed (e.g. the call-graph resolver went quadratic) and the gate
+# fails before anyone learns to tolerate a slow linter.
+analyze_budget_ms=20000
+python3 - "${analyze_budget_ms}" <<'PY'
+import json, sys
+budget = float(sys.argv[1])
+report = json.load(open("build/reports/analyze_report.json"))
+timings = report["timings_ms"]
+total = sum(timings.values())
+worst = max(timings, key=timings.get)
+print(f"analyze pass timings: {total:.1f} ms total "
+      f"(slowest: {worst} at {timings[worst]:.1f} ms)")
+if total > budget:
+    sys.exit(f"check_all: analyze pass budget exceeded: "
+             f"{total:.1f} ms > {budget:.0f} ms")
+PY
 # SARIF for CI code-scanning upload. Archived unconditionally (the file is
 # useful evidence either way); the exit status still gates.
 ./build/tools/analyze/copyattack-analyze --root=. --format=sarif \

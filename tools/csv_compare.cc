@@ -94,12 +94,46 @@ int main(int argc, char** argv) {
 
   int divergences = 0;
   if (baseline_header != candidate_header) {
-    std::fprintf(stderr, "csv_compare: header mismatch\n");
+    // Name the first offending column, not just the fact of a mismatch.
+    const std::size_t columns =
+        std::max(baseline_header.size(), candidate_header.size());
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& expected =
+          c < baseline_header.size() ? baseline_header[c] : "<absent>";
+      const std::string& actual =
+          c < candidate_header.size() ? candidate_header[c] : "<absent>";
+      if (expected != actual) {
+        std::fprintf(stderr,
+                     "csv_compare: header mismatch at column %zu: "
+                     "'%s' vs '%s'\n",
+                     c, expected.c_str(), actual.c_str());
+        break;
+      }
+    }
     ++divergences;
   }
 
+  // Keys must be unique on both sides: a duplicate would silently shadow
+  // the row it collides with, so every comparison after it would lie.
   std::map<std::string, std::vector<std::string>> candidates;
-  for (const auto& row : candidate_rows) candidates[RowKey(row)] = row;
+  for (const auto& row : candidate_rows) {
+    const std::string key = RowKey(row);
+    if (!candidates.emplace(key, row).second) {
+      std::fprintf(stderr, "csv_compare: duplicate key '%s' in %s\n",
+                   key.c_str(), candidate_path.c_str());
+      ++divergences;
+    }
+  }
+  {
+    std::map<std::string, int> baseline_keys;
+    for (const auto& row : baseline_rows) {
+      if (++baseline_keys[RowKey(row)] == 2) {
+        std::fprintf(stderr, "csv_compare: duplicate key '%s' in %s\n",
+                     RowKey(row).c_str(), baseline_path.c_str());
+        ++divergences;
+      }
+    }
+  }
   std::map<std::string, bool> seen;
   for (const auto& [key, row] : candidates) seen[key] = false;
 
