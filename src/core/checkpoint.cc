@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/crash_point.h"
 #include "util/checksum.h"
 #include "util/logging.h"
 
@@ -209,29 +210,78 @@ bool DeserializePayload(const std::string& payload,
   return true;
 }
 
+/// Appends one candidate's rejection reason to the load diagnostic.
+void NoteReject(std::string* why, const std::string& path,
+                const char* reason) {
+  if (why == nullptr) return;
+  if (!why->empty()) *why += "; ";
+  *why += path + ": " + reason;
+}
+
 /// Reads and fully validates one checkpoint file. Returns false on any
 /// defect: unreadable, truncated header, wrong magic/version, payload
 /// shorter than declared, CRC mismatch, undecodable payload, or a
-/// fingerprint that does not match `expected`.
+/// fingerprint that does not match `expected`. On rejection, appends the
+/// reason to `why` (when non-null) so a total load failure can say what
+/// was wrong with every candidate.
 bool LoadOneFile(const std::string& path,
                  const CampaignFingerprint& expected,
-                 CampaignCheckpoint* out) {
+                 CampaignCheckpoint* out, std::string* why) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) {
+    NoteReject(why, path, "unreadable or missing");
+    return false;
+  }
   std::uint32_t magic = 0, version = 0, crc = 0;
   std::uint64_t payload_size = 0;
-  if (!ReadU32(in, &magic) || magic != kCheckpointMagic) return false;
-  if (!ReadU32(in, &version) || version != kCheckpointVersion) return false;
-  if (!ReadU64(in, &payload_size)) return false;
-  if (!ReadU32(in, &crc)) return false;
-  if (payload_size > (1ULL << 36)) return false;  // implausible size
+  if (!ReadU32(in, &magic) || magic != kCheckpointMagic) {
+    NoteReject(why, path, "bad magic (truncated or not a checkpoint)");
+    return false;
+  }
+  if (!ReadU32(in, &version) || version != kCheckpointVersion) {
+    NoteReject(why, path, "unsupported version");
+    return false;
+  }
+  if (!ReadU64(in, &payload_size) || !ReadU32(in, &crc)) {
+    NoteReject(why, path, "truncated header");
+    return false;
+  }
+  if (payload_size > (1ULL << 36)) {
+    NoteReject(why, path, "implausible payload size");
+    return false;
+  }
+  // Bound the allocation by what the file actually holds: a bit-flipped
+  // size field must be rejected as a truncation, not turned into a
+  // multi-gigabyte allocation before the read even starts.
+  const std::streampos data_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(in.tellg() - data_begin);
+  in.seekg(data_begin);
+  if (!in || payload_size > available) {
+    NoteReject(why, path, "truncated payload");
+    return false;
+  }
   std::string payload(static_cast<std::size_t>(payload_size), '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload_size));
-  if (!in) return false;  // torn write: payload shorter than declared
-  if (util::Crc32(payload) != crc) return false;
+  if (!in) {
+    // Torn write: payload shorter than declared.
+    NoteReject(why, path, "truncated payload");
+    return false;
+  }
+  if (util::Crc32(payload) != crc) {
+    NoteReject(why, path, "CRC mismatch");
+    return false;
+  }
   CampaignCheckpoint decoded;
-  if (!DeserializePayload(payload, &decoded)) return false;
-  if (!decoded.fingerprint.Matches(expected)) return false;
+  if (!DeserializePayload(payload, &decoded)) {
+    NoteReject(why, path, "undecodable payload");
+    return false;
+  }
+  if (!decoded.fingerprint.Matches(expected)) {
+    NoteReject(why, path, "fingerprint mismatch");
+    return false;
+  }
   *out = std::move(decoded);
   return true;
 }
@@ -246,6 +296,10 @@ std::string CheckpointFallbackPath(const std::string& dir) {
   return (std::filesystem::path(dir) / "campaign.ckpt.prev").string();
 }
 
+std::string CheckpointTempPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "campaign.ckpt.tmp").string();
+}
+
 bool SaveCampaignCheckpoint(const CampaignCheckpoint& checkpoint,
                             const std::string& dir) {
   std::error_code ec;
@@ -253,7 +307,9 @@ bool SaveCampaignCheckpoint(const CampaignCheckpoint& checkpoint,
 
   const std::string payload = SerializePayload(checkpoint);
   const std::string path = CheckpointPath(dir);
-  const std::string tmp_path = path + ".tmp";
+  const std::string tmp_path = CheckpointTempPath(dir);
+  // Crash phase 1: nothing written yet — both on-disk files are intact.
+  CA_CRASH_POINT("checkpoint.pre_temp_write");
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return false;
@@ -267,6 +323,10 @@ bool SaveCampaignCheckpoint(const CampaignCheckpoint& checkpoint,
     out.flush();
     if (!out) return false;
   }
+  // Crash phase 2: the temp file is complete but the rotation has not
+  // begun — the loader's `.tmp`-orphan ladder makes the new state
+  // reachable even though the rename never happened.
+  CA_CRASH_POINT("checkpoint.pre_rotate");
   // Rotate: the current checkpoint becomes the fallback, then the temp
   // file lands as the new current. Both renames are atomic within a
   // filesystem, so a crash leaves either (old, old-prev) or (new, old) —
@@ -275,20 +335,40 @@ bool SaveCampaignCheckpoint(const CampaignCheckpoint& checkpoint,
     std::filesystem::rename(path, CheckpointFallbackPath(dir), ec);
     if (ec) return false;
   }
+  // Crash phase 3: between the two renames the primary is missing; the
+  // complete temp orphan (newest) and the rotated `.prev` both survive.
+  CA_CRASH_POINT("checkpoint.pre_rename");
   std::filesystem::rename(tmp_path, path, ec);
   return !ec;
 }
 
 CheckpointSource LoadCampaignCheckpoint(const std::string& dir,
                                         const CampaignFingerprint& expected,
-                                        CampaignCheckpoint* out) {
-  if (LoadOneFile(CheckpointPath(dir), expected, out)) {
+                                        CampaignCheckpoint* out,
+                                        data::IoError* error) {
+  std::string why;
+  std::string* why_out = error != nullptr ? &why : nullptr;
+  if (LoadOneFile(CheckpointPath(dir), expected, out, why_out)) {
     return CheckpointSource::kPrimary;
   }
-  if (LoadOneFile(CheckpointFallbackPath(dir), expected, out)) {
+  // A complete, CRC-valid temp file is NEWER than `.prev`: it only
+  // exists when the crash hit after the payload was fully flushed but
+  // before the rename landed, so prefer it over the previous rotation.
+  if (LoadOneFile(CheckpointTempPath(dir), expected, out, why_out)) {
+    CA_LOG(Warning) << "checkpoint: primary " << CheckpointPath(dir)
+                    << " invalid or missing; recovered the complete "
+                       "temp-file orphan";
+    return CheckpointSource::kTempOrphan;
+  }
+  if (LoadOneFile(CheckpointFallbackPath(dir), expected, out, why_out)) {
     CA_LOG(Warning) << "checkpoint: primary " << CheckpointPath(dir)
                     << " invalid or missing; resumed from fallback";
     return CheckpointSource::kFallback;
+  }
+  if (error != nullptr) {
+    error->file = CheckpointPath(dir);
+    error->line = 0;
+    error->message = "no loadable checkpoint: " + why;
   }
   return CheckpointSource::kNone;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/environment.h"
+#include "data/io.h"
 #include "rec/evaluator.h"
 #include "util/annotations.h"
 #include "util/rng.h"
@@ -74,33 +75,46 @@ struct CampaignCheckpoint CA_CHECKPOINTED(SerializePayload,
 inline constexpr std::uint32_t kCheckpointMagic = 0xCA9C4A17U;
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 
-/// Paths inside a checkpoint directory: the current checkpoint and the
-/// previous good one (rotation happens on every successful save).
+/// Paths inside a checkpoint directory: the current checkpoint, the
+/// previous good one (rotation happens on every successful save), and
+/// the in-flight temp file a crash mid-save can orphan.
 std::string CheckpointPath(const std::string& dir);
 std::string CheckpointFallbackPath(const std::string& dir);
+std::string CheckpointTempPath(const std::string& dir);
 
 /// Atomically persists `checkpoint` into `dir` (created if needed):
 /// serialize to `campaign.ckpt.tmp`, rotate the existing
 /// `campaign.ckpt` to `campaign.ckpt.prev`, then rename the temp file
-/// into place — a crash at any point leaves a loadable file behind.
-/// Returns false on I/O failure.
+/// into place — a crash at any point (including between the two
+/// renames; every phase carries a `CA_CRASH_POINT`, see DESIGN.md §16)
+/// leaves a loadable file behind. Returns false on I/O failure.
 bool SaveCampaignCheckpoint(const CampaignCheckpoint& checkpoint,
                             const std::string& dir);
 
 /// Where a loaded checkpoint came from.
 enum class CheckpointSource {
-  kNone,      ///< nothing loadable (or fingerprint mismatch everywhere)
-  kPrimary,   ///< campaign.ckpt
-  kFallback,  ///< campaign.ckpt was corrupt; campaign.ckpt.prev loaded
+  kNone,        ///< nothing loadable (or fingerprint mismatch everywhere)
+  kPrimary,     ///< campaign.ckpt
+  kFallback,    ///< campaign.ckpt was corrupt; campaign.ckpt.prev loaded
+  /// campaign.ckpt was missing/corrupt but a fully-written, CRC-valid
+  /// `campaign.ckpt.tmp` survived — the crash happened after the temp
+  /// write but before the rename landed, so the orphan is the NEWEST
+  /// state on disk and is preferred over `.prev`.
+  kTempOrphan,
 };
 
 /// Loads the freshest valid checkpoint from `dir`: tries the primary
-/// file, and on magic/version/size/CRC/fingerprint failure falls back to
-/// the previous good one. `expected` guards against resuming a different
-/// campaign.
+/// file, then a complete `.tmp` orphan, then the previous good file —
+/// strictly newest-first, so double faults (e.g. a torn primary AND a
+/// torn temp) still recover the best surviving state. Recovery is
+/// read-only: the next successful save rewrites and rotates as usual.
+/// `expected` guards against resuming a different campaign. On kNone
+/// with `error` non-null, `error->message` explains why every candidate
+/// was rejected (distinguishing "nothing there yet" from corruption).
 CheckpointSource LoadCampaignCheckpoint(const std::string& dir,
                                         const CampaignFingerprint& expected,
-                                        CampaignCheckpoint* out);
+                                        CampaignCheckpoint* out,
+                                        data::IoError* error = nullptr);
 
 }  // namespace copyattack::core
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/target_play.h"
+#include "fault/crash_point.h"
 #include "obs/obs.h"
 #include "obs/time.h"
 #include "util/check.h"
@@ -68,10 +69,19 @@ ParallelCampaignResult ParallelCampaignRunner::Run(
   std::atomic<std::size_t> episodes_played{0};
   std::atomic<bool> abort_flag{false};
   const std::size_t abort_after = options_.checkpoint.abort_after_episodes;
+  // Cooperative cancellation (watchdog deadline, drain): once the hook
+  // trips, every shard stops at its next yield point.
+  const auto canceled = [this, &abort_flag] {
+    if (options_.cancel && options_.cancel()) {
+      abort_flag.store(true, std::memory_order_relaxed);
+    }
+    return abort_flag.load(std::memory_order_relaxed);
+  };
 
   util::ThreadPool::ParallelFor(
       total_shards, options_.jobs, [&](std::size_t shard) {
         OBS_SPAN("campaign.shard");
+        CA_CRASH_POINT("runner.shard_begin");
         obs::Stopwatch shard_watch;
         ShardStats& stats = result.shards[shard];
         stats.shard = shard;
@@ -146,7 +156,7 @@ ParallelCampaignResult ParallelCampaignRunner::Run(
         };
 
         for (std::size_t i = start; i < indices.size(); ++i) {
-          if (abort_flag.load(std::memory_order_relaxed)) break;
+          if (canceled()) break;
           const std::size_t global_index = indices[i];
           TargetPlayHooks hooks;
           if (checkpointed) {
@@ -168,7 +178,7 @@ ParallelCampaignResult ParallelCampaignRunner::Run(
             if (abort_after > 0 && played >= abort_after) {
               abort_flag.store(true, std::memory_order_relaxed);
             }
-            return abort_flag.load(std::memory_order_relaxed);
+            return canceled();
           };
 
           TargetPlayResult play = PlayTargetItem(
@@ -185,6 +195,7 @@ ParallelCampaignResult ParallelCampaignRunner::Run(
             resume_progress = InProgressTarget{};
             save();
           }
+          CA_CRASH_POINT("runner.target_committed");
         }
         stats.wall_seconds = shard_watch.ElapsedSeconds();
       });
@@ -266,7 +277,7 @@ bool ParseShardStatsCsv(std::istream& in, std::vector<ShardStats>* shards,
          util::ParseSizeT(util::Trim(fields[5]), &stats.checkpoint_saves);
     std::size_t source_code = 0;
     ok = ok && util::ParseSizeT(util::Trim(fields[6]), &source_code) &&
-         source_code <= static_cast<std::size_t>(CheckpointSource::kFallback);
+         source_code <= static_cast<std::size_t>(CheckpointSource::kTempOrphan);
     stats.resumed_from = static_cast<CheckpointSource>(source_code);
     ok = ok && util::ParseDouble(util::Trim(fields[7]), &stats.wall_seconds);
     if (!ok) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -34,6 +35,15 @@ struct ParallelRunnerOptions {
   /// stream seed so a checkpoint never resumes into a different shard
   /// layout. `abort_after_episodes` counts episodes across ALL shards.
   CampaignCheckpointOptions checkpoint;
+  /// Cooperative cancellation: polled at every shard boundary and every
+  /// episode boundary (the natural yield points — checkpoints are
+  /// already flushed there). When it returns true the run aborts like
+  /// `abort_after_episodes`: completed work stays checkpointed and the
+  /// result's `aggregate.aborted` flag is set, so a resume continues
+  /// bit-identically. Called from worker threads; must be thread-safe.
+  /// The attack server's watchdog deadline and SIGTERM drain both ride
+  /// this hook. Null = never cancel.
+  std::function<bool()> cancel;
 };
 
 /// Per-shard execution record. Round-trips through the shard-stats CSV

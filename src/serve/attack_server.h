@@ -2,6 +2,8 @@
 #define COPYATTACK_SERVE_ATTACK_SERVER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,7 +61,48 @@ struct ServerConfig {
   std::size_t checkpoint_every = 1;
   /// Items with at most this many interactions count as cold targets.
   std::size_t cold_max_interactions = 10;
+
+  // --- Supervision (ISSUE 10): watchdog, retries, quarantine. ---
+
+  /// Per-job wall-clock deadline in seconds; 0 disables the watchdog.
+  /// Enforced cooperatively through the runner's `cancel` hook at
+  /// episode boundaries — the last checkpoint is already flushed there,
+  /// so a deadline kill IS the rollback: the retry resumes from it.
+  double job_deadline_seconds = 0.0;
+  /// Total attempts (first run + retries) a job gets before it is parked
+  /// in `<checkpoint_root>/quarantine.csv`. Counts BOTH in-process
+  /// watchdog kills and process crashes (the per-job attempt counter is
+  /// persisted next to the job's checkpoints). 0 = unlimited — what the
+  /// chaos soak uses, so scheduled crashes never quarantine a job.
+  std::size_t max_attempts = 3;
+  /// Exponential retry backoff: attempt k (k >= 2) sleeps
+  /// `retry_backoff_seconds * 2^(k-2)` first. 0 disables sleeping.
+  double retry_backoff_seconds = 0.0;
+  /// Clock behind the deadline watchdog; tests install a fake to wedge a
+  /// job deterministically. Null = `obs::MonotonicNanos`.
+  std::function<std::int64_t()> now_ns;
+  /// Sleeper behind the retry backoff; tests install a no-op recorder.
+  /// Null = real `std::this_thread::sleep_for`.
+  std::function<void(double)> sleep_seconds;
 };
+
+/// Process-wide graceful-drain flag (SIGTERM/SIGINT). Once requested,
+/// `AttackServer::Drain` stops popping jobs, the running job aborts at
+/// its next episode boundary (checkpoint already flushed), and the
+/// un-run remainder of the queue is persisted to
+/// `<checkpoint_root>/remaining_jobs.csv`. Async-signal-safe: the flag
+/// is a lock-free atomic store.
+void RequestDrain();
+bool DrainRequested();
+/// Clears the flag — tests only (the flag is process-global).
+void ResetDrainForTest();
+/// Installs `RequestDrain` as the SIGTERM and SIGINT handler.
+void InstallDrainSignalHandlers();
+
+/// Sidecar files under the checkpoint root / the per-job directory.
+std::string QuarantinePath(const std::string& checkpoint_root);
+std::string RemainingJobsPath(const std::string& checkpoint_root);
+std::string AttemptsPath(const std::string& job_dir);
 
 /// Outcome of one served job.
 struct JobReport {
@@ -67,6 +110,16 @@ struct JobReport {
   bool ok = false;
   std::string error;  ///< set when !ok (e.g. unknown method)
   core::ParallelCampaignResult result;  ///< valid when ok
+  /// Attempts this job has consumed, including crashed prior processes.
+  std::size_t attempts = 0;
+  /// The watchdog deadline-killed at least one attempt.
+  bool timed_out = false;
+  /// Attempts exhausted `max_attempts`; the job was parked in
+  /// `quarantine.csv` with `error` as its last error.
+  bool quarantined = false;
+  /// The run was cut short by a drain request (not a failure: completed
+  /// work is checkpointed and the job can resume).
+  bool drained = false;
 };
 
 /// The long-running promotion service (ISSUE 6 tentpole): consumes
@@ -86,11 +139,15 @@ class AttackServer {
                const core::SourceArtifacts& artifacts,
                const ServerConfig& config);
 
-  /// Runs one job to completion (synchronously).
+  /// Runs one job to completion (synchronously), under supervision:
+  /// deadline watchdog, bounded retries with backoff, quarantine after
+  /// `max_attempts` failures (see ServerConfig).
   JobReport RunJob(const PromotionJob& job);
 
-  /// Serves `queue` until it is closed and drained; returns the reports
-  /// in completion order.
+  /// Serves `queue` until it is closed and drained, or until a graceful
+  /// drain (`RequestDrain`) interrupts it — then the remaining queue is
+  /// persisted to `RemainingJobsPath(checkpoint_root)`. Returns the
+  /// reports in completion order.
   std::vector<JobReport> Drain(JobQueue* queue);
 
   std::size_t jobs_run() const { return jobs_run_; }

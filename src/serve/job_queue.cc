@@ -1,5 +1,7 @@
 #include "serve/job_queue.h"
 
+#include <iterator>
+#include <set>
 #include <utility>
 
 #include "util/check.h"
@@ -33,6 +35,7 @@ bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
   CA_CHECK(error != nullptr);
   std::string line;
   std::size_t line_number = 0;
+  std::set<std::string> seen_ids;
   while (std::getline(in, line)) {
     ++line_number;
     const std::string_view trimmed = util::Trim(line);
@@ -48,10 +51,21 @@ bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
     }
     PromotionJob job;
     job.id = std::string(util::Trim(fields[0]));
+    if (job.id.empty()) {
+      return RowError(line_number,
+                      "job id must not be blank or whitespace-only",
+                      error);
+    }
     if (!ValidJobId(job.id)) {
       return RowError(line_number,
                       "job id must match [A-Za-z0-9_-]+, got '" + job.id +
                           "'",
+                      error);
+    }
+    // A duplicate id would collide on `checkpoint_root/job_<id>`: the
+    // second job would silently resume the first one's checkpoint.
+    if (!seen_ids.insert(job.id).second) {
+      return RowError(line_number, "duplicate job id '" + job.id + "'",
                       error);
     }
     job.method = std::string(util::Trim(fields[1]));
@@ -131,6 +145,15 @@ std::size_t JobQueue::pending() const {
 bool JobQueue::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+std::vector<PromotionJob> JobQueue::TakeRemaining() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PromotionJob> remaining(
+      std::make_move_iterator(jobs_.begin()),
+      std::make_move_iterator(jobs_.end()));
+  jobs_.clear();
+  return remaining;
 }
 
 }  // namespace copyattack::serve

@@ -36,7 +36,10 @@ struct PromotionJob CA_CHECKPOINTED(WriteJobsCsv, ParseJobsCsv) {
 
 /// Parses the attack-server job CSV: one `id,method,targets,budget,
 /// episodes,seed` row per line. Blank lines and `#` comments are skipped,
-/// as is an optional header row starting with `id`. Returns false and
+/// as is an optional header row starting with `id`. Job ids must be
+/// non-blank, match `[A-Za-z0-9_-]+`, and be unique across the file — a
+/// duplicate would silently collide on `checkpoint_root/job_<id>` and the
+/// second job would resume the first one's checkpoint. Returns false and
 /// sets `*error` (with a line number) on the first malformed row; `*jobs`
 /// then holds the rows parsed so far.
 bool ParseJobsCsv(std::istream& in, std::vector<PromotionJob>* jobs,
@@ -67,6 +70,11 @@ class JobQueue {
   /// Jobs currently queued (instantaneous, advisory).
   std::size_t pending() const;
   bool closed() const;
+
+  /// Removes and returns every queued job without waiting — the drain
+  /// path: a server shutting down on SIGTERM persists what it never got
+  /// to run (`WriteJobsCsv`) instead of dropping it on the floor.
+  std::vector<PromotionJob> TakeRemaining();
 
  private:
   /// Leaf lock: nothing else is acquired while it is held (the zero-arg

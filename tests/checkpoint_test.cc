@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,8 +18,11 @@
 #include "core/checkpoint.h"
 #include "core/copy_attack.h"
 #include "core/runner.h"
+#include "data/io.h"
+#include "fault/crash_point.h"
 #include "test_helpers.h"
 #include "test_seed.h"
+#include "util/rng.h"
 
 namespace copyattack::core {
 namespace {
@@ -162,6 +167,263 @@ TEST(CheckpointTest, TruncatedPrimaryIsDetected) {
   CampaignCheckpoint loaded;
   EXPECT_EQ(LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded),
             CheckpointSource::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point injection through the save path (ISSUE 10): a crash inside
+// ANY rotation phase must leave loadable state, and the loadable state
+// must be one of the two checkpoints involved — never a third thing.
+
+CampaignCheckpoint CheckpointAtEpisode(std::size_t episodes_done) {
+  CampaignCheckpoint state = TestCheckpoint();
+  state.in_progress.episodes_done = episodes_done;
+  return state;
+}
+
+fault::CrashScheduleConfig ThrowAt(const std::string& site) {
+  fault::CrashScheduleConfig schedule;
+  schedule.enabled = true;
+  schedule.mode = fault::CrashMode::kThrow;
+  schedule.site = site;
+  schedule.at_hit = 1;
+  return schedule;
+}
+
+TEST(CheckpointCrashTest, EveryRotationPhaseCrashLeavesLoadableState) {
+  const struct {
+    const char* site;
+    CheckpointSource expect_source;
+    std::size_t expect_episode;  // 1 = old state A, 2 = new state B
+  } phases[] = {
+      // Nothing written yet: primary A untouched.
+      {"checkpoint.pre_temp_write", CheckpointSource::kPrimary, 1},
+      // Temp B complete, rotation not begun: primary A still loads first.
+      {"checkpoint.pre_rotate", CheckpointSource::kPrimary, 1},
+      // cur rotated to .prev, rename pending: the complete temp orphan B
+      // is the newest state and must win over .prev's A.
+      {"checkpoint.pre_rename", CheckpointSource::kTempOrphan, 2},
+  };
+  for (const auto& phase : phases) {
+    SCOPED_TRACE(phase.site);
+    const std::string dir = FreshDir(std::string("ckpt_crash_") +
+                                     phase.site);
+    ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(1), dir));
+    fault::ArmCrashSchedule(ThrowAt(phase.site));
+    EXPECT_THROW(SaveCampaignCheckpoint(CheckpointAtEpisode(2), dir),
+                 fault::CrashForTest);
+    fault::DisarmCrashSchedule();
+
+    CampaignCheckpoint loaded;
+    ASSERT_EQ(LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded),
+              phase.expect_source);
+    EXPECT_EQ(loaded.in_progress.episodes_done, phase.expect_episode);
+
+    // Recovery is read-only; the next clean save must restore the normal
+    // primary/fallback shape and load the new state from the primary.
+    ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(3), dir));
+    ASSERT_EQ(LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded),
+              CheckpointSource::kPrimary);
+    EXPECT_EQ(loaded.in_progress.episodes_done, 3U);
+  }
+}
+
+TEST(CheckpointCrashTest, DoubleFaultStillRecoversLoadableState) {
+  // First crash: between the renames (worst window — primary missing).
+  const std::string dir = FreshDir("ckpt_double_fault");
+  ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(1), dir));
+  fault::ArmCrashSchedule(ThrowAt("checkpoint.pre_rename"));
+  EXPECT_THROW(SaveCampaignCheckpoint(CheckpointAtEpisode(2), dir),
+               fault::CrashForTest);
+  fault::DisarmCrashSchedule();
+
+  // Second crash, during the post-recovery save: before the temp write,
+  // so the on-disk shape is unchanged (tmp=B orphan, prev=A, no cur).
+  fault::ArmCrashSchedule(ThrowAt("checkpoint.pre_temp_write"));
+  EXPECT_THROW(SaveCampaignCheckpoint(CheckpointAtEpisode(3), dir),
+               fault::CrashForTest);
+  fault::DisarmCrashSchedule();
+
+  CampaignCheckpoint loaded;
+  ASSERT_EQ(LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded),
+            CheckpointSource::kTempOrphan);
+  EXPECT_EQ(loaded.in_progress.episodes_done, 2U);
+
+  // Double fault with the orphan ALSO torn: only `.prev` survives.
+  std::filesystem::resize_file(
+      CheckpointTempPath(dir),
+      std::filesystem::file_size(CheckpointTempPath(dir)) / 2);
+  ASSERT_EQ(LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded),
+            CheckpointSource::kFallback);
+  EXPECT_EQ(loaded.in_progress.episodes_done, 1U);
+}
+
+TEST(CheckpointCrashTest, UnfilteredScheduleIteratesEverySite) {
+  // A site-less schedule at_hit=k must hit each of the three phases as k
+  // walks 1..3 — the exhaustive sweep the soak driver relies on.
+  const char* expected_sites[] = {"checkpoint.pre_temp_write",
+                                  "checkpoint.pre_rotate",
+                                  "checkpoint.pre_rename"};
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const std::string dir =
+        FreshDir("ckpt_sweep_" + std::to_string(k));
+    fault::CrashScheduleConfig schedule;
+    schedule.enabled = true;
+    schedule.mode = fault::CrashMode::kThrow;
+    schedule.at_hit = k;
+    fault::ArmCrashSchedule(schedule);
+    try {
+      SaveCampaignCheckpoint(CheckpointAtEpisode(1), dir);
+      FAIL() << "crash point " << k << " never fired";
+    } catch (const fault::CrashForTest& crash) {
+      EXPECT_EQ(crash.site, expected_sites[k - 1]);
+      EXPECT_EQ(crash.hit, k);
+    }
+    fault::DisarmCrashSchedule();
+    CampaignCheckpoint loaded;
+    data::IoError error;
+    const CheckpointSource source =
+        LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded, &error);
+    if (source == CheckpointSource::kNone) {
+      // Legal only for the pre-temp-write crash of the very first save —
+      // there was no earlier state to preserve.
+      EXPECT_EQ(k, 1U);
+      EXPECT_NE(error.message.find("no loadable checkpoint"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(loaded.in_progress.episodes_done, 1U);
+    }
+  }
+}
+
+TEST(CheckpointCrashTest, SeededScheduleIsDeterministicAndInRange) {
+  const std::uint64_t universe = 17;
+  for (std::uint64_t cycle = 0; cycle < 32; ++cycle) {
+    const auto a = fault::CrashScheduleConfig::Seeded(7, cycle, universe);
+    const auto b = fault::CrashScheduleConfig::Seeded(7, cycle, universe);
+    EXPECT_EQ(a.at_hit, b.at_hit);
+    EXPECT_GE(a.at_hit, 1U);
+    EXPECT_LE(a.at_hit, universe);
+  }
+  // Different cycles must not all collapse onto one hit index.
+  std::set<std::uint64_t> distinct;
+  for (std::uint64_t cycle = 0; cycle < 32; ++cycle) {
+    distinct.insert(
+        fault::CrashScheduleConfig::Seeded(7, cycle, universe).at_hit);
+  }
+  EXPECT_GT(distinct.size(), 4U);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption corpus: every truncation and single-byte bit flip of the
+// primary must either fall back to `.prev` or fail typed — never crash,
+// never load garbage.
+
+TEST(CheckpointCorruptionCorpusTest, TruncationAndBitFlipsNeverLoadGarbage) {
+  // Shape the corpus once: prev = episode 1, cur = episode 2.
+  const std::string dir = FreshDir("ckpt_corpus_master");
+  ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(1), dir));
+  ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(2), dir));
+  std::string master;
+  {
+    std::ifstream in(CheckpointPath(dir), std::ios::binary);
+    ASSERT_TRUE(in);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    master = buffer.str();
+  }
+  ASSERT_GT(master.size(), 20U);  // fixed header + some payload
+
+  const std::string work = FreshDir("ckpt_corpus_work");
+  std::filesystem::create_directories(work);
+  std::filesystem::copy_file(
+      CheckpointFallbackPath(dir), CheckpointFallbackPath(work),
+      std::filesystem::copy_options::overwrite_existing);
+
+  const auto check_variant = [&](const std::string& bytes,
+                                 const std::string& what) {
+    {
+      std::ofstream out(CheckpointPath(work),
+                        std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    CampaignCheckpoint loaded;
+    data::IoError error;
+    const CheckpointSource source =
+        LoadCampaignCheckpoint(work, TestFingerprint(), &loaded, &error);
+    if (source == CheckpointSource::kPrimary) {
+      // A flip the CRC did not catch would be silent garbage: the only
+      // way a corrupted primary may load as primary is not at all.
+      ADD_FAILURE() << what << ": corrupted primary loaded as primary";
+    } else if (source == CheckpointSource::kFallback) {
+      EXPECT_EQ(loaded.in_progress.episodes_done, 1U) << what;
+    } else {
+      ASSERT_EQ(source, CheckpointSource::kNone) << what;
+      EXPECT_FALSE(error.message.empty()) << what;
+    }
+  };
+
+  // Truncate at every 64-byte boundary (and the empty file).
+  for (std::size_t cut = 0; cut < master.size(); cut += 64) {
+    check_variant(master.substr(0, cut),
+                  "truncate@" + std::to_string(cut));
+  }
+
+  // One random single-bit flip per region, over many fixed-seed draws:
+  // header [0,16), CRC [16,20), payload [20,end).
+  util::Rng rng(testhelpers::TestSeed(97));
+  const struct {
+    const char* name;
+    std::size_t begin;
+    std::size_t end;
+  } regions[] = {{"header", 0, 16},
+                 {"crc", 16, 20},
+                 {"payload", 20, master.size()}};
+  for (const auto& region : regions) {
+    for (int trial = 0; trial < 16; ++trial) {
+      const std::size_t offset =
+          region.begin +
+          rng.NextUint64() % (region.end - region.begin);
+      const int bit = static_cast<int>(rng.NextUint64() % 8);
+      std::string flipped = master;
+      flipped[offset] = static_cast<char>(
+          static_cast<unsigned char>(flipped[offset]) ^ (1U << bit));
+      check_variant(flipped, std::string(region.name) + " flip@" +
+                                 std::to_string(offset) + " bit " +
+                                 std::to_string(bit));
+    }
+  }
+
+  // With no fallback either, every defect must surface a typed IoError.
+  std::filesystem::remove(CheckpointFallbackPath(work));
+  {
+    std::string flipped = master;
+    flipped[18] = static_cast<char>(
+        static_cast<unsigned char>(flipped[18]) ^ 0x10);
+    std::ofstream out(CheckpointPath(work),
+                      std::ios::binary | std::ios::trunc);
+    out.write(flipped.data(),
+              static_cast<std::streamsize>(flipped.size()));
+  }
+  CampaignCheckpoint loaded;
+  data::IoError error;
+  ASSERT_EQ(LoadCampaignCheckpoint(work, TestFingerprint(), &loaded, &error),
+            CheckpointSource::kNone);
+  EXPECT_NE(error.message.find("CRC mismatch"), std::string::npos)
+      << error.message;
+  EXPECT_EQ(error.file, CheckpointPath(work));
+}
+
+TEST(CheckpointCrashTest, TempOrphanPreferredOverFallback) {
+  // Hand-built double-fault shape: cur missing, complete tmp (newest),
+  // valid prev (older) — the ladder must pick the orphan.
+  const std::string dir = FreshDir("ckpt_orphan_pref");
+  ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(1), dir));
+  ASSERT_TRUE(SaveCampaignCheckpoint(CheckpointAtEpisode(2), dir));
+  std::filesystem::rename(CheckpointPath(dir), CheckpointTempPath(dir));
+  CampaignCheckpoint loaded;
+  ASSERT_EQ(LoadCampaignCheckpoint(dir, TestFingerprint(), &loaded),
+            CheckpointSource::kTempOrphan);
+  EXPECT_EQ(loaded.in_progress.episodes_done, 2U);
 }
 
 // ---------------------------------------------------------------------------

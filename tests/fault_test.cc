@@ -5,13 +5,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/baselines.h"
 #include "core/environment.h"
 #include "core/runner.h"
+#include "fault/crash_point.h"
 #include "fault/fault_injector.h"
 #include "fault/resilient_black_box.h"
 #include "gtest/gtest.h"
@@ -455,6 +460,111 @@ TEST(EnvironmentFaultTest, CampaignUnderFaultsIsDeterministic) {
   EXPECT_DOUBLE_EQ(a.metrics.at(5).ndcg, b.metrics.at(5).ndcg);
   EXPECT_DOUBLE_EQ(a.avg_items_per_profile, b.avg_items_per_profile);
   EXPECT_DOUBLE_EQ(a.avg_final_reward, b.avg_final_reward);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic crash points (ISSUE 10).
+
+/// Always leave the process-global schedule disarmed, even on failure.
+struct CrashScheduleGuard {
+  ~CrashScheduleGuard() { fault::DisarmCrashSchedule(); }
+};
+
+TEST(CrashPointTest, DisarmedSitesAreFreeAndUncounted) {
+  CrashScheduleGuard guard;
+  ASSERT_FALSE(fault::CrashScheduleArmed());
+  CA_CRASH_POINT("test.site_a");
+  CA_CRASH_POINT("test.site_b");
+  EXPECT_EQ(fault::CrashPointHits(), 0U);
+}
+
+TEST(CrashPointTest, CountOnlyScheduleCountsAndTracesEveryHit) {
+  CrashScheduleGuard guard;
+  const std::string trace =
+      (std::filesystem::path(::testing::TempDir()) / "crash_trace.txt")
+          .string();
+  std::filesystem::remove(trace);
+  fault::CrashScheduleConfig schedule;
+  schedule.enabled = true;
+  schedule.at_hit = 0;  // count/trace only, never fire
+  schedule.trace_path = trace;
+  fault::ArmCrashSchedule(schedule);
+  CA_CRASH_POINT("test.alpha");
+  CA_CRASH_POINT("test.beta");
+  CA_CRASH_POINT("test.alpha");
+  EXPECT_EQ(fault::CrashPointHits(), 3U);
+  fault::DisarmCrashSchedule();
+
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_EQ(lines[0], "test.alpha");
+  EXPECT_EQ(lines[1], "test.beta");
+  EXPECT_EQ(lines[2], "test.alpha");
+}
+
+TEST(CrashPointTest, SiteFilteredScheduleIndexesMatchingHitsOnly) {
+  // at_hit counts hits OF THE NAMED SITE: the second beta must fire even
+  // though alphas are interleaved before and between them.
+  CrashScheduleGuard guard;
+  fault::CrashScheduleConfig schedule;
+  schedule.enabled = true;
+  schedule.mode = fault::CrashMode::kThrow;
+  schedule.site = "test.beta";
+  schedule.at_hit = 2;
+  fault::ArmCrashSchedule(schedule);
+  CA_CRASH_POINT("test.alpha");
+  CA_CRASH_POINT("test.beta");
+  CA_CRASH_POINT("test.alpha");
+  try {
+    CA_CRASH_POINT("test.beta");
+    FAIL() << "second test.beta hit did not fire";
+  } catch (const fault::CrashForTest& crash) {
+    EXPECT_EQ(crash.site, "test.beta");
+    EXPECT_EQ(crash.hit, 4U);  // global hit index, for log correlation
+  }
+}
+
+TEST(CrashPointTest, ThrowModeIsOneShot) {
+  CrashScheduleGuard guard;
+  fault::CrashScheduleConfig schedule;
+  schedule.enabled = true;
+  schedule.mode = fault::CrashMode::kThrow;
+  schedule.at_hit = 1;
+  fault::ArmCrashSchedule(schedule);
+  EXPECT_THROW(CA_CRASH_POINT("test.once"), fault::CrashForTest);
+  // Disarmed before the throw: recovery code re-entering the same site
+  // (the post-crash checkpoint save) must run to completion.
+  EXPECT_FALSE(fault::CrashScheduleArmed());
+  CA_CRASH_POINT("test.once");  // must not fire again
+}
+
+TEST(CrashPointTest, EnvArmingParsesSiteCountModeAndTrace) {
+  CrashScheduleGuard guard;
+  ::setenv("COPYATTACK_CRASH_POINT", "serve.job_begin:3", 1);
+  ::setenv("COPYATTACK_CRASH_MODE", "throw", 1);
+  EXPECT_TRUE(fault::ArmCrashScheduleFromEnv());
+  EXPECT_TRUE(fault::CrashScheduleArmed());
+  CA_CRASH_POINT("serve.job_begin");
+  CA_CRASH_POINT("serve.job_begin");
+  EXPECT_THROW(CA_CRASH_POINT("serve.job_begin"), fault::CrashForTest);
+
+  // ":N" (any site) and bare "N" both parse; garbage does not arm.
+  ::setenv("COPYATTACK_CRASH_POINT", ":5", 1);
+  EXPECT_TRUE(fault::ArmCrashScheduleFromEnv());
+  fault::DisarmCrashSchedule();
+  ::setenv("COPYATTACK_CRASH_POINT", "7", 1);
+  EXPECT_TRUE(fault::ArmCrashScheduleFromEnv());
+  fault::DisarmCrashSchedule();
+  ::setenv("COPYATTACK_CRASH_POINT", "site:notanumber", 1);
+  EXPECT_FALSE(fault::ArmCrashScheduleFromEnv());
+  EXPECT_FALSE(fault::CrashScheduleArmed());
+  ::unsetenv("COPYATTACK_CRASH_POINT");
+  ::unsetenv("COPYATTACK_CRASH_MODE");
+  EXPECT_FALSE(fault::ArmCrashScheduleFromEnv());
 }
 
 }  // namespace

@@ -247,6 +247,53 @@ TEST(ParallelRunner, BatchedQueriesMatchPerUserQueriesUnderFaults) {
                      RunSharded(world, targets, config, unbatched));
 }
 
+TEST(ParallelRunner, CancelHookAbortsAtBoundaryAndResumeIsExact) {
+  // Cooperative cancellation (ISSUE 10): the watchdog/drain hook stops
+  // the run at an episode boundary — where the checkpoint is already
+  // flushed — so cancel-then-resume obeys the exact same bit-identical
+  // contract as crash-then-resume.
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 3);
+  ASSERT_GE(targets.size(), 2U);
+  const CampaignConfig config = SmallCampaign();
+  const std::string dir = FreshDir("parallel_runner_cancel");
+
+  ParallelRunnerOptions plain;
+  plain.jobs = 1;
+  const ParallelCampaignResult uninterrupted =
+      RunSharded(world, targets, config, plain);
+
+  ParallelRunnerOptions cancel = plain;
+  cancel.checkpoint.dir = dir;
+  auto polls = std::make_shared<std::size_t>(0);
+  cancel.cancel = [polls] { return ++*polls > 4; };
+  const ParallelCampaignResult canceled =
+      RunSharded(world, targets, config, cancel);
+  EXPECT_TRUE(canceled.aggregate.aborted);
+  EXPECT_LT(canceled.aggregate.num_target_items, targets.size());
+
+  ParallelRunnerOptions resume = plain;
+  resume.checkpoint.dir = dir;
+  resume.checkpoint.resume = true;
+  const ParallelCampaignResult resumed =
+      RunSharded(world, targets, config, resume);
+  EXPECT_FALSE(resumed.aggregate.aborted);
+  EXPECT_NE(resumed.aggregate.resumed_from, CheckpointSource::kNone);
+  ExpectResultsEqual(uninterrupted, resumed);
+}
+
+TEST(ParallelRunner, NullCancelHookNeverAborts) {
+  const TinyWorld& world = SharedTinyWorld();
+  const auto targets = TestTargets(world, 2);
+  ParallelRunnerOptions options;
+  options.jobs = 1;
+  EXPECT_FALSE(static_cast<bool>(options.cancel));  // default: never
+  const ParallelCampaignResult result =
+      RunSharded(world, targets, SmallCampaign(), options);
+  EXPECT_FALSE(result.aggregate.aborted);
+  EXPECT_EQ(result.aggregate.num_target_items, targets.size());
+}
+
 TEST(ParallelRunner, KillAndResumeMatchesUninterruptedRun) {
   const TinyWorld& world = SharedTinyWorld();
   const auto targets = TestTargets(world, 3);

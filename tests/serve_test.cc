@@ -5,6 +5,9 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -76,6 +79,30 @@ TEST(ParseJobsCsv, RejectsMalformedRowsWithLineNumbers) {
   }
 }
 
+TEST(ParseJobsCsv, RejectsDuplicateJobIds) {
+  // A duplicate id would collide on `checkpoint_root/job_<id>` and
+  // silently resume the first job's checkpoint.
+  std::istringstream in(
+      "id,method,targets,budget,episodes,seed\n"
+      "promo-1,CopyAttack,4,10,3,99\n"
+      "promo-1,TargetAttack40,2,5,1,7\n");
+  std::vector<PromotionJob> jobs;
+  std::string error;
+  EXPECT_FALSE(ParseJobsCsv(in, &jobs, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate job id 'promo-1'"), std::string::npos)
+      << error;
+}
+
+TEST(ParseJobsCsv, RejectsBlankAndWhitespaceOnlyJobIds) {
+  std::istringstream in(" ,CopyAttack,1,1,1,1\n");
+  std::vector<PromotionJob> jobs;
+  std::string error;
+  EXPECT_FALSE(ParseJobsCsv(in, &jobs, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("blank"), std::string::npos) << error;
+}
+
 TEST(JobQueueTest, DeliversInFifoOrderThenSignalsClosed) {
   JobQueue queue;
   PromotionJob a;
@@ -114,6 +141,23 @@ TEST(JobQueueTest, BlockedConsumerWakesOnPushAndClose) {
   ASSERT_EQ(seen.size(), 2U);
   EXPECT_EQ(seen[0], "x");
   EXPECT_EQ(seen[1], "y");
+}
+
+TEST(JobQueueTest, TakeRemainingDrainsWithoutBlocking) {
+  JobQueue queue;
+  PromotionJob job;
+  job.id = "r1";
+  queue.Push(job);
+  job.id = "r2";
+  queue.Push(job);
+  const std::vector<PromotionJob> remaining = queue.TakeRemaining();
+  ASSERT_EQ(remaining.size(), 2U);
+  EXPECT_EQ(remaining[0].id, "r1");
+  EXPECT_EQ(remaining[1].id, "r2");
+  EXPECT_EQ(queue.pending(), 0U);
+  queue.Close();
+  PromotionJob out;
+  EXPECT_FALSE(queue.Pop(&out));
 }
 
 TEST(MakeStrategyFactoryTest, ResolvesEveryKnownMethod) {
@@ -266,6 +310,198 @@ TEST(AttackServerTest, JobCheckpointResumeMatchesUninterruptedJob) {
     EXPECT_EQ(metrics.hr, it->second.hr);
     EXPECT_EQ(metrics.ndcg, it->second.ndcg);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision (ISSUE 10): watchdog deadline, retries, quarantine, drain.
+
+/// The drain flag is process-global; every drain test scopes it.
+struct DrainGuard {
+  DrainGuard() { ResetDrainForTest(); }
+  ~DrainGuard() { ResetDrainForTest(); }
+};
+
+std::size_t ReadAttemptsFile(const std::string& job_dir) {
+  std::ifstream in(AttemptsPath(job_dir));
+  std::size_t attempts = 0;
+  in >> attempts;
+  return attempts;
+}
+
+TEST(AttackServerSupervisionTest, WedgedJobIsKilledRetriedAndQuarantined) {
+  const TinyWorld& world = SharedTinyWorld();
+  const std::string root = FreshDir("attack_server_wedged");
+  ServerConfig config = TestServerConfig();
+  config.checkpoint_root = root;
+  config.job_deadline_seconds = 10.0;  // ten fake-clock ticks
+  config.max_attempts = 2;
+  config.retry_backoff_seconds = 0.25;
+  // Virtual clock: every observation advances one second, so a job that
+  // keeps playing episodes (each episode polls the watchdog) blows its
+  // deadline deterministically, with no wall-clock in the test at all.
+  auto ticks = std::make_shared<std::int64_t>(0);
+  config.now_ns = [ticks] { return ++*ticks * 1'000'000'000; };
+  auto slept = std::make_shared<std::vector<double>>();
+  config.sleep_seconds = [slept](double s) { slept->push_back(s); };
+
+  AttackServer server(world.world.dataset, world.split.train,
+                      world.ModelFactory(), world.artifacts, config);
+  // Wedged: far more episodes than the deadline allows. The quick job
+  // behind it must still run — a wedged job must not stall the queue.
+  PromotionJob wedged = TestJob("wedged", "CopyAttack");
+  wedged.num_targets = 1;
+  wedged.episodes = 200;
+  JobQueue queue;
+  queue.Push(wedged);
+  queue.Push(TestJob("after-wedge", "TargetAttack40"));
+  queue.Close();
+
+  const std::vector<JobReport> reports = server.Drain(&queue);
+  ASSERT_EQ(reports.size(), 2U);
+
+  const JobReport& report = reports[0];
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_TRUE(report.quarantined);
+  EXPECT_EQ(report.attempts, 2U);
+  EXPECT_NE(report.error.find("deadline"), std::string::npos)
+      << report.error;
+  // One retry => one backoff sleep, at the base interval.
+  ASSERT_EQ(slept->size(), 1U);
+  EXPECT_DOUBLE_EQ((*slept)[0], 0.25);
+  // The burned attempts stay on disk (a restart must not grant the job a
+  // fresh budget), and the quarantine ledger names the job.
+  EXPECT_EQ(ReadAttemptsFile(root + "/job_wedged"), 2U);
+  std::ifstream quarantine(QuarantinePath(root));
+  ASSERT_TRUE(quarantine.is_open());
+  std::string quarantine_text((std::istreambuf_iterator<char>(quarantine)),
+                              std::istreambuf_iterator<char>());
+  EXPECT_NE(quarantine_text.find("wedged,CopyAttack"), std::string::npos)
+      << quarantine_text;
+
+  // The queue kept moving: the job behind the wedge completed.
+  EXPECT_TRUE(reports[1].ok);
+  EXPECT_EQ(reports[1].job.id, "after-wedge");
+  EXPECT_EQ(server.jobs_run(), 1U);
+  EXPECT_EQ(server.jobs_failed(), 1U);
+
+  // A resubmit of the quarantined job is refused before it runs: the
+  // persisted attempt counter already exhausted max_attempts.
+  AttackServer fresh(world.world.dataset, world.split.train,
+                     world.ModelFactory(), world.artifacts, config);
+  const JobReport resubmitted = fresh.RunJob(wedged);
+  EXPECT_FALSE(resubmitted.ok);
+  EXPECT_TRUE(resubmitted.quarantined);
+  EXPECT_NE(resubmitted.error.find("quarantined before start"),
+            std::string::npos)
+      << resubmitted.error;
+}
+
+TEST(AttackServerSupervisionTest, UnlimitedAttemptsNeverQuarantine) {
+  // max_attempts = 0 (the chaos soak's setting): a deadline kill retries
+  // forever — here the clock freezes after the first kill, so the second
+  // attempt runs to completion instead.
+  const TinyWorld& world = SharedTinyWorld();
+  const std::string root = FreshDir("attack_server_unlimited");
+  ServerConfig config = TestServerConfig();
+  config.checkpoint_root = root;
+  config.job_deadline_seconds = 10.0;
+  config.max_attempts = 0;
+  auto ticks = std::make_shared<std::int64_t>(0);
+  config.now_ns = [ticks] {
+    if (*ticks < 12) ++*ticks;  // wedge attempt 1, then freeze the clock
+    return *ticks * 1'000'000'000;
+  };
+  AttackServer server(world.world.dataset, world.split.train,
+                      world.ModelFactory(), world.artifacts, config);
+  // Enough episodes that attempt 1 cannot finish before the clock passes
+  // the deadline (each episode polls the watchdog at least once).
+  PromotionJob job = TestJob("eventually-ok", "CopyAttack");
+  job.num_targets = 1;
+  job.episodes = 30;
+  const JobReport report = server.RunJob(job);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.timed_out);  // attempt 1 was killed
+  EXPECT_FALSE(report.quarantined);
+  EXPECT_GE(report.attempts, 2U);
+  // Success clears the on-disk attempt counter.
+  EXPECT_FALSE(std::filesystem::exists(AttemptsPath(root + "/job_" +
+                                                    job.id)));
+}
+
+TEST(AttackServerDrainTest, DrainBeforeServingPersistsWholeQueue) {
+  DrainGuard guard;
+  const TinyWorld& world = SharedTinyWorld();
+  const std::string root = FreshDir("attack_server_drain_idle");
+  ServerConfig config = TestServerConfig();
+  config.checkpoint_root = root;
+  AttackServer server(world.world.dataset, world.split.train,
+                      world.ModelFactory(), world.artifacts, config);
+  JobQueue queue;
+  queue.Push(TestJob("q1", "TargetAttack40"));
+  queue.Push(TestJob("q2", "TargetAttack70"));
+  queue.Close();
+
+  RequestDrain();
+  const std::vector<JobReport> reports = server.Drain(&queue);
+  EXPECT_TRUE(reports.empty());
+
+  std::ifstream in(RemainingJobsPath(root));
+  ASSERT_TRUE(in.is_open());
+  std::vector<PromotionJob> remaining;
+  std::string error;
+  ASSERT_TRUE(ParseJobsCsv(in, &remaining, &error)) << error;
+  ASSERT_EQ(remaining.size(), 2U);
+  EXPECT_EQ(remaining[0].id, "q1");
+  EXPECT_EQ(remaining[1].id, "q2");
+}
+
+TEST(AttackServerDrainTest, MidRunDrainCheckpointsAndRequeuesCutJob) {
+  DrainGuard guard;
+  const TinyWorld& world = SharedTinyWorld();
+  const std::string root = FreshDir("attack_server_drain_midrun");
+  ServerConfig config = TestServerConfig();
+  config.checkpoint_root = root;
+  // The watchdog clock doubles as the deterministic "SIGTERM arrives
+  // mid-job" trigger: the fourth observation raises the drain flag. The
+  // deadline itself is far away — this job is healthy, just unlucky.
+  config.job_deadline_seconds = 1e6;
+  auto ticks = std::make_shared<std::int64_t>(0);
+  config.now_ns = [ticks] {
+    if (++*ticks == 4) RequestDrain();
+    return *ticks;  // nanoseconds: elapsed stays ~0
+  };
+  AttackServer server(world.world.dataset, world.split.train,
+                      world.ModelFactory(), world.artifacts, config);
+  PromotionJob cut = TestJob("cut-short", "CopyAttack");
+  cut.num_targets = 1;
+  cut.episodes = 50;
+  JobQueue queue;
+  queue.Push(cut);
+  queue.Push(TestJob("never-ran", "TargetAttack40"));
+  queue.Close();
+
+  const std::vector<JobReport> reports = server.Drain(&queue);
+  ASSERT_EQ(reports.size(), 1U);
+  EXPECT_TRUE(reports[0].drained);
+  EXPECT_FALSE(reports[0].ok);
+  EXPECT_FALSE(reports[0].timed_out);
+
+  // The cut job is requeued FIRST (its checkpoint resumes the run), then
+  // the job the drain never reached.
+  std::ifstream in(RemainingJobsPath(root));
+  ASSERT_TRUE(in.is_open());
+  std::vector<PromotionJob> remaining;
+  std::string error;
+  ASSERT_TRUE(ParseJobsCsv(in, &remaining, &error)) << error;
+  ASSERT_EQ(remaining.size(), 2U);
+  EXPECT_EQ(remaining[0].id, "cut-short");
+  EXPECT_EQ(remaining[1].id, "never-ran");
+  // The drained attempt was rolled back — shutting the server down must
+  // not burn the job's retry budget.
+  EXPECT_EQ(ReadAttemptsFile(root + "/job_cut-short"), 0U);
+  // And its checkpoint exists, so the restart resumes rather than replays.
+  EXPECT_TRUE(std::filesystem::exists(root + "/job_cut-short"));
 }
 
 }  // namespace

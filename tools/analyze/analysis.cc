@@ -188,6 +188,10 @@ const std::vector<RuleInfo>& RuleCatalogue() {
       {"ckpt-no-serializer", "checkpoint",
        "CA_CHECKPOINTED names a save/load function with no definition in "
        "the tree"},
+      {"ckpt-crash-phase", "checkpoint",
+       "function marks checkpoint.* CA_CRASH_POINT sites but does not "
+       "enumerate all three rotation phases (pre_temp_write, pre_rotate, "
+       "pre_rename)"},
       {"lock-order-cycle", "lockorder",
        "declared + observed mutex acquisition graph contains a cycle"},
       {"lock-order-contradiction", "lockorder",

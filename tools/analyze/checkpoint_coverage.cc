@@ -109,6 +109,59 @@ Candidate ResolveSerializer(const SourceTree& tree,
   return best;
 }
 
+/// All three phases of the checkpoint rotation, in write order
+/// (core::SaveCampaignCheckpoint, DESIGN.md §16). A body that
+/// crash-instruments the checkpoint write path must enumerate every one
+/// — a skipped phase is a crash window the soak can never schedule.
+const char* const kRotationPhases[] = {"checkpoint.pre_temp_write",
+                                       "checkpoint.pre_rotate",
+                                       "checkpoint.pre_rename"};
+
+/// Extracts the quoted site names of `CA_CRASH_POINT("...")` calls in
+/// `def`'s body. The macro occurrences are located through the token
+/// stream (so `#define CA_CRASH_POINT(...)` and commented-out calls
+/// never count), but the site names are read back from the raw
+/// `content` because the tokenizer blanks string-literal interiors.
+std::vector<std::string> CrashSitesInBody(const ScannedFile& file,
+                                          const FunctionDef& def) {
+  std::vector<std::string> sites;
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  if (def.body_end <= def.body_begin || def.body_end >= tokens.size()) {
+    return sites;
+  }
+  std::set<std::size_t> lines;
+  for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+    const Token& t = tokens[k];
+    if (t.kind == TokenKind::kIdentifier && !t.in_directive &&
+        t.text == "CA_CRASH_POINT") {
+      lines.insert(t.line);
+    }
+  }
+  if (lines.empty()) return sites;
+  const std::string& content = file.lexed.content;
+  std::size_t line_no = 1;
+  std::size_t begin = 0;
+  for (std::size_t pos = 0; pos <= content.size(); ++pos) {
+    if (pos != content.size() && content[pos] != '\n') continue;
+    if (lines.count(line_no) != 0) {
+      const std::string line = content.substr(begin, pos - begin);
+      std::size_t at = 0;
+      while ((at = line.find("CA_CRASH_POINT", at)) != std::string::npos) {
+        at += sizeof("CA_CRASH_POINT") - 1;
+        const std::size_t open = line.find('"', at);
+        if (open == std::string::npos) break;
+        const std::size_t close = line.find('"', open + 1);
+        if (close == std::string::npos) break;
+        sites.push_back(line.substr(open + 1, close - open - 1));
+        at = close + 1;
+      }
+    }
+    begin = pos + 1;
+    ++line_no;
+  }
+  return sites;
+}
+
 }  // namespace
 
 void RunCheckpointPass(const SourceTree& tree,
@@ -206,6 +259,41 @@ void RunCheckpointPass(const SourceTree& tree,
                 "]; streams replay byte-for-byte, so the orders must match",
             violations);
       }
+    }
+  }
+
+  // Crash-phase discipline (ISSUE 10): a function that marks ANY
+  // `checkpoint.*` crash point is instrumenting the checkpoint write
+  // path and must enumerate all three rotation phases, so a new
+  // serializer cannot ship with a crash window the soak never exercises.
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const ScannedFile& file = tree.files[i];
+    for (const FunctionDef& def : structures[i].functions) {
+      const std::vector<std::string> sites = CrashSitesInBody(file, def);
+      bool in_checkpoint_path = false;
+      for (const std::string& site : sites) {
+        if (site.rfind("checkpoint.", 0) == 0) {
+          in_checkpoint_path = true;
+          break;
+        }
+      }
+      if (!in_checkpoint_path) continue;
+      const std::set<std::string> have(sites.begin(), sites.end());
+      std::vector<std::string> missing;
+      for (const char* phase : kRotationPhases) {
+        if (have.count(phase) == 0) missing.push_back(phase);
+      }
+      if (missing.empty()) continue;
+      AddViolation(
+          file, def.line, "ckpt-crash-phase",
+          "function '" + def.name +
+              "' marks checkpoint.* crash points but omits rotation "
+              "phase(s) [" +
+              JoinNames(missing) +
+              "]; the checkpoint write path must enumerate "
+              "pre_temp_write, pre_rotate and pre_rename so the chaos "
+              "soak can kill inside every window",
+          violations);
     }
   }
 }

@@ -152,6 +152,28 @@ cp "${frontier}" build/reports/arms_race_frontier_tiny.csv
 rm -rf "${bench_tmp}"
 echo "arms race smoke OK (9/9 cells; defense baseline within tolerance)"
 
+# 2d. Process-level chaos soak (ISSUE 10): fork attack-server runs, kill
+# them at seeded random crash points (checkpoint rotation phases, shard
+# boundaries, job transitions), resume each time, and require the final
+# outcomes bit-identical to an uninterrupted run. The tsan variant reruns
+# the same protocol under the race detector (fewer cycles — TSan is slow).
+chaos_soak() {
+  local preset="$1" cycles="$2"
+  step "chaos soak [${preset}] (${cycles} kill/resume cycles)"
+  local bin="build/tools/soak_runner"
+  case "${preset}" in
+    asan-ubsan) bin="build-asan/tools/soak_runner" ;;
+    tsan) bin="build-tsan/tools/soak_runner" ;;
+  esac
+  local soak_tmp
+  soak_tmp="$(mktemp -d)"
+  "${bin}" --cycles="${cycles}" --seed=1337 --dir="${soak_tmp}"
+  rm -rf "${soak_tmp}"
+  echo "chaos soak [${preset}] OK"
+}
+
+chaos_soak release 20
+
 if [[ "${quick}" == "1" ]]; then
   step "OK (quick: sanitizer presets skipped)"
   exit 0
@@ -227,6 +249,7 @@ CSV
 run_preset tsan -LE stress
 fault_soak tsan
 parallel_soak
+chaos_soak tsan 20
 step "test [tsan] stress label"
 ctest --preset tsan-stress -j "${jobs}"
 

@@ -52,6 +52,16 @@ util::FlagParser MakeParser() {
               "attack-server: promotion-jobs CSV path ('-' = stdin)")
       .Define("checkpoint_root", "",
               "attack-server: per-job checkpoint tree root (empty = off)")
+      .Define("job_deadline", "0",
+              "attack-server: per-job wall-clock deadline in seconds; "
+              "overrunning jobs are killed at an episode boundary and "
+              "retried from their checkpoint (0 = no watchdog)")
+      .Define("max_attempts", "3",
+              "attack-server: attempts (runs + retries, crashes included) "
+              "before a job is parked in quarantine.csv (0 = unlimited)")
+      .Define("retry_backoff", "0",
+              "attack-server: base of the exponential retry backoff in "
+              "seconds (0 = retry immediately)")
       .Define("faults", "off",
               "attack: black-box fault schedule (off|light|aggressive); "
               "anything but off also enables the resilient retry client")
@@ -301,6 +311,14 @@ int CmdAttackServer(const util::FlagParser& parser, std::ostream& out) {
   server_config.checkpoint_root = parser.GetString("checkpoint_root");
   server_config.resume = parser.GetBool("resume");
   server_config.checkpoint_every = parser.GetSizeT("checkpoint_every");
+  server_config.job_deadline_seconds = parser.GetDouble("job_deadline");
+  server_config.max_attempts = parser.GetSizeT("max_attempts");
+  server_config.retry_backoff_seconds = parser.GetDouble("retry_backoff");
+
+  // SIGTERM/SIGINT now drain gracefully: the running job stops at its
+  // next checkpointed episode boundary and the un-run queue is persisted
+  // under the checkpoint root.
+  serve::InstallDrainSignalHandlers();
 
   serve::JobQueue queue;
   for (serve::PromotionJob& job : jobs) queue.Push(std::move(job));
@@ -315,10 +333,16 @@ int CmdAttackServer(const util::FlagParser& parser, std::ostream& out) {
   bool any_failed = false;
   out << core::CampaignRowHeader() << '\n';
   for (const serve::JobReport& report : reports) {
+    if (report.drained) {
+      out << "job " << report.job.id << ": drained: " << report.error
+          << '\n';
+      continue;  // not a failure: checkpointed, resumable
+    }
     if (!report.ok) {
       any_failed = true;
-      out << "job " << report.job.id << ": error: " << report.error
-          << '\n';
+      out << "job " << report.job.id
+          << (report.quarantined ? ": quarantined: " : ": error: ")
+          << report.error << '\n';
       continue;
     }
     std::ostringstream label;

@@ -3,17 +3,23 @@
 // recipe-harness item).
 //
 // usage: csv_compare <baseline.csv> <candidate.csv> [--tol=0.15]
+//                    [--rtol=R]
 //
 // Rules:
 //   * headers must match exactly (same columns, same order);
 //   * rows are keyed by their non-numeric fields (in column order), so row
 //     order may differ but every baseline key must exist in the candidate
 //     and vice versa;
-//   * numeric fields must agree within the absolute tolerance;
+//   * numeric fields must agree within the absolute tolerance OR, when
+//     --rtol is supplied, within the relative one: a pair passes if
+//     |e - a| <= tol or |e - a| <= rtol * max(|e|, |a|). The relative
+//     mode is for large-magnitude perf columns (latencies, throughputs)
+//     where a one-size absolute bound is either too loose near zero or
+//     too tight at scale;
 //   * non-numeric fields of matching keys must be identical.
 //
 // Exit status: 0 on match, 1 on any divergence (each printed to stderr),
-// 2 on usage/IO errors. The tolerance is absolute, sized for the metric
+// 2 on usage/IO errors. The absolute tolerance is sized for the metric
 // columns of the bench CSVs (AUCs, hit ratios — all in [0, 1]).
 
 #include <cstdio>
@@ -52,11 +58,18 @@ std::string RowKey(const std::vector<std::string>& row) {
 int main(int argc, char** argv) {
   std::string baseline_path, candidate_path;
   double tolerance = 0.15;
+  double rtolerance = 0.0;  // 0 = relative mode off
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tol=", 0) == 0) {
       if (!ParseNumber(arg.substr(6), &tolerance) || tolerance < 0.0) {
         std::fprintf(stderr, "csv_compare: bad --tol value '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--rtol=", 0) == 0) {
+      if (!ParseNumber(arg.substr(7), &rtolerance) || rtolerance < 0.0) {
+        std::fprintf(stderr, "csv_compare: bad --rtol value '%s'\n",
                      arg.c_str());
         return 2;
       }
@@ -67,14 +80,14 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: csv_compare <baseline.csv> <candidate.csv> "
-                   "[--tol=T]\n");
+                   "[--tol=T] [--rtol=R]\n");
       return 2;
     }
   }
   if (candidate_path.empty()) {
     std::fprintf(stderr,
                  "usage: csv_compare <baseline.csv> <candidate.csv> "
-                 "[--tol=T]\n");
+                 "[--tol=T] [--rtol=R]\n");
     return 2;
   }
 
@@ -164,11 +177,19 @@ int main(int argc, char** argv) {
                      key.c_str(), c, row[c].c_str(), other[c].c_str());
         ++divergences;
       } else if (numeric) {
-        if (std::fabs(expected - actual) > tolerance) {
+        const double diff = std::fabs(expected - actual);
+        const double scale = std::max(std::fabs(expected),
+                                      std::fabs(actual));
+        const bool within_abs = diff <= tolerance;
+        const bool within_rel =
+            rtolerance > 0.0 && diff <= rtolerance * scale;
+        if (!within_abs && !within_rel) {
           std::fprintf(stderr,
-                       "csv_compare: row '%s' col %zu: |%s - %s| > %g\n",
+                       "csv_compare: row '%s' col %zu: |%s - %s| > %g"
+                       "%s\n",
                        key.c_str(), c, row[c].c_str(), other[c].c_str(),
-                       tolerance);
+                       tolerance,
+                       rtolerance > 0.0 ? " (and beyond --rtol)" : "");
           ++divergences;
         }
       } else if (row[c] != other[c]) {
